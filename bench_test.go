@@ -1,0 +1,196 @@
+// Package synpabench is the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (DESIGN.md §4 maps each benchmark to
+// its experiment). Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints its table once (the rows/series the paper reports)
+// and then times the underlying experiment; results are memoised inside a
+// shared suite, so repeated benchmark iterations measure cache hits rather
+// than re-simulating.
+//
+// Environment:
+//
+//	SYNPA_BENCH_FAST=1   use a scaled-down configuration (quick smoke)
+package synpabench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"synpa/internal/experiments"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+
+	printMu      sync.Mutex
+	printedTable = map[string]bool{}
+)
+
+func sharedSuite() *experiments.Suite {
+	suiteOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		if os.Getenv("SYNPA_BENCH_FAST") == "1" {
+			cfg.Machine.QuantumCycles = 8_000
+			cfg.Train.Machine = cfg.Machine
+			cfg.Train.IsolatedQuanta = 50
+			cfg.Train.PairQuanta = 35
+			cfg.RefQuanta = 30
+			cfg.Reps = 1
+		}
+		suite = experiments.NewSuite(cfg)
+	})
+	return suite
+}
+
+// runExperiment executes one experiment inside a benchmark loop, printing
+// its table the first time it is produced.
+func runExperiment(b *testing.B, name string, fn func(*experiments.Suite) (*experiments.Table, error)) {
+	b.Helper()
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		tab, err := fn(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printMu.Lock()
+		if !printedTable[name] {
+			printedTable[name] = true
+			fmt.Printf("\n%s\n", tab)
+		}
+		printMu.Unlock()
+	}
+}
+
+// --- Paper tables -----------------------------------------------------------
+
+// BenchmarkTableI_PMUEvents regenerates Table I (the four ARM PMU events).
+func BenchmarkTableI_PMUEvents(b *testing.B) {
+	runExperiment(b, "table1", (*experiments.Suite).TableI)
+}
+
+// BenchmarkTableII_MachineConfig regenerates Table II (processor and memory
+// subsystem configuration).
+func BenchmarkTableII_MachineConfig(b *testing.B) {
+	runExperiment(b, "table2", (*experiments.Suite).TableII)
+}
+
+// BenchmarkTableIII_Groups regenerates Table III (benchmark groups by
+// dominant dispatch-stall category).
+func BenchmarkTableIII_Groups(b *testing.B) {
+	runExperiment(b, "table3", (*experiments.Suite).TableIII)
+}
+
+// BenchmarkTableIV_ModelCoefficients regenerates Table IV (the trained
+// regression coefficients and per-category MSE, §VI-A).
+func BenchmarkTableIV_ModelCoefficients(b *testing.B) {
+	runExperiment(b, "table4", (*experiments.Suite).TableIV)
+}
+
+// BenchmarkTableV_PairSelection regenerates Table V (percentage of pairing
+// quanta per behaviour for fb2 under SYNPA, with the synergistic
+// "diff. group" column).
+func BenchmarkTableV_PairSelection(b *testing.B) {
+	runExperiment(b, "table5", (*experiments.Suite).TableV)
+}
+
+// --- Paper figures ----------------------------------------------------------
+
+// BenchmarkFig2_ThreeStepCharacterization regenerates Fig. 2 (the
+// three-step dispatch-cycle characterization) for mcf.
+func BenchmarkFig2_ThreeStepCharacterization(b *testing.B) {
+	runExperiment(b, "fig2", func(s *experiments.Suite) (*experiments.Table, error) {
+		return s.Fig2("mcf")
+	})
+}
+
+// BenchmarkFig4_IsolatedCharacterization regenerates Fig. 4 (FD/FE/BE
+// fractions of all 28 applications in isolation).
+func BenchmarkFig4_IsolatedCharacterization(b *testing.B) {
+	runExperiment(b, "fig4", (*experiments.Suite).Fig4)
+}
+
+// BenchmarkFig5_TurnaroundSpeedup regenerates Fig. 5 (turnaround-time
+// speedup of SYNPA over Linux across the twenty workloads).
+func BenchmarkFig5_TurnaroundSpeedup(b *testing.B) {
+	runExperiment(b, "fig5", (*experiments.Suite).Fig5)
+}
+
+// BenchmarkFig6_WorkloadCharacterization regenerates Fig. 6 (per-app
+// category bars under Linux and SYNPA) for be1, fe2 and fb2.
+func BenchmarkFig6_WorkloadCharacterization(b *testing.B) {
+	for _, wl := range []string{"be1", "fe2", "fb2"} {
+		wl := wl
+		b.Run(wl, func(b *testing.B) {
+			runExperiment(b, "fig6-"+wl, func(s *experiments.Suite) (*experiments.Table, error) {
+				return s.Fig6(wl)
+			})
+		})
+	}
+}
+
+// BenchmarkFig7_DynamicCharacterization regenerates Fig. 7 (the dynamic
+// behaviour of the two leela_r instances of fb2 under both policies).
+func BenchmarkFig7_DynamicCharacterization(b *testing.B) {
+	runExperiment(b, "fig7", (*experiments.Suite).Fig7)
+}
+
+// BenchmarkFig8_Fairness regenerates Fig. 8 (fairness of Linux vs SYNPA).
+func BenchmarkFig8_Fairness(b *testing.B) {
+	runExperiment(b, "fig8", (*experiments.Suite).Fig8)
+}
+
+// BenchmarkFig9_IPCSpeedup regenerates Fig. 9 (IPC geomean speedup over
+// Linux).
+func BenchmarkFig9_IPCSpeedup(b *testing.B) {
+	runExperiment(b, "fig9", (*experiments.Suite).Fig9)
+}
+
+// --- Ablations and overhead studies (DESIGN.md §5) ---------------------------
+
+// BenchmarkAblation_TenCategoryModel reproduces the §VI-A finding that the
+// ten-category preliminary model is less accurate than the final
+// three-category one.
+func BenchmarkAblation_TenCategoryModel(b *testing.B) {
+	runExperiment(b, "ablation-tencat", (*experiments.Suite).AblationTenCategory)
+}
+
+// BenchmarkAblation_RevealsSplit reproduces the §III-B Step 3 design study
+// on attributing the revealed horizontal waste.
+func BenchmarkAblation_RevealsSplit(b *testing.B) {
+	runExperiment(b, "ablation-reveals", (*experiments.Suite).AblationRevealsSplit)
+}
+
+// BenchmarkAblation_Matcher compares Blossom, greedy and brute-force pair
+// selection as the policy's matching stage.
+func BenchmarkAblation_Matcher(b *testing.B) {
+	runExperiment(b, "ablation-matcher", (*experiments.Suite).AblationMatcher)
+}
+
+// BenchmarkAblation_Inversion quantifies the value of the §IV-B Step 1
+// model inversion.
+func BenchmarkAblation_Inversion(b *testing.B) {
+	runExperiment(b, "ablation-inversion", (*experiments.Suite).AblationInversion)
+}
+
+// BenchmarkAblation_Quantum sweeps the scheduling quantum length on fb2.
+func BenchmarkAblation_Quantum(b *testing.B) {
+	runExperiment(b, "ablation-quantum", (*experiments.Suite).AblationQuantum)
+}
+
+// BenchmarkOverhead_ModelEquations reproduces the §II claim that the
+// three-equation model is ~40 % cheaper than a five-equation IBM-style one
+// for all-pairs estimation.
+func BenchmarkOverhead_ModelEquations(b *testing.B) {
+	runExperiment(b, "overhead-model", (*experiments.Suite).OverheadModelEquations)
+}
+
+// BenchmarkOverhead_Matching reproduces the combinatorial-explosion
+// argument for the Blossom algorithm (§IV-B Step 3).
+func BenchmarkOverhead_Matching(b *testing.B) {
+	runExperiment(b, "overhead-matching", (*experiments.Suite).OverheadMatching)
+}

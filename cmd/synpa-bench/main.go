@@ -1,0 +1,123 @@
+// Command synpa-bench regenerates the paper's tables and figures on the
+// simulated system. Each experiment prints the same rows/series the paper
+// reports (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	synpa-bench -experiment all            # everything (slow)
+//	synpa-bench -experiment fig5           # one experiment
+//	synpa-bench -experiment fig5 -reps 9   # the paper's repetition count
+//	synpa-bench -list                      # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"synpa/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment to run (see -list)")
+		list     = flag.Bool("list", false, "list available experiments")
+		reps     = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
+		quantum  = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
+		refQ     = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
+		seed     = flag.Uint64("seed", 0, "random seed (default: suite default)")
+		parallel = flag.Bool("parallel", true, "fan runs out over CPUs")
+		format   = flag.String("format", "text", "output format: text | json | csv")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *quantum > 0 {
+		cfg.Machine.QuantumCycles = *quantum
+		cfg.Train.Machine.QuantumCycles = *quantum
+	}
+	if *refQ > 0 {
+		cfg.RefQuanta = *refQ
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Parallel = *parallel
+	s := experiments.NewSuite(cfg)
+
+	type experiment struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}
+	exps := []experiment{
+		{"table1", s.TableI},
+		{"table2", s.TableII},
+		{"fig2", func() (*experiments.Table, error) { return s.Fig2("mcf") }},
+		{"fig4", s.Fig4},
+		{"table3", s.TableIII},
+		{"table4", s.TableIV},
+		{"fig5", s.Fig5},
+		{"fig6-be1", func() (*experiments.Table, error) { return s.Fig6("be1") }},
+		{"fig6-fe2", func() (*experiments.Table, error) { return s.Fig6("fe2") }},
+		{"fig6-fb2", func() (*experiments.Table, error) { return s.Fig6("fb2") }},
+		{"table5", s.TableV},
+		{"fig7", s.Fig7},
+		{"fig8", s.Fig8},
+		{"fig9", s.Fig9},
+		{"ablation-tencat", s.AblationTenCategory},
+		{"ablation-reveals", s.AblationRevealsSplit},
+		{"ablation-matcher", s.AblationMatcher},
+		{"ablation-inversion", s.AblationInversion},
+		{"ablation-quantum", s.AblationQuantum},
+		{"overhead-model", s.OverheadModelEquations},
+		{"overhead-matching", s.OverheadMatching},
+	}
+
+	if *list {
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = e.name
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	ran := 0
+	for _, e := range exps {
+		if *exp != "all" && e.name != *exp {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synpa-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "json":
+			if err := tab.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "synpa-bench:", err)
+				os.Exit(1)
+			}
+		case "csv":
+			if err := tab.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "synpa-bench:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("# %s (%.1fs)\n%s\n", e.name, time.Since(start).Seconds(), tab)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "synpa-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+}

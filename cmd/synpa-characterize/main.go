@@ -1,0 +1,49 @@
+// Command synpa-characterize reproduces the paper's Fig. 4: the dispatch-
+// stage characterization of every application in isolated execution, and
+// the Table III grouping derived from it.
+//
+// Usage:
+//
+//	synpa-characterize                 # all 28 applications
+//	synpa-characterize -app leela_r    # one app, with the Fig. 2 steps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synpa/internal/experiments"
+)
+
+func main() {
+	var (
+		app  = flag.String("app", "", "characterize one application with the Fig. 2 three-step detail")
+		refQ = flag.Int("refquanta", 100, "isolated run length in quanta")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.RefQuanta = *refQ
+	cfg.Seed = *seed
+	s := experiments.NewSuite(cfg)
+
+	if *app != "" {
+		tab, err := s.Fig2(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-characterize:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+		return
+	}
+	for _, run := range []func() (*experiments.Table, error){s.Fig4, s.TableIII} {
+		tab, err := run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-characterize:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tab)
+	}
+}

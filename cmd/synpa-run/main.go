@@ -1,0 +1,110 @@
+// Command synpa-run executes one multi-program workload under a chosen
+// allocation policy and prints the paper's §VI metrics.
+//
+// Usage:
+//
+//	synpa-run -workload fb2 -policy synpa
+//	synpa-run -workload fb2 -policy linux
+//	synpa-run -apps mcf,leela_r,lbm_r,gobmk -policy both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"synpa/synpa"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
+		appList = flag.String("apps", "", "comma-separated app names (overrides -workload)")
+		policy  = flag.String("policy", "both", "linux | synpa | random | both")
+		quantum = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := synpa.DefaultConfig()
+	cfg.QuantumCycles = *quantum
+	cfg.Seed = *seed
+	sys, err := synpa.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var names []string
+	if *appList != "" {
+		for _, n := range strings.Split(*appList, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	} else {
+		std := sys.StandardWorkloads()
+		var ok bool
+		if names, ok = std[*wlName]; !ok {
+			fatal(fmt.Errorf("unknown workload %q", *wlName))
+		}
+	}
+	fmt.Printf("workload: %s\n\n", strings.Join(names, ", "))
+
+	var model *synpa.Model
+	needModel := *policy == "synpa" || *policy == "both"
+	if needModel {
+		fmt.Println("training interference model (22 apps, all pairs)...")
+		m, rep, err := sys.TrainDefaultModel()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained: %d pairs, %d samples\n\n", rep.Pairs, rep.Samples)
+		model = m
+	}
+
+	var reports []*synpa.RunReport
+	run := func(p synpa.Policy) {
+		rep, err := sys.Run(names, p)
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, rep)
+		printReport(rep)
+	}
+	switch *policy {
+	case "linux":
+		run(sys.LinuxPolicy())
+	case "synpa":
+		run(sys.SYNPAPolicy(model))
+	case "random":
+		run(sys.RandomPolicy(*seed))
+	case "both":
+		run(sys.LinuxPolicy())
+		run(sys.SYNPAPolicy(model))
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	if len(reports) == 2 {
+		tt := float64(reports[0].TurnaroundCycles) / float64(reports[1].TurnaroundCycles)
+		fmt.Printf("TT speedup of %s over %s: %.3f\n", reports[1].Policy, reports[0].Policy, tt)
+		fmt.Printf("fairness: %.3f -> %.3f\n", reports[0].Fairness, reports[1].Fairness)
+		fmt.Printf("IPC geomean speedup: %.3f\n", reports[1].IPCGeomean/reports[0].IPCGeomean)
+	}
+}
+
+func printReport(r *synpa.RunReport) {
+	fmt.Printf("--- %s ---\n", r.Policy)
+	fmt.Printf("turnaround: %d cycles (%d quanta)\n", r.TurnaroundCycles, r.Quanta)
+	fmt.Printf("fairness=%.3f  IPC(geomean)=%.3f  ANTT=%.3f  STP=%.3f\n",
+		r.Fairness, r.IPCGeomean, r.ANTT, r.STP)
+	for i, a := range r.Apps {
+		fmt.Printf("  %02d %-13s TT=%-10d IPC=%.3f speedup=%.3f\n",
+			i, a.Name, a.TurnaroundCycles, a.IPC, a.IndividualSpeedup)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "synpa-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command synpa-train runs the §IV-C training pipeline and prints the
+// fitted Table IV-style coefficients and their accuracy, next to the
+// paper's published values.
+//
+// Usage:
+//
+//	synpa-train                      # train on the 22-app training set
+//	synpa-train -apps mcf,lbm_r,...  # train on an explicit set
+//	synpa-train -categories 10       # the discarded 10-category model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/train"
+)
+
+func main() {
+	var (
+		appList    = flag.String("apps", "", "comma-separated application names (default: the 22-app training set)")
+		categories = flag.Int("categories", 3, "3 (paper final) or 10 (discarded preliminary)")
+		quanta     = flag.Int("pairquanta", 0, "SMT quanta per pair (default from train options)")
+		seed       = flag.Uint64("seed", 0, "random seed")
+	)
+	flag.Parse()
+
+	models := apps.TrainingSet()
+	if *appList != "" {
+		models = nil
+		for _, name := range strings.Split(*appList, ",") {
+			m, err := apps.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synpa-train:", err)
+				os.Exit(1)
+			}
+			models = append(models, m)
+		}
+	}
+
+	opts := train.DefaultOptions()
+	if *quanta > 0 {
+		opts.PairQuanta = *quanta
+		if opts.IsolatedQuanta < *quanta {
+			opts.IsolatedQuanta = *quanta + 20
+		}
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	switch *categories {
+	case 3:
+	case 10:
+		opts.Extract = core.TenCategoryFractions
+		opts.Categories = core.TenCategories
+	default:
+		fmt.Fprintln(os.Stderr, "synpa-train: -categories must be 3 or 10")
+		os.Exit(1)
+	}
+
+	model, rep, err := train.Train(models, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synpa-train:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trained on %d applications, %d SMT pairs, %d aligned samples\n\n",
+		rep.Apps, rep.Pairs, rep.Samples)
+	fmt.Printf("%-22s %9s %9s %9s %9s %9s %7s\n",
+		"Category", "alpha", "beta", "gamma", "rho", "MSE", "R^2")
+	for k, name := range model.Categories {
+		c := model.Coef[k]
+		fmt.Printf("%-22s %9.4f %9.4f %9.4f %9.4f %9.4f %7.3f\n",
+			name, c.Alpha, c.Beta, c.Gamma, c.Rho, rep.MSE[k], rep.R2[k])
+	}
+	if *categories == 3 {
+		fmt.Println("\npaper Table IV (ThunderX2 hardware):")
+		paper := core.PaperCoefficients()
+		for k, name := range paper.Categories {
+			c := paper.Coef[k]
+			fmt.Printf("%-22s %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+				name, c.Alpha, c.Beta, c.Gamma, c.Rho, paper.MSE[k])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Mixed-workload study: build the paper's three published workloads (be1,
+// fe2, fb2) plus a custom mix, run each under Linux, Random and SYNPA, and
+// report the full §VI metric set (turnaround time, fairness, IPC geomean,
+// ANTT, STP). This is the domain scenario of the paper's introduction: an
+// HPC node running a bag of SPEC-style jobs whose throughput depends on who
+// shares a core with whom.
+//
+//	go run ./examples/mixed-workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"synpa/synpa"
+)
+
+func main() {
+	sys, err := synpa.New(synpa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, _, err := sys.TrainDefaultModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	std := sys.StandardWorkloads()
+	workloads := []struct {
+		name string
+		apps []string
+	}{
+		{"be1 (backend-intensive, Fig 6a)", std["be1"]},
+		{"fe2 (frontend-intensive, Fig 6b)", std["fe2"]},
+		{"fb2 (mixed, §VI-C)", std["fb2"]},
+		{"custom (worst-case arrival order)", []string{
+			"mcf", "milc", "gobmk", "perlbench",
+			"lbm_r", "xalancbmk_r", "leela_r", "astar",
+		}},
+	}
+
+	policies := []struct {
+		name string
+		p    synpa.Policy
+	}{
+		{"Linux", sys.LinuxPolicy()},
+		{"Random", sys.RandomPolicy(42)},
+		{"SYNPA", sys.SYNPAPolicy(model)},
+	}
+
+	for _, w := range workloads {
+		fmt.Printf("=== %s ===\n    %v\n", w.name, w.apps)
+		var baselineTT uint64
+		for _, pol := range policies {
+			rep, err := sys.Run(w.apps, pol.p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			speedup := 1.0
+			if baselineTT == 0 {
+				baselineTT = rep.TurnaroundCycles
+			} else {
+				speedup = float64(baselineTT) / float64(rep.TurnaroundCycles)
+			}
+			fmt.Printf("  %-7s TT=%-9d speedup=%.3f fairness=%.3f IPC=%.3f ANTT=%.3f STP=%.3f\n",
+				pol.name, rep.TurnaroundCycles, speedup, rep.Fairness,
+				rep.IPCGeomean, rep.ANTT, rep.STP)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: train the SYNPA interference model, run one mixed workload
+// under the Linux baseline and under SYNPA, and print the turnaround-time
+// speedup — the paper's headline experiment in miniature.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"synpa/synpa"
+)
+
+func main() {
+	sys, err := synpa.New(synpa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training the three-category interference model (§IV-C)...")
+	model, report, err := sys.TrainDefaultModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d applications, %d SMT pairs, %d samples\n\n",
+		report.Apps, report.Pairs, report.Samples)
+	for k, name := range model.Categories {
+		c := model.Coef[k]
+		fmt.Printf("  %-22s alpha=%+.4f beta=%+.4f gamma=%+.4f rho=%+.4f (MSE %.4f)\n",
+			name, c.Alpha, c.Beta, c.Gamma, c.Rho, model.MSE[k])
+	}
+
+	// A mixed workload of four backend-bound and four frontend-bound
+	// applications, ordered so that the arrival-order baseline pairs
+	// same-type apps — the scenario SYNPA is built to fix.
+	workload := []string{
+		"lbm_r", "mcf", "leela_r", "astar",
+		"cactuBSSN_r", "mcf", "leela_r", "mcf_r",
+	}
+	fmt.Printf("\nworkload: %v\n\n", workload)
+
+	linux, err := sys.Run(workload, sys.LinuxPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Linux:  TT=%d cycles  fairness=%.3f  IPC=%.3f\n",
+		linux.TurnaroundCycles, linux.Fairness, linux.IPCGeomean)
+
+	synpaRep, err := sys.Run(workload, sys.SYNPAPolicy(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SYNPA:  TT=%d cycles  fairness=%.3f  IPC=%.3f\n",
+		synpaRep.TurnaroundCycles, synpaRep.Fairness, synpaRep.IPCGeomean)
+
+	fmt.Printf("\nturnaround-time speedup of SYNPA over Linux: %.2fx\n",
+		float64(linux.TurnaroundCycles)/float64(synpaRep.TurnaroundCycles))
+}

@@ -1,0 +1,76 @@
+// Training example: fit the interference model on a user-chosen application
+// subset, inspect the coefficients, compare against the paper's published
+// Table IV, and contrast the final three-category model with the discarded
+// ten-category preliminary model (§VI-A).
+//
+// The paper notes the model "only needs to be trained once" as long as the
+// training set is diverse, but must be retrained for workloads with
+// different behaviour (e.g. graph workloads); this example is that
+// retraining workflow.
+//
+//	go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"synpa/synpa"
+)
+
+func main() {
+	sys, err := synpa.New(synpa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A compact, diverse training set: backend-bound, frontend-bound and
+	// intermediate applications.
+	apps := []string{
+		"mcf", "lbm_r", "milc", "cactuBSSN_r",
+		"leela_r", "gobmk", "perlbench",
+		"hmmer", "nab_r", "omnetpp_r", "imagick_r", "bzip2",
+	}
+	fmt.Printf("training set (%d apps): %v\n\n", len(apps), apps)
+
+	model, report, err := sys.TrainModel(apps, synpa.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted on %d SMT pairs, %d aligned quantum samples\n\n", report.Pairs, report.Samples)
+
+	fmt.Println("trained three-category model:")
+	printModel(model, report)
+
+	fmt.Println("\npaper Table IV (ThunderX2 hardware) for comparison:")
+	paper := synpa.PaperModel()
+	for k, name := range paper.Categories {
+		c := paper.Coef[k]
+		fmt.Printf("  %-22s alpha=%+.4f beta=%+.4f gamma=%+.4f rho=%+.4f MSE=%.4f\n",
+			name, c.Alpha, c.Beta, c.Gamma, c.Rho, paper.MSE[k])
+	}
+
+	fmt.Println("\nvalidating: running an unseen mixed workload with the trained model")
+	workload := []string{
+		"lbm_r", "mcf", "leela_r", "astar", // astar was NOT trained on
+		"cactuBSSN_r", "mcf", "leela_r", "mcf_r",
+	}
+	linux, err := sys.Run(workload, sys.LinuxPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := sys.Run(workload, sys.SYNPAPolicy(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TT speedup over Linux with the retrained model: %.2fx\n",
+		float64(linux.TurnaroundCycles)/float64(tuned.TurnaroundCycles))
+}
+
+func printModel(m *synpa.Model, rep *synpa.TrainReport) {
+	for k, name := range m.Categories {
+		c := m.Coef[k]
+		fmt.Printf("  %-22s alpha=%+.4f beta=%+.4f gamma=%+.4f rho=%+.4f MSE=%.4f R2=%.3f\n",
+			name, c.Alpha, c.Beta, c.Gamma, c.Rho, rep.MSE[k], rep.R2[k])
+	}
+}

@@ -1,0 +1,269 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"synpa/internal/xrand"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if len(Catalog()) != 28 {
+		t.Fatalf("catalogue has %d apps, paper studies 28", len(Catalog()))
+	}
+}
+
+func TestCatalogGroupsMatchTableIII(t *testing.T) {
+	wantBackend := []string{"cactuBSSN_r", "lbm_r", "mcf", "milc", "xalancbmk_r", "wrf_r"}
+	wantFrontend := []string{"astar", "gobmk", "leela_r", "mcf_r", "perlbench"}
+
+	be := ByGroup(GroupBackend)
+	if len(be) != len(wantBackend) {
+		t.Fatalf("backend group has %d apps, want %d", len(be), len(wantBackend))
+	}
+	for i, m := range be {
+		if m.Name != wantBackend[i] {
+			t.Errorf("backend[%d] = %s, want %s", i, m.Name, wantBackend[i])
+		}
+	}
+	fe := ByGroup(GroupFrontend)
+	if len(fe) != len(wantFrontend) {
+		t.Fatalf("frontend group has %d apps, want %d", len(fe), len(wantFrontend))
+	}
+	for i, m := range fe {
+		if m.Name != wantFrontend[i] {
+			t.Errorf("frontend[%d] = %s, want %s", i, m.Name, wantFrontend[i])
+		}
+	}
+	if n := len(ByGroup(GroupOther)); n != 17 {
+		t.Fatalf("others group has %d apps, want 17", n)
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range Catalog() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := Profile{ILP: 2, LoadRatio: 0.3, StoreRatio: 0.1, DepFrac: 0.3}
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"empty name", Model{Phases: []Phase{phase(1, good)}}},
+		{"no phases", Model{Name: "x"}},
+		{"zero-length phase", Model{Name: "x", Phases: []Phase{phase(0, good)}}},
+		{"low ILP", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 0.5})}}},
+		{"high ILP", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 9})}}},
+		{"negative rate", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 2, MemMPKI: -1})}}},
+		{"bad ratio", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 2, LoadRatio: 1.5})}}},
+		{"bad depfrac", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 2, DepFrac: -0.1})}}},
+		{"bad footprint", Model{Name: "x", Phases: []Phase{phase(1, Profile{ILP: 2, MemBW: 2})}}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid model", c.name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("leela_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "leela_r" || m.Group != GroupFrontend {
+		t.Fatalf("ByName(leela_r) = %+v", m)
+	}
+	if _, err := ByName("no-such-app"); err == nil {
+		t.Fatal("ByName accepted unknown app")
+	}
+}
+
+func TestNamesSortedAndUnique(t *testing.T) {
+	names := Names()
+	if len(names) != 28 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("Names not sorted/unique at %d: %s then %s", i, names[i-1], names[i])
+		}
+	}
+}
+
+func TestTrainingSplit(t *testing.T) {
+	train := TrainingSet()
+	test := EvaluationOnly()
+	if len(train) != 22 {
+		t.Fatalf("training set has %d apps, paper uses 22 (80%% of 28)", len(train))
+	}
+	if len(test) != 6 {
+		t.Fatalf("held-out set has %d apps, want 6", len(test))
+	}
+	seen := map[string]bool{}
+	for _, m := range append(append([]*Model{}, train...), test...) {
+		if seen[m.Name] {
+			t.Fatalf("%s appears in both splits", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if len(seen) != 28 {
+		t.Fatalf("splits cover %d apps, want 28", len(seen))
+	}
+}
+
+func TestLeelaHasBothBehaviours(t *testing.T) {
+	// Table V and Fig. 7 depend on leela_r exhibiting frontend- and
+	// backend-leaning phases at runtime.
+	m, _ := ByName("leela_r")
+	if len(m.Phases) < 2 {
+		t.Fatal("leela_r must have at least two phases")
+	}
+	a, b := m.Phases[0].Profile, m.Phases[1].Profile
+	if a.ICacheMPKI <= b.ICacheMPKI {
+		t.Error("leela_r phase 0 should be the frontend-heavy phase")
+	}
+	if b.MemMPKI <= a.MemMPKI {
+		t.Error("leela_r phase 1 should be the memory-heavy phase")
+	}
+}
+
+func TestInstancePhaseAdvance(t *testing.T) {
+	m := &Model{Name: "t", Phases: []Phase{
+		phase(100, Profile{ILP: 2}),
+		phase(50, Profile{ILP: 3}),
+	}}
+	in := NewInstance(m, 1)
+	if in.PhaseIndex() != 0 {
+		t.Fatal("fresh instance should start in phase 0")
+	}
+	if changed := in.AdvanceDispatched(99); changed {
+		t.Fatal("no phase change expected at 99/100")
+	}
+	if changed := in.AdvanceDispatched(1); !changed || in.PhaseIndex() != 1 {
+		t.Fatalf("expected transition to phase 1, got phase %d", in.PhaseIndex())
+	}
+	if changed := in.AdvanceDispatched(50); !changed || in.PhaseIndex() != 0 {
+		t.Fatalf("expected wrap to phase 0, got phase %d", in.PhaseIndex())
+	}
+	if in.Dispatched != 150 {
+		t.Fatalf("Dispatched = %d, want 150", in.Dispatched)
+	}
+}
+
+func TestInstanceAdvanceAcrossMultiplePhases(t *testing.T) {
+	m := &Model{Name: "t", Phases: []Phase{
+		phase(10, Profile{ILP: 2}),
+		phase(10, Profile{ILP: 3}),
+		phase(10, Profile{ILP: 4}),
+	}}
+	in := NewInstance(m, 1)
+	in.AdvanceDispatched(25) // lands in phase 2 at offset 5
+	if in.PhaseIndex() != 2 {
+		t.Fatalf("phase = %d, want 2", in.PhaseIndex())
+	}
+	in.AdvanceDispatched(35) // 60 total: 2 full loops → phase 0
+	if in.PhaseIndex() != 0 {
+		t.Fatalf("phase = %d, want 0", in.PhaseIndex())
+	}
+}
+
+func TestInstanceRelaunch(t *testing.T) {
+	m, _ := ByName("mcf")
+	in := NewInstance(m, 5)
+	in.AdvanceDispatched(m.Phases[0].Insts + 10)
+	in.Retired = 12345
+	in.Relaunch()
+	if in.PhaseIndex() != 0 {
+		t.Fatal("Relaunch must rewind to phase 0")
+	}
+	if in.Retired != 12345 {
+		t.Fatal("Relaunch must not reset the cumulative retired count")
+	}
+	if in.Launches != 2 {
+		t.Fatalf("Launches = %d, want 2", in.Launches)
+	}
+}
+
+func TestInstanceProfileTracksPhase(t *testing.T) {
+	m, _ := ByName("leela_r")
+	in := NewInstance(m, 3)
+	p0 := in.Profile()
+	in.AdvanceDispatched(m.Phases[0].Insts)
+	p1 := in.Profile()
+	if p0 == p1 {
+		t.Fatal("profile pointer did not change across phases")
+	}
+	if p1.MemMPKI != m.Phases[1].Profile.MemMPKI {
+		t.Fatal("profile does not match phase 1")
+	}
+}
+
+func TestInstancesAreIndependent(t *testing.T) {
+	m, _ := ByName("leela_r")
+	a := NewInstance(m, 100)
+	b := NewInstance(m, 200)
+	differ := false
+	for i := 0; i < 32; i++ {
+		if a.RNG().Uint64() != b.RNG().Uint64() {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("two instances with different seeds share a random stream")
+	}
+}
+
+func TestTotalPhaseInsts(t *testing.T) {
+	m := &Model{Name: "t", Phases: []Phase{phase(10, Profile{ILP: 2}), phase(32, Profile{ILP: 2})}}
+	if got := m.TotalPhaseInsts(); got != 42 {
+		t.Fatalf("TotalPhaseInsts = %d, want 42", got)
+	}
+}
+
+func TestEventRate(t *testing.T) {
+	p := Profile{ICacheMPKI: 2, BranchMPKI: 3, MemMPKI: 5}
+	if got := p.EventRate(); got != 0.01 {
+		t.Fatalf("EventRate = %v, want 0.01", got)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if GroupBackend.String() != "Backend bound" ||
+		GroupFrontend.String() != "Frontend bound" ||
+		GroupOther.String() != "Others" {
+		t.Fatal("group labels do not match the paper")
+	}
+	if Group(9).String() == "" {
+		t.Fatal("unknown group label empty")
+	}
+}
+
+func TestAdvanceDispatchedProperty(t *testing.T) {
+	// Phase index is always valid and intoPhase stays below the phase
+	// length, no matter the advance pattern.
+	m, _ := ByName("leela_r")
+	check := func(seed uint64, steps []uint16) bool {
+		in := NewInstance(m, seed)
+		r := xrand.New(seed)
+		for range steps {
+			in.AdvanceDispatched(uint64(r.Intn(1 << 18)))
+			if in.PhaseIndex() < 0 || in.PhaseIndex() >= len(m.Phases) {
+				return false
+			}
+			if in.intoPhase >= m.Phases[in.PhaseIndex()].Insts {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

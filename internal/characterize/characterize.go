@@ -1,0 +1,165 @@
+// Package characterize implements the paper's three-step dispatch-stage
+// cycle characterization (§III-B, Fig. 2), turning the four ARM PMU events
+// of Table I into the three categories SYNPA's model consumes.
+//
+// Step 1 — measured events. A cycle is either a frontend stall (dispatch
+// queue empty), a backend stall (no backend resource available), or a
+// dispatch cycle (at least one operation dispatched):
+//
+//	Dc = CPU_CYCLES − STALL_FRONTEND − STALL_BACKEND
+//
+// Step 2 — revealed horizontal waste. The stall counters only tick on
+// zero-dispatch cycles, so a cycle dispatching one µop on a 4-wide machine
+// hides three wasted slots. The equivalent full-dispatch cycles are
+//
+//	F-Dc = INST_SPEC / DispatchWidth
+//
+// and the difference Reveals = Dc − F-Dc is stall time the counters cannot
+// see.
+//
+// Step 3 — attribution. Frontend events (squashes, I-cache misses) empty
+// the queue entirely and are already counted; horizontal waste comes almost
+// exclusively from the backend. The paper therefore assigns Reveals to the
+// backend category. The alternative splitting rules the authors evaluated
+// and rejected (equal and proportional splits) are implemented for the
+// ablation benches.
+package characterize
+
+import (
+	"fmt"
+
+	"synpa/internal/pmu"
+)
+
+// SplitRule selects how Step 3 attributes the revealed stalls.
+type SplitRule int
+
+const (
+	// RevealsToBackend assigns all revealed stalls to the backend
+	// category — the paper's choice, found to give the most accurate
+	// regression model.
+	RevealsToBackend SplitRule = iota
+	// RevealsEqual splits revealed stalls evenly between frontend and
+	// backend (evaluated and rejected in §III-B).
+	RevealsEqual
+	// RevealsProportional splits revealed stalls in proportion to the
+	// measured frontend/backend stall counts (evaluated and rejected).
+	RevealsProportional
+)
+
+// String names the rule for experiment output.
+func (r SplitRule) String() string {
+	switch r {
+	case RevealsToBackend:
+		return "reveals->backend"
+	case RevealsEqual:
+		return "reveals-equal"
+	case RevealsProportional:
+		return "reveals-proportional"
+	}
+	return fmt.Sprintf("SplitRule(%d)", int(r))
+}
+
+// Breakdown is the result of characterizing one measurement interval.
+type Breakdown struct {
+	// Raw inputs.
+	Cycles    uint64
+	Insts     uint64 // INST_SPEC
+	Retired   uint64
+	FEStalls  uint64 // STALL_FRONTEND
+	BEStalls  uint64 // STALL_BACKEND
+	DispCycle uint64 // Step 1 dispatch cycles
+
+	// Step 2 quantities (in cycles).
+	FullDispatch float64 // F-Dc = Insts / width
+	Revealed     float64 // Dc − F-Dc
+
+	// Step 3 category fractions of total cycles. FD+FE+BE ≈ 1.
+	FD float64
+	FE float64
+	BE float64
+}
+
+// FromCounters characterizes a counter snapshot (typically a quantum delta)
+// with the paper's default Step 3 rule.
+func FromCounters(c pmu.Counters, width int) Breakdown {
+	return FromCountersRule(c, width, RevealsToBackend)
+}
+
+// FromCountersRule characterizes a counter snapshot using the given Step 3
+// splitting rule. A zero-cycle snapshot yields a zero Breakdown.
+func FromCountersRule(c pmu.Counters, width int, rule SplitRule) Breakdown {
+	b := Breakdown{
+		Cycles:   c[pmu.CPUCycles],
+		Insts:    c[pmu.InstSpec],
+		Retired:  c[pmu.InstRetired],
+		FEStalls: c[pmu.StallFrontend],
+		BEStalls: c[pmu.StallBackend],
+	}
+	if b.Cycles == 0 {
+		return b
+	}
+	stalls := b.FEStalls + b.BEStalls
+	if stalls > b.Cycles {
+		// Defensive: cannot happen with the simulator's semantics, but a
+		// real PMU multiplexing counters can over-report; clamp.
+		stalls = b.Cycles
+	}
+	b.DispCycle = b.Cycles - stalls
+
+	if width < 1 {
+		width = 1
+	}
+	b.FullDispatch = float64(b.Insts) / float64(width)
+	if b.FullDispatch > float64(b.DispCycle) {
+		// INST_SPEC can round above the dispatch-cycle count on short
+		// intervals; the revealed waste is then zero.
+		b.FullDispatch = float64(b.DispCycle)
+	}
+	b.Revealed = float64(b.DispCycle) - b.FullDispatch
+
+	total := float64(b.Cycles)
+	fe := float64(b.FEStalls)
+	be := float64(b.BEStalls)
+	switch rule {
+	case RevealsEqual:
+		fe += b.Revealed / 2
+		be += b.Revealed / 2
+	case RevealsProportional:
+		if sum := fe + be; sum > 0 {
+			fe += b.Revealed * fe / sum
+			be += b.Revealed * be / sum
+		} else {
+			be += b.Revealed
+		}
+	default: // RevealsToBackend
+		be += b.Revealed
+	}
+
+	b.FD = b.FullDispatch / total
+	b.FE = fe / total
+	b.BE = be / total
+	return b
+}
+
+// Categories returns the three Step 3 fractions in model order
+// (full-dispatch, frontend, backend).
+func (b Breakdown) Categories() [3]float64 { return [3]float64{b.FD, b.FE, b.BE} }
+
+// DominantIsBackend reports whether the interval is backend-dominated,
+// the per-quantum classification used in the paper's Table V analysis.
+func (b Breakdown) DominantIsBackend() bool { return b.BE >= b.FE }
+
+// Group applies the paper's Table III thresholds to an isolated-execution
+// breakdown: backend bound above 65 % backend stalls, frontend bound above
+// 35 % frontend stalls, others otherwise.
+func (b Breakdown) Group() string {
+	switch {
+	case b.BE > 0.65:
+		return "Backend bound"
+	case b.FE > 0.35:
+		return "Frontend bound"
+	default:
+		return "Others"
+	}
+}

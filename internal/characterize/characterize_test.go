@@ -1,0 +1,174 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"synpa/internal/pmu"
+)
+
+// counters builds a snapshot from the four Table I events plus retired.
+func counters(cycles, insts, fe, be uint64) pmu.Counters {
+	var c pmu.Counters
+	c[pmu.CPUCycles] = cycles
+	c[pmu.InstSpec] = insts
+	c[pmu.StallFrontend] = fe
+	c[pmu.StallBackend] = be
+	c[pmu.InstRetired] = insts
+	return c
+}
+
+func TestThreeStepKnownValues(t *testing.T) {
+	// 1000 cycles: 300 FE stalls, 400 BE stalls, 300 dispatch cycles in
+	// which 600 µops dispatched on a 4-wide machine.
+	b := FromCounters(counters(1000, 600, 300, 400), 4)
+
+	// Step 1.
+	if b.DispCycle != 300 {
+		t.Fatalf("Dc = %d, want 300", b.DispCycle)
+	}
+	// Step 2: F-Dc = 600/4 = 150; Reveals = 300-150 = 150.
+	if b.FullDispatch != 150 || b.Revealed != 150 {
+		t.Fatalf("F-Dc = %v, Reveals = %v, want 150/150", b.FullDispatch, b.Revealed)
+	}
+	// Step 3 (default): FD=150/1000, FE=300/1000, BE=(400+150)/1000.
+	if math.Abs(b.FD-0.15) > 1e-12 || math.Abs(b.FE-0.30) > 1e-12 || math.Abs(b.BE-0.55) > 1e-12 {
+		t.Fatalf("fractions = %v/%v/%v, want 0.15/0.30/0.55", b.FD, b.FE, b.BE)
+	}
+	if s := b.FD + b.FE + b.BE; math.Abs(s-1) > 1e-12 {
+		t.Fatalf("fractions sum to %v, want 1", s)
+	}
+}
+
+func TestSplitRules(t *testing.T) {
+	c := counters(1000, 600, 300, 400) // Reveals = 150
+
+	eq := FromCountersRule(c, 4, RevealsEqual)
+	if math.Abs(eq.FE-0.375) > 1e-12 || math.Abs(eq.BE-0.475) > 1e-12 {
+		t.Fatalf("equal split = FE %v BE %v, want 0.375/0.475", eq.FE, eq.BE)
+	}
+
+	// Proportional: FE gets 150·300/700, BE gets 150·400/700.
+	pr := FromCountersRule(c, 4, RevealsProportional)
+	wantFE := (300 + 150.0*300/700) / 1000
+	wantBE := (400 + 150.0*400/700) / 1000
+	if math.Abs(pr.FE-wantFE) > 1e-12 || math.Abs(pr.BE-wantBE) > 1e-12 {
+		t.Fatalf("proportional split = FE %v BE %v, want %v/%v", pr.FE, pr.BE, wantFE, wantBE)
+	}
+
+	// All rules conserve the total.
+	for _, b := range []Breakdown{eq, pr} {
+		if s := b.FD + b.FE + b.BE; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("rule fractions sum to %v", s)
+		}
+	}
+}
+
+func TestProportionalWithNoMeasuredStalls(t *testing.T) {
+	// No FE/BE stalls at all: reveals must land in the backend.
+	c := counters(1000, 1000, 0, 0)
+	b := FromCountersRule(c, 4, RevealsProportional)
+	if math.Abs(b.BE-0.75) > 1e-12 || b.FE != 0 {
+		t.Fatalf("got FE %v BE %v, want 0/0.75", b.FE, b.BE)
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	b := FromCounters(pmu.Counters{}, 4)
+	if b.FD != 0 || b.FE != 0 || b.BE != 0 {
+		t.Fatalf("zero snapshot gave %v", b)
+	}
+}
+
+func TestOverReportedStallsClamped(t *testing.T) {
+	// Defensive clamp: stalls exceeding cycles (multiplexed real PMUs).
+	b := FromCounters(counters(100, 10, 80, 80), 4)
+	if b.DispCycle != 0 {
+		t.Fatalf("Dc = %d, want 0 after clamp", b.DispCycle)
+	}
+	if b.FD < 0 || b.Revealed < 0 {
+		t.Fatalf("negative quantities after clamp: %+v", b)
+	}
+}
+
+func TestFullDispatchClamp(t *testing.T) {
+	// INST_SPEC so high that F-Dc would exceed measured dispatch cycles.
+	b := FromCounters(counters(100, 4000, 50, 40), 4)
+	if b.FullDispatch != 10 || b.Revealed != 0 {
+		t.Fatalf("F-Dc = %v Reveals = %v, want 10/0", b.FullDispatch, b.Revealed)
+	}
+}
+
+func TestWidthGuard(t *testing.T) {
+	b := FromCountersRule(counters(100, 40, 10, 10), 0, RevealsToBackend)
+	if b.FullDispatch != 40 {
+		t.Fatalf("width guard failed: F-Dc = %v", b.FullDispatch)
+	}
+}
+
+func TestGroupThresholds(t *testing.T) {
+	cases := []struct {
+		fd, fe, be float64
+		want       string
+	}{
+		{0.10, 0.10, 0.80, "Backend bound"},
+		{0.15, 0.20, 0.651, "Backend bound"},
+		{0.30, 0.40, 0.30, "Frontend bound"},
+		{0.30, 0.351, 0.349, "Frontend bound"},
+		{0.40, 0.30, 0.30, "Others"},
+		{0.40, 0.35, 0.25, "Others"}, // exactly at threshold is not above
+		{0.35, 0.00, 0.65, "Others"},
+	}
+	for _, c := range cases {
+		b := Breakdown{FD: c.fd, FE: c.fe, BE: c.be}
+		if got := b.Group(); got != c.want {
+			t.Errorf("FD=%v FE=%v BE=%v → %q, want %q", c.fd, c.fe, c.be, got, c.want)
+		}
+	}
+}
+
+func TestDominantIsBackend(t *testing.T) {
+	if !(Breakdown{FE: 0.2, BE: 0.3}).DominantIsBackend() {
+		t.Fatal("BE 0.3 vs FE 0.2 should be backend-dominant")
+	}
+	if (Breakdown{FE: 0.4, BE: 0.3}).DominantIsBackend() {
+		t.Fatal("FE 0.4 vs BE 0.3 should be frontend-dominant")
+	}
+}
+
+func TestCategories(t *testing.T) {
+	b := Breakdown{FD: 0.1, FE: 0.2, BE: 0.7}
+	if got := b.Categories(); got != [3]float64{0.1, 0.2, 0.7} {
+		t.Fatalf("Categories = %v", got)
+	}
+}
+
+func TestSplitRuleString(t *testing.T) {
+	for _, r := range []SplitRule{RevealsToBackend, RevealsEqual, RevealsProportional, SplitRule(9)} {
+		if r.String() == "" {
+			t.Errorf("rule %d has empty name", r)
+		}
+	}
+}
+
+func TestFractionsAlwaysValidProperty(t *testing.T) {
+	// For any physically consistent counter snapshot the three fractions
+	// are non-negative and sum to 1 under every split rule.
+	check := func(cycRaw uint32, feRaw, beRaw, instRaw uint32, ruleRaw uint8) bool {
+		cycles := uint64(cycRaw%100000) + 1
+		fe := uint64(feRaw) % cycles
+		be := uint64(beRaw) % (cycles - fe)
+		disp := cycles - fe - be
+		insts := uint64(instRaw) % (4*disp + 1)
+		rule := SplitRule(ruleRaw % 3)
+		b := FromCountersRule(counters(cycles, insts, fe, be), 4, rule)
+		if b.FD < -1e-12 || b.FE < -1e-12 || b.BE < -1e-12 {
+			return false
+		}
+		return math.Abs(b.FD+b.FE+b.BE-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

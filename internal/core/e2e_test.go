@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"testing"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/sched"
+	"synpa/internal/train"
+)
+
+// TestSYNPABeatsLinuxOnMixedWorkload is the headline end-to-end check: on a
+// mixed workload (backend-bound + frontend-bound apps, the paper's fb
+// scenario) SYNPA must deliver a shorter turnaround time than the Linux
+// arrival-order baseline. The paper reports ~36 % average TT gains on mixed
+// workloads; we require a clear win without pinning the exact figure.
+func TestSYNPABeatsLinuxOnMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end run")
+	}
+	// Train on a compact set.
+	topt := train.DefaultOptions()
+	topt.Machine.QuantumCycles = 8_000
+	topt.IsolatedQuanta = 60
+	topt.PairQuanta = 40
+	topt.SampleFrac = 1.0
+	trainApps := []*apps.Model{}
+	for _, n := range []string{"mcf", "lbm_r", "milc", "leela_r", "gobmk", "perlbench", "hmmer", "nab_r"} {
+		m, _ := apps.ByName(n)
+		trainApps = append(trainApps, m)
+	}
+	model, _, err := train.Train(trainApps, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mixed workload: 4 backend-bound + 4 frontend-bound, ordered so the
+	// arrival-order baseline pairs same-type applications — apps k and
+	// k+4 share a core, giving Linux (lbm,cactu), (mcf,mcf),
+	// (leela,leela), (astar,mcf_r). SYNPA must discover the
+	// complementary pairing at runtime.
+	names := []string{"lbm_r", "mcf", "leela_r", "astar", "cactuBSSN_r", "mcf", "leela_r", "mcf_r"}
+	models := make([]*apps.Model, len(names))
+	for i, n := range names {
+		m, _ := apps.ByName(n)
+		models[i] = m
+	}
+	targets := make([]uint64, len(models))
+	for i := range targets {
+		targets[i] = 600_000
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.QuantumCycles = 10_000
+
+	runPolicy := func(p machine.Policy) uint64 {
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(models, targets, p, machine.RunnerOptions{Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, ok := res.TurnaroundCycles()
+		if !ok {
+			t.Fatalf("%s did not complete the workload", p.Name())
+		}
+		return tt
+	}
+
+	linuxTT := runPolicy(sched.Linux{})
+	synpaTT := runPolicy(core.MustPolicy(model, core.PolicyOptions{}))
+	speedup := float64(linuxTT) / float64(synpaTT)
+	t.Logf("Linux TT = %d cycles, SYNPA TT = %d cycles, speedup = %.3f", linuxTT, synpaTT, speedup)
+	if speedup < 1.05 {
+		t.Fatalf("SYNPA speedup %.3f over Linux is too small on a mixed workload", speedup)
+	}
+}

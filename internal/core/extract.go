@@ -1,0 +1,69 @@
+package core
+
+import (
+	"synpa/internal/characterize"
+	"synpa/internal/pmu"
+)
+
+// Extractor converts one application's PMU sample (a quantum delta) into a
+// category-fraction vector for a model. Fractions are normalised to the
+// sample's cycles and sum to ~1.
+type Extractor func(c pmu.Counters, width int) []float64
+
+// ThreeCategoryFractions extracts the paper's final three categories
+// (full-dispatch, frontend stalls, backend stalls) using the §III-B
+// characterization with the default reveals-to-backend rule.
+func ThreeCategoryFractions(c pmu.Counters, width int) []float64 {
+	b := characterize.FromCounters(c, width)
+	return []float64{b.FD, b.FE, b.BE}
+}
+
+// ThreeCategoryFractionsRule returns an Extractor using an alternative
+// Step 3 splitting rule (for the reveals-attribution ablation).
+func ThreeCategoryFractionsRule(rule characterize.SplitRule) Extractor {
+	return func(c pmu.Counters, width int) []float64 {
+		b := characterize.FromCountersRule(c, width, rule)
+		return []float64{b.FD, b.FE, b.BE}
+	}
+}
+
+// TenCategories names the vector produced by TenCategoryFractions: the
+// paper's preliminary model that split the backend into its component
+// stall causes (§VI-A) before being discarded for the three-category one.
+var TenCategories = []string{
+	"Full-dispatch cycles",
+	"FE: I-cache",
+	"FE: branch",
+	"BE: memory latency",
+	"BE: ROB full",
+	"BE: IQ full",
+	"BE: LDQ full",
+	"BE: STQ full",
+	"BE: dispatch slots",
+	"BE: other",
+}
+
+// TenCategoryFractions extracts the ten-category vector. The revealed
+// horizontal waste of Step 2 is attributed to the dispatch-slot category —
+// horizontal waste *is* slot waste — keeping the vector a partition of the
+// sample's cycles.
+func TenCategoryFractions(c pmu.Counters, width int) []float64 {
+	b := characterize.FromCounters(c, width)
+	total := float64(c[pmu.CPUCycles])
+	if total == 0 {
+		return make([]float64, len(TenCategories))
+	}
+	frac := func(e pmu.Event) float64 { return float64(c[e]) / total }
+	return []float64{
+		b.FD,
+		frac(pmu.StallFEICache),
+		frac(pmu.StallFEBranch),
+		frac(pmu.StallBEMemLat),
+		frac(pmu.StallBEROB),
+		frac(pmu.StallBEIQ),
+		frac(pmu.StallBELDQ),
+		frac(pmu.StallBESTQ),
+		frac(pmu.StallBESlots) + b.Revealed/total,
+		frac(pmu.StallBEOther),
+	}
+}

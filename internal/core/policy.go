@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"synpa/internal/machine"
+	"synpa/internal/matching"
+)
+
+// Matcher selects how the policy turns the pairwise degradation matrix into
+// a placement (the Step 3 of §IV-B).
+type Matcher int
+
+const (
+	// MatcherBlossom uses Edmonds' Blossom minimum-weight perfect
+	// matching — the paper's choice [21].
+	MatcherBlossom Matcher = iota
+	// MatcherBruteForce enumerates all pairings (the combinatorial
+	// explosion the paper avoids); kept for the overhead ablation.
+	MatcherBruteForce
+	// MatcherGreedy repeatedly takes the lightest remaining edge; a
+	// cheaper, suboptimal baseline for the matcher ablation.
+	MatcherGreedy
+)
+
+// String names the matcher for experiment output.
+func (m Matcher) String() string {
+	switch m {
+	case MatcherBlossom:
+		return "blossom"
+	case MatcherBruteForce:
+		return "brute-force"
+	case MatcherGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("Matcher(%d)", int(m))
+}
+
+// PolicyOptions tune the SYNPA policy; the zero value plus a model gives the
+// paper's configuration.
+type PolicyOptions struct {
+	// Extract converts PMU samples to category fractions. Defaults to
+	// ThreeCategoryFractions.
+	Extract Extractor
+	// Matcher selects the pair-selection algorithm. Defaults to Blossom.
+	Matcher Matcher
+	// DisableInversion skips the model inversion and uses the measured
+	// SMT fractions directly as ST estimates — an ablation quantifying
+	// the value of §IV-B Step 1.
+	DisableInversion bool
+	// Smoothing is the exponential-moving-average weight given to the
+	// previous quantum's ST estimate. The paper measures over 100 ms
+	// quanta (~2·10⁸ cycles); the simulator's scaled quanta are ~10⁴×
+	// shorter and correspondingly noisier, so smoothing substitutes for
+	// the averaging the long hardware quantum provides (DESIGN.md §2).
+	// Zero selects the default (0.5); negative disables smoothing.
+	Smoothing float64
+	// Hysteresis keeps the previous pairing unless the newly matched
+	// pairing improves the predicted total degradation by more than this
+	// relative fraction. It suppresses migration churn on measurement
+	// noise (same noise-compensation argument as Smoothing). Zero selects
+	// the default (0.01); negative disables hysteresis.
+	Hysteresis float64
+	// Inversion tunes the inversion solver; zero value uses defaults.
+	Inversion InversionOptions
+	// Name overrides the policy name in experiment output.
+	Name string
+}
+
+// Policy is the SYNPA thread-to-core allocation policy (§IV-B). Every
+// quantum it estimates each application's ST behaviour by inverting the
+// interference model on the previous quantum's PMU samples, predicts the
+// degradation of every candidate pair with the forward model, and solves a
+// minimum-weight perfect matching to pick the most synergistic pairing.
+type Policy struct {
+	model *Model
+	opt   PolicyOptions
+
+	// lastST caches the most recent ST estimates per application for
+	// introspection and tests.
+	lastST [][]float64
+}
+
+var _ machine.Policy = (*Policy)(nil)
+
+// NewPolicy builds a SYNPA policy around a trained model.
+func NewPolicy(m *Model, opt PolicyOptions) (*Policy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Extract == nil {
+		opt.Extract = ThreeCategoryFractions
+	}
+	if opt.Inversion.MaxOuter == 0 {
+		opt.Inversion = DefaultInversion()
+	}
+	switch {
+	case opt.Smoothing == 0:
+		opt.Smoothing = 0.5
+	case opt.Smoothing < 0:
+		opt.Smoothing = 0
+	case opt.Smoothing >= 1:
+		return nil, fmt.Errorf("core: smoothing %v must be below 1", opt.Smoothing)
+	}
+	switch {
+	case opt.Hysteresis == 0:
+		// Phase transitions of the phase-flipping applications move the
+		// predicted total degradation by >3 %, while the spread between
+		// near-equivalent complementary pairings is ~0.5 %; the default
+		// threshold sits between the two.
+		opt.Hysteresis = 0.015
+	case opt.Hysteresis < 0:
+		opt.Hysteresis = 0
+	case opt.Hysteresis >= 1:
+		return nil, fmt.Errorf("core: hysteresis %v must be below 1", opt.Hysteresis)
+	}
+	return &Policy{model: m, opt: opt}, nil
+}
+
+// MustPolicy is NewPolicy that panics on error, for experiment wiring where
+// the model is known valid.
+func MustPolicy(m *Model, opt PolicyOptions) *Policy {
+	p, err := NewPolicy(m, opt)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name identifies the policy configuration.
+func (p *Policy) Name() string {
+	if p.opt.Name != "" {
+		return p.opt.Name
+	}
+	return "SYNPA"
+}
+
+// Model exposes the policy's interference model.
+func (p *Policy) Model() *Model { return p.model }
+
+// LastSTEstimates returns the ST category estimates computed for the most
+// recent placement decision (per application), or nil before any.
+func (p *Policy) LastSTEstimates() [][]float64 { return p.lastST }
+
+// Place implements machine.Policy.
+func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
+	if st.Samples == nil || st.Prev == nil {
+		return arrivalOrderPlacement(st.NumApps, st.NumCores)
+	}
+
+	n := st.NumApps
+	// Step 1: estimate each application's ST category vector.
+	est := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		if est[i] != nil {
+			continue
+		}
+		fi := p.opt.Extract(st.Samples[i], st.DispatchWidth)
+		mate := st.Prev.CoMate(i)
+		if mate < 0 || p.opt.DisableInversion {
+			// Running alone, its measurements are ST already; or the
+			// inversion ablation is active.
+			ci := append([]float64(nil), fi...)
+			normalize(ci)
+			est[i] = ci
+			continue
+		}
+		fj := p.opt.Extract(st.Samples[mate], st.DispatchWidth)
+		ci, cj, _ := p.model.Invert(fi, fj, p.opt.Inversion)
+		est[i] = ci
+		est[mate] = cj
+	}
+	if s := p.opt.Smoothing; s > 0 && len(p.lastST) == n {
+		for i := range est {
+			prev := p.lastST[i]
+			if len(prev) != len(est[i]) {
+				continue
+			}
+			for k := range est[i] {
+				est[i][k] = (1-s)*est[i][k] + s*prev[k]
+			}
+		}
+	}
+	p.lastST = est
+
+	// Step 2: predict the degradation of every candidate pair; pad with
+	// virtual idle applications so the matching is always perfect. A real
+	// application paired with an idle slot runs at ST speed (cost 1).
+	total := st.NumCores * 2
+	w := make([][]float64, total)
+	for i := range w {
+		w[i] = make([]float64, total)
+	}
+	for i := 0; i < total; i++ {
+		for j := i + 1; j < total; j++ {
+			var cost float64
+			switch {
+			case i < n && j < n:
+				cost = p.model.PairDegradation(est[i], est[j])
+			case i < n || j < n:
+				cost = 1 // real app running alone
+			default:
+				cost = 0 // empty core
+			}
+			if math.IsNaN(cost) || math.IsInf(cost, 0) {
+				cost = 1e6
+			}
+			w[i][j], w[j][i] = cost, cost
+		}
+	}
+
+	// Step 3: select the most synergistic pairing.
+	mate, err := p.match(w)
+	if err != nil {
+		// Matching cannot fail on a finite complete graph; if it somehow
+		// does, keep the previous placement rather than crash the
+		// manager.
+		return st.Prev.Clone()
+	}
+
+	// Hysteresis: only migrate when the predicted gain is material.
+	if p.opt.Hysteresis > 0 {
+		prevCost, ok := pairingCost(w, st.Prev, n)
+		if ok {
+			newCost := 0.0
+			for i, m := range mate {
+				if m > i {
+					newCost += w[i][m]
+				}
+			}
+			if prevCost-newCost < p.opt.Hysteresis*prevCost {
+				return st.Prev.Clone()
+			}
+		}
+	}
+
+	return placePairs(mate, n, st.NumCores, st.Prev)
+}
+
+// pairingCost evaluates a placement's total cost under the current weight
+// matrix (including the implicit idle partners of solo apps). ok is false
+// when the placement is unusable.
+func pairingCost(w [][]float64, place machine.Placement, n int) (float64, bool) {
+	if len(place) < n {
+		return 0, false
+	}
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		j := place.CoMate(i)
+		switch {
+		case j < 0:
+			cost += 1 // solo app runs at ST speed
+		case j > i:
+			cost += w[i][j]
+		}
+	}
+	return cost, true
+}
+
+// match dispatches to the configured matcher.
+func (p *Policy) match(w [][]float64) ([]int, error) {
+	switch p.opt.Matcher {
+	case MatcherBruteForce:
+		mate, _, err := matching.BruteForceMinWeightPerfect(w)
+		return mate, err
+	case MatcherGreedy:
+		return greedyMatch(w), nil
+	default:
+		mate, _, err := matching.MinWeightPerfectMatching(w)
+		return mate, err
+	}
+}
+
+// greedyMatch repeatedly pairs the lightest remaining edge.
+func greedyMatch(w [][]float64) []int {
+	n := len(w)
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	for {
+		best := math.Inf(1)
+		bi, bj := -1, -1
+		for i := 0; i < n; i++ {
+			if mate[i] >= 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if mate[j] < 0 && w[i][j] < best {
+					best, bi, bj = w[i][j], i, j
+				}
+			}
+		}
+		if bi < 0 {
+			return mate
+		}
+		mate[bi], mate[bj] = bj, bi
+	}
+}
+
+// arrivalOrderPlacement reproduces the initial assignment the paper
+// describes for Linux (§VI-C): application k and k+cores share core k.
+func arrivalOrderPlacement(numApps, numCores int) machine.Placement {
+	p := make(machine.Placement, numApps)
+	for i := range p {
+		p[i] = i % numCores
+	}
+	return p
+}
+
+// placePairs maps matched pairs onto cores, preferring each pair's previous
+// core to minimise migrations (a pair that stays put keeps its pipeline
+// state).
+func placePairs(mate []int, numApps, numCores int, prev machine.Placement) machine.Placement {
+	place := make(machine.Placement, numApps)
+	for i := range place {
+		place[i] = -1
+	}
+	usedCore := make([]bool, numCores)
+
+	type pair struct{ a, b int } // b == -1 for a solo app
+	var pairs []pair
+	for i, m := range mate {
+		if i >= numApps {
+			continue
+		}
+		switch {
+		case m >= numApps || m < 0:
+			pairs = append(pairs, pair{i, -1})
+		case m > i:
+			pairs = append(pairs, pair{i, m})
+		}
+	}
+
+	// First pass: pairs that can stay on a previous core of one member.
+	assigned := make([]bool, len(pairs))
+	for pi, pr := range pairs {
+		for _, member := range []int{pr.a, pr.b} {
+			if member < 0 || member >= len(prev) {
+				continue
+			}
+			c := prev[member]
+			if c >= 0 && c < numCores && !usedCore[c] {
+				place[pr.a] = c
+				if pr.b >= 0 {
+					place[pr.b] = c
+				}
+				usedCore[c] = true
+				assigned[pi] = true
+				break
+			}
+		}
+	}
+	// Second pass: remaining pairs take any free core.
+	next := 0
+	for pi, pr := range pairs {
+		if assigned[pi] {
+			continue
+		}
+		for next < numCores && usedCore[next] {
+			next++
+		}
+		if next >= numCores {
+			break // cannot happen: pairs <= cores
+		}
+		place[pr.a] = next
+		if pr.b >= 0 {
+			place[pr.b] = next
+		}
+		usedCore[next] = true
+	}
+	// Defensive: any unplaced app (impossible in normal operation) goes to
+	// core 0's first free slot.
+	for i := range place {
+		if place[i] < 0 {
+			place[i] = 0
+		}
+	}
+	return place
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTable is the serialised form of a Table: self-describing rows keyed by
+// header, so downstream tooling (plotting scripts, regression dashboards)
+// does not depend on column order.
+type jsonTable struct {
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON serialises the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{Title: t.Title, Header: t.Header, Notes: t.Notes}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(t.Header))
+		for i, h := range t.Header {
+			if i < len(row) {
+				m[h] = row[i]
+			}
+		}
+		jt.Rows = append(jt.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// WriteCSV serialises the table as CSV: one header record followed by the
+// data rows. The title and notes are emitted as comment records ("# ...")
+// before the header.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		// Pad short rows so every record has the header's width.
+		rec := make([]string, len(t.Header))
+		copy(rec, row)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportTable() *Table {
+	t := &Table{
+		Title:  "export test",
+		Header: []string{"Workload", "Speedup"},
+		Notes:  []string{"a note"},
+	}
+	t.AddRow("fb2", "1.000")
+	t.AddRow("fb3", "1.398")
+	return t
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title  string              `json:"title"`
+		Header []string            `json:"header"`
+		Rows   []map[string]string `json:"rows"`
+		Notes  []string            `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "export test" || len(decoded.Rows) != 2 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Rows[1]["Workload"] != "fb3" || decoded.Rows[1]["Speedup"] != "1.398" {
+		t.Fatalf("row 1 = %v", decoded.Rows[1])
+	}
+	if len(decoded.Notes) != 1 {
+		t.Fatalf("notes = %v", decoded.Notes)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, note, header, 2 rows
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# export test") {
+		t.Fatalf("missing title comment: %q", lines[0])
+	}
+	if lines[2] != "Workload,Speedup" {
+		t.Fatalf("header = %q", lines[2])
+	}
+	if lines[4] != "fb3,1.398" {
+		t.Fatalf("row = %q", lines[4])
+	}
+}
+
+func TestWriteCSVPadsShortRows(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b", "c"}}
+	tab.AddRow("only")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only,,") {
+		t.Fatalf("short row not padded:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/pmu"
+	"synpa/internal/workload"
+)
+
+func TestFB2PairComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	cfg := DefaultConfig()
+	cfg.Machine.QuantumCycles = 10_000
+	cfg.RefQuanta = 60
+	cfg.Reps = 1
+	cfg.Train.Machine = cfg.Machine
+	s := NewSuite(cfg)
+	model, _, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := workload.ByName(cfg.Seed, "fb2")
+	for _, p := range []PolicyFactory{LinuxFactory(), SYNPAFactory(model, core.PolicyOptions{})} {
+		res, err := s.Run(w, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pair-type histogram by static Table III groups.
+		hist := map[string]int{}
+		var totalInsts uint64
+		for q := range res.Placements {
+			place := res.Placements[q]
+			for i := 0; i < len(place); i++ {
+				j := place.CoMate(i)
+				if j > i {
+					gi, gj := w.Apps[i].Group, w.Apps[j].Group
+					key := pairKey(gi, gj)
+					hist[key]++
+				}
+			}
+			if q < len(res.Samples) {
+				for a := range res.Samples[q] {
+					totalInsts += res.Samples[q][a][pmu.InstRetired]
+				}
+			}
+		}
+		ipcPerQ := float64(totalInsts) / float64(res.Quanta) / float64(cfg.Machine.QuantumCycles)
+		fmt.Printf("%-8s quanta=%d aggIPC=%.3f pairs=%v\n", p.Label, res.Quanta, ipcPerQ, hist)
+		// fb2 has 4 backend-bound and 4 frontend-bound apps: both policies
+		// must end up with (almost) exclusively complementary pairs.
+		total := 0
+		for _, v := range hist {
+			total += v
+		}
+		if mixed := hist["Ba+Fr"]; float64(mixed) < 0.9*float64(total) {
+			t.Errorf("%s: only %d/%d pairs complementary on fb2", p.Label, mixed, total)
+		}
+	}
+}
+
+func pairKey(a, b apps.Group) string {
+	ga, gb := a.String()[:2], b.String()[:2]
+	if ga > gb {
+		ga, gb = gb, ga
+	}
+	return ga + "+" + gb
+}

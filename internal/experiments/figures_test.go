@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedFastSuite is reused by the figure smoke tests so the evaluation
+// runs execute once for the whole test binary.
+var (
+	fastOnce  sync.Once
+	fastSuite *Suite
+)
+
+func getFastSuite() *Suite {
+	fastOnce.Do(func() { fastSuite = NewSuite(fastConfig()) })
+	return fastSuite
+}
+
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimSuffix(cell, "%")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cannot parse cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestFig2Decomposition(t *testing.T) {
+	s := getFastSuite()
+	tab, err := s.Fig2("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Fig2 has %d rows, want 8", len(tab.Rows))
+	}
+	// Step 3 fractions (last three rows) must sum to 100%.
+	sum := 0.0
+	for _, row := range tab.Rows[5:] {
+		sum += parseCell(t, row[3])
+	}
+	if sum < 99.5 || sum > 100.5 {
+		t.Fatalf("Step 3 fractions sum to %v%%", sum)
+	}
+	if _, err := s.Fig2("unknown-app"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestFig4AndTableIII(t *testing.T) {
+	s := getFastSuite()
+	tab, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 28 {
+		t.Fatalf("Fig4 has %d rows, want 28", len(tab.Rows))
+	}
+	t3, err := s.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range t3.Rows {
+		if row[4] != "yes" {
+			t.Errorf("%s does not match its paper group", row[1])
+		}
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	s := getFastSuite()
+	tab, err := s.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("TableIV has %d rows", len(tab.Rows))
+	}
+	// MSE ordering: FD < BE (paper: 0.0021 < 0.1583).
+	fdMSE := parseCell(t, tab.Rows[0][5])
+	beMSE := parseCell(t, tab.Rows[2][5])
+	if fdMSE >= beMSE {
+		t.Fatalf("FD MSE %v should be below BE MSE %v", fdMSE, beMSE)
+	}
+}
+
+func TestFig8FairnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := getFastSuite()
+	tab, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group-average rows: SYNPA fairness must not be materially below
+	// Linux anywhere, and must beat it on mixed workloads.
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[0], "avg-") {
+			continue
+		}
+		linux := parseCell(t, row[2])
+		synpa := parseCell(t, row[3])
+		if synpa < linux-0.02 {
+			t.Errorf("%s: SYNPA fairness %v below Linux %v", row[0], synpa, linux)
+		}
+		if row[0] == "avg-mixed" && synpa <= linux {
+			t.Errorf("mixed fairness must improve: Linux %v, SYNPA %v", linux, synpa)
+		}
+	}
+}
+
+func TestFig9IPCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := getFastSuite()
+	tab, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasPrefix(row[0], "avg-") {
+			continue
+		}
+		sp := parseCell(t, row[2])
+		if sp < 0.98 {
+			t.Errorf("%s IPC speedup %v: SYNPA lost throughput", row[0], sp)
+		}
+		if row[0] == "avg-mixed" && sp < 1.0 {
+			t.Errorf("mixed IPC speedup %v should exceed 1", sp)
+		}
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := getFastSuite()
+	tab, err := s.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 apps x 2 behaviour rows.
+	if len(tab.Rows) != 16 {
+		t.Fatalf("TableV has %d rows, want 16", len(tab.Rows))
+	}
+	// The two leela_r instances (rows for apps 04 and 05): in their
+	// frontend-behaving quanta they must be paired with a backend-bound
+	// co-runner most of the time (the paper reports 95.5% and 82.8%).
+	for _, appRow := range []int{8, 10} { // rows 2*4 and 2*5
+		diff := tab.Rows[appRow][len(tab.Rows[appRow])-1]
+		if diff == "-" {
+			continue // no frontend-behaving quanta observed
+		}
+		v := parseCell(t, diff)
+		if v < 50 {
+			t.Errorf("leela frontend-behaviour synergy only %v%%, want majority", v)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := getFastSuite()
+	for _, wl := range []string{"be1", "fe2", "fb2"} {
+		tab, err := s.Fig6(wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 8 {
+			t.Fatalf("%s: %d rows", wl, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			// Category fractions of both policies must each sum to ~100%.
+			for _, base := range []int{2, 6} {
+				sum := parseCell(t, row[base]) + parseCell(t, row[base+1]) + parseCell(t, row[base+2])
+				if sum < 99 || sum > 101 {
+					t.Fatalf("%s row %s: fractions sum to %v", wl, row[1], sum)
+				}
+			}
+		}
+	}
+	if _, err := s.Fig6("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s := getFastSuite()
+	tab, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := 0
+	for _, row := range tab.Rows {
+		if row[2] == "SUMMARY" {
+			summaries++
+		}
+	}
+	if summaries != 4 {
+		t.Fatalf("Fig7 has %d summaries, want 4 (2 policies x 2 instances)", summaries)
+	}
+}
+
+func TestOverheadTables(t *testing.T) {
+	s := getFastSuite()
+	tab, err := s.OverheadModelEquations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("overhead-model rows = %d", len(tab.Rows))
+	}
+	// The 5-equation model must cost more than the 3-equation one.
+	three := parseCell(t, tab.Rows[0][2])
+	five := parseCell(t, tab.Rows[1][2])
+	if five <= three {
+		t.Errorf("5-equation cost %v should exceed 3-equation cost %v", five, three)
+	}
+
+	m, err := s.OverheadMatching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 4 {
+		t.Fatalf("overhead-matching rows = %d", len(m.Rows))
+	}
+	// Brute force must blow up relative to blossom as n grows.
+	firstRatio := parseCell(t, strings.TrimSuffix(m.Rows[0][3], "x"))
+	lastRatio := parseCell(t, strings.TrimSuffix(m.Rows[3][3], "x"))
+	if lastRatio <= firstRatio {
+		t.Errorf("enumeration should explode: ratio %v -> %v", firstRatio, lastRatio)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"n1"},
+	}
+	tab.AddRow("x", "y")
+	out := tab.String()
+	for _, want := range []string{"== test ==", "a", "bb", "x", "y", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

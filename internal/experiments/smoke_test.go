@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fastConfig shrinks everything for unit tests: short quanta, short
+// reference intervals, one repetition.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Machine.QuantumCycles = 8_000
+	cfg.RefQuanta = 30
+	cfg.Reps = 1
+	cfg.Train.Machine = cfg.Machine
+	cfg.Train.IsolatedQuanta = 50
+	cfg.Train.PairQuanta = 35
+	cfg.Train.SampleFrac = 1.0
+	return cfg
+}
+
+func TestStaticTables(t *testing.T) {
+	s := NewSuite(fastConfig())
+	t1, err := s.TableI()
+	if err != nil || len(t1.Rows) != 4 {
+		t.Fatalf("TableI: %v rows=%d", err, len(t1.Rows))
+	}
+	t2, err := s.TableII()
+	if err != nil || len(t2.Rows) < 5 {
+		t.Fatalf("TableII: %v", err)
+	}
+	if !strings.Contains(t2.String(), "128") {
+		t.Fatal("TableII missing ROB size")
+	}
+}
+
+func TestFig5ShapeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	s := NewSuite(fastConfig())
+	tab, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+
+	var avg = map[string]float64{}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "avg-") {
+			var v float64
+			if _, err := fmtSscan(row[2], &v); err != nil {
+				t.Fatal(err)
+			}
+			avg[row[0]] = v
+		}
+	}
+	if len(avg) != 3 {
+		t.Fatalf("missing group averages: %v", avg)
+	}
+	// The paper's headline shape: SYNPA wins on average everywhere, and
+	// mixed workloads gain the most.
+	for k, v := range avg {
+		if v < 0.99 {
+			t.Errorf("%s average speedup %.3f: SYNPA lost badly", k, v)
+		}
+	}
+	if !(avg["avg-mixed"] > avg["avg-frontend"]) {
+		t.Errorf("mixed avg %.3f should exceed frontend avg %.3f",
+			avg["avg-mixed"], avg["avg-frontend"])
+	}
+	if avg["avg-mixed"] < 1.05 {
+		t.Errorf("mixed avg speedup %.3f too small to reflect the paper's result", avg["avg-mixed"])
+	}
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

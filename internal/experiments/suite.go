@@ -1,0 +1,373 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V–§VI) on the simulated ThunderX2 system. Each experiment is
+// a method on Suite returning a Table whose rows mirror what the paper
+// reports; the bench harness at the repository root and cmd/synpa-bench
+// print them.
+//
+// A Suite memoises the expensive artefacts — the trained model, the
+// per-application isolated profiles and targets, and every (workload,
+// policy, repetition) run — so that Fig. 5, Fig. 8 and Fig. 9, which all
+// consume the same twenty workload runs, execute them once.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/train"
+	"synpa/internal/workload"
+)
+
+// Config parameterises a reproduction suite.
+type Config struct {
+	// Machine is the simulated system (Table II defaults).
+	Machine machine.Config
+	// Train configures the §IV-C training pipeline.
+	Train train.Options
+	// RefQuanta is the isolated reference interval used to set
+	// instruction targets (the paper's 60-second run, §V-B).
+	RefQuanta int
+	// Reps is the number of executions per workload; the paper runs nine
+	// and discards outliers until the variation coefficient is below 5 %.
+	Reps int
+	// Seed drives workload generation and every run's app streams.
+	Seed uint64
+	// Parallel fans independent runs out over CPUs.
+	Parallel bool
+	// MaxQuanta bounds each workload run.
+	MaxQuanta int
+}
+
+// DefaultConfig returns the configuration used by the published benches.
+// Reps defaults to 3 rather than the paper's 9 to keep the full-suite wall
+// time reasonable; the outlier-discarding aggregation is identical.
+func DefaultConfig() Config {
+	mc := machine.DefaultConfig()
+	to := train.DefaultOptions()
+	to.Machine = mc
+	return Config{
+		Machine:   mc,
+		Train:     to,
+		RefQuanta: 100,
+		Reps:      3,
+		Seed:      0x51A9A,
+		Parallel:  true,
+		MaxQuanta: 20_000,
+	}
+}
+
+// Suite holds the memoised state of one reproduction.
+type Suite struct {
+	cfg Config
+
+	modelOnce sync.Once
+	model     *core.Model
+	trainRep  *train.Report
+	trainErr  error
+
+	workloads []workload.Workload
+	targets   *workload.TargetCache
+
+	isoOnce sync.Once
+	isoErr  error
+	iso     map[string]isoProfile
+
+	runMu sync.Mutex
+	runs  map[runKey]*runSlot
+}
+
+type runKey struct {
+	workload string
+	policy   string
+	rep      int
+}
+
+type runSlot struct {
+	once sync.Once
+	res  *machine.Result
+	err  error
+}
+
+// NewSuite builds a suite. The workload set and target cache are created
+// eagerly; everything expensive is lazy.
+func NewSuite(cfg Config) *Suite {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.MaxQuanta <= 0 {
+		cfg.MaxQuanta = 20_000
+	}
+	return &Suite{
+		cfg:       cfg,
+		workloads: workload.StandardSet(cfg.Seed),
+		targets:   workload.NewTargetCache(cfg.Machine, cfg.RefQuanta, cfg.Seed),
+		runs:      map[runKey]*runSlot{},
+	}
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Workloads returns the twenty standard workloads.
+func (s *Suite) Workloads() []workload.Workload { return s.workloads }
+
+// Model returns the trained three-category model, training it on first use
+// on the 22-application training set (§IV-C).
+func (s *Suite) Model() (*core.Model, *train.Report, error) {
+	s.modelOnce.Do(func() {
+		opts := s.cfg.Train
+		opts.Machine = s.cfg.Machine
+		s.model, s.trainRep, s.trainErr = train.Train(apps.TrainingSet(), opts)
+	})
+	return s.model, s.trainRep, s.trainErr
+}
+
+// PolicyFactory builds a fresh policy instance per workload run. Policies
+// carry per-run state (the SYNPA policy smooths its ST estimates across
+// quanta), so concurrent runs must never share one instance.
+type PolicyFactory struct {
+	// Label keys the memoised results and appears in experiment output.
+	Label string
+	// New constructs a policy for one run.
+	New func() machine.Policy
+}
+
+// LinuxFactory returns the stateless arrival-order baseline.
+func LinuxFactory() PolicyFactory {
+	return PolicyFactory{Label: "Linux", New: func() machine.Policy { return linuxPolicy{} }}
+}
+
+// SYNPAFactory returns a factory for the paper's policy around a model.
+func SYNPAFactory(model *core.Model, opt core.PolicyOptions) PolicyFactory {
+	label := opt.Name
+	if label == "" {
+		label = "SYNPA"
+	}
+	return PolicyFactory{Label: label, New: func() machine.Policy {
+		o := opt
+		o.Name = label
+		return core.MustPolicy(model, o)
+	}}
+}
+
+// policies returns the two factories of the paper's head-to-head.
+func (s *Suite) policies() (linux PolicyFactory, synpa PolicyFactory, err error) {
+	model, _, err := s.Model()
+	if err != nil {
+		return PolicyFactory{}, PolicyFactory{}, err
+	}
+	return LinuxFactory(), SYNPAFactory(model, core.PolicyOptions{}), nil
+}
+
+// linuxPolicy duplicates sched.Linux locally to keep the experiments
+// package's policy wiring in one place.
+type linuxPolicy struct{}
+
+func (linuxPolicy) Name() string { return "Linux" }
+func (linuxPolicy) Place(st *machine.QuantumState) machine.Placement {
+	if st.Prev != nil {
+		return st.Prev
+	}
+	p := make(machine.Placement, st.NumApps)
+	for i := range p {
+		p[i] = i % st.NumCores
+	}
+	return p
+}
+
+// Run returns the memoised result of one (workload, policy, rep) execution.
+func (s *Suite) Run(w workload.Workload, factory PolicyFactory, rep int) (*machine.Result, error) {
+	key := runKey{w.Name, factory.Label, rep}
+	s.runMu.Lock()
+	slot, ok := s.runs[key]
+	if !ok {
+		slot = &runSlot{}
+		s.runs[key] = slot
+	}
+	s.runMu.Unlock()
+
+	slot.once.Do(func() {
+		targets, err := s.targets.Targets(w)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		cfg := s.cfg.Machine
+		// When the caller fans runs out across CPUs, per-run core
+		// parallelism only adds scheduling overhead.
+		if s.cfg.Parallel {
+			cfg.Parallel = false
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		res, err := m.Run(w.Apps, targets, factory.New(), machine.RunnerOptions{
+			Seed:      s.cfg.Seed + uint64(rep)*0x1000 + hashString(w.Name),
+			MaxQuanta: s.cfg.MaxQuanta,
+			// Per-quantum traces feed Fig. 6, Fig. 7 and Table V, which
+			// analyse the three published workloads only; skipping the
+			// rest keeps the memoised suite small.
+			RecordTrace: w.Name == "be1" || w.Name == "fe2" || w.Name == "fb2",
+		})
+		if err != nil {
+			slot.err = err
+			return
+		}
+		if !res.AllCompleted {
+			slot.err = fmt.Errorf("experiments: %s under %s did not complete in %d quanta",
+				w.Name, factory.Label, s.cfg.MaxQuanta)
+			return
+		}
+		slot.res = res
+	})
+	return slot.res, slot.err
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// runAllPairs executes every (workload × {Linux, SYNPA} × rep) combination,
+// fanning out across CPUs, and returns nothing: results are memoised for
+// the figure methods. Called by Fig5/Fig8/Fig9 so the first of them pays
+// the cost.
+func (s *Suite) runAllPairs() error {
+	linux, synpa, err := s.policies()
+	if err != nil {
+		return err
+	}
+	type job struct {
+		w      workload.Workload
+		policy PolicyFactory
+		rep    int
+	}
+	var jobs []job
+	for _, w := range s.workloads {
+		for rep := 0; rep < s.cfg.Reps; rep++ {
+			jobs = append(jobs, job{w, linux, rep}, job{w, synpa, rep})
+		}
+	}
+	workers := 1
+	if s.cfg.Parallel {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				j := jobs[next]
+				next++
+				mu.Unlock()
+				if _, err := s.Run(j.w, j.policy, j.rep); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// --- Table rendering --------------------------------------------------------
+
+// Table is a printable experiment result: the textual equivalent of one of
+// the paper's tables or figure data series.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && i != len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// sortedAppNames returns catalogue names sorted for stable table output.
+func sortedAppNames(ms []*apps.Model) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

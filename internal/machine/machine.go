@@ -1,0 +1,474 @@
+// Package machine assembles SMT2 cores into the simulated multi-core system
+// the experiments run on, and implements the user-level thread manager of
+// paper §V-A: every quantum it asks an allocation policy where each
+// application should run, applies the placement (the simulated equivalent of
+// sched_setaffinity), executes the quantum on every core in parallel, and
+// collects per-application PMU samples.
+//
+// The paper's manager runs on a 28-core ThunderX2; its 8-application
+// workloads occupy four SMT2 cores. The machine size and quantum length are
+// configurable; the quantum defaults to a scaled-down cycle count because
+// every quantity SYNPA consumes is a per-cycle fraction (DESIGN.md §2).
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"synpa/internal/apps"
+	"synpa/internal/pmu"
+	"synpa/internal/smtcore"
+)
+
+// Config describes the simulated system.
+type Config struct {
+	// Cores is the number of SMT2 cores.
+	Cores int
+	// QuantumCycles is the length of one scheduling quantum in core
+	// cycles (the paper uses 100 ms of wall time; see DESIGN.md for the
+	// scaling argument).
+	QuantumCycles uint64
+	// Core is the per-core microarchitecture configuration.
+	Core smtcore.Config
+	// Parallel runs the cores of a quantum on separate goroutines.
+	Parallel bool
+}
+
+// DefaultConfig returns a four-core machine sized for the paper's
+// 8-application workloads.
+func DefaultConfig() Config {
+	return Config{
+		Cores:         4,
+		QuantumCycles: 20_000,
+		Core:          smtcore.DefaultConfig(),
+		Parallel:      true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("machine: need at least one core")
+	}
+	if c.QuantumCycles < 1000 {
+		return fmt.Errorf("machine: quantum of %d cycles is too short to measure", c.QuantumCycles)
+	}
+	return c.Core.Validate()
+}
+
+// Placement maps each application index to a core index. At most
+// smtcore.ThreadsPerCore applications may share a core.
+type Placement []int
+
+// Clone returns a copy of the placement.
+func (p Placement) Clone() Placement { return append(Placement(nil), p...) }
+
+// Validate checks that the placement is feasible on numCores cores.
+func (p Placement) Validate(numCores int) error {
+	load := make([]int, numCores)
+	for app, core := range p {
+		if core < 0 || core >= numCores {
+			return fmt.Errorf("machine: app %d placed on invalid core %d", app, core)
+		}
+		load[core]++
+		if load[core] > smtcore.ThreadsPerCore {
+			return fmt.Errorf("machine: core %d assigned more than %d apps", core, smtcore.ThreadsPerCore)
+		}
+	}
+	return nil
+}
+
+// PairsOf returns, for each core, the app indices placed on it.
+func (p Placement) PairsOf(numCores int) [][]int {
+	out := make([][]int, numCores)
+	for app, core := range p {
+		if core >= 0 && core < numCores {
+			out[core] = append(out[core], app)
+		}
+	}
+	return out
+}
+
+// CoMate returns the index of the app sharing a core with app i, or -1.
+func (p Placement) CoMate(i int) int {
+	for j, c := range p {
+		if j != i && c == p[i] {
+			return j
+		}
+	}
+	return -1
+}
+
+// QuantumState is the information a policy receives when asked to place
+// applications for the next quantum.
+type QuantumState struct {
+	// Quantum is the index of the quantum about to execute (0-based).
+	Quantum int
+	// NumCores is the machine size.
+	NumCores int
+	// NumApps is the number of applications in the workload.
+	NumApps int
+	// Prev is the placement executed during the previous quantum; nil
+	// before the first quantum.
+	Prev Placement
+	// Samples holds each application's PMU deltas over the previous
+	// quantum; nil before the first quantum.
+	Samples []pmu.Counters
+	// DispatchWidth is the core dispatch width (for characterization).
+	DispatchWidth int
+}
+
+// Policy decides the thread-to-core allocation each quantum. The Linux
+// baseline, the SYNPA policy and every ablation implement this interface.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Place returns the placement for the next quantum.
+	Place(st *QuantumState) Placement
+}
+
+// AppResult summarises one application's execution within a workload run.
+type AppResult struct {
+	// Name is the application's benchmark name.
+	Name string
+	// Target is the retired-instruction target (§V-B methodology).
+	Target uint64
+	// CompletedAtCycle is the machine cycle at which the app first
+	// reached its target; 0 if it never completed.
+	CompletedAtCycle uint64
+	// CompletedAtQuantum is the quantum index of completion, -1 if never.
+	CompletedAtQuantum int
+	// Retired is the total instructions retired over the whole run
+	// (including post-completion relaunches).
+	Retired uint64
+	// IPC is Target / CompletedAtCycle — the per-application performance
+	// number used for the paper's fairness and IPC metrics.
+	IPC float64
+}
+
+// Result is the outcome of running one workload under one policy.
+type Result struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Quanta is the number of quanta executed.
+	Quanta int
+	// QuantumCycles echoes the configured quantum length.
+	QuantumCycles uint64
+	// Apps holds per-application results, in workload order.
+	Apps []AppResult
+	// Placements records the placement of every executed quantum.
+	Placements []Placement
+	// Samples records per-quantum, per-app PMU deltas when tracing was
+	// enabled: Samples[q][a].
+	Samples [][]pmu.Counters
+	// AllCompleted reports whether every application reached its target.
+	AllCompleted bool
+}
+
+// TurnaroundCycles returns the workload turnaround time: the completion
+// cycle of the slowest application (paper §VI-B). The second return is
+// false if some application never completed.
+func (r *Result) TurnaroundCycles() (uint64, bool) {
+	var tt uint64
+	for i := range r.Apps {
+		if r.Apps[i].CompletedAtCycle == 0 {
+			return 0, false
+		}
+		if r.Apps[i].CompletedAtCycle > tt {
+			tt = r.Apps[i].CompletedAtCycle
+		}
+	}
+	return tt, true
+}
+
+// Machine is the simulated multi-core system.
+type Machine struct {
+	cfg   Config
+	cores []*smtcore.Core
+}
+
+// New builds a machine. It returns an error for invalid configurations.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, smtcore.New(i, cfg.Core))
+	}
+	return m, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// runQuantum executes one quantum on every core, optionally in parallel.
+func (m *Machine) runQuantum() {
+	if !m.cfg.Parallel {
+		for _, c := range m.cores {
+			c.Run(m.cfg.QuantumCycles)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range m.cores {
+		wg.Add(1)
+		go func(core *smtcore.Core) {
+			defer wg.Done()
+			core.Run(m.cfg.QuantumCycles)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// RunnerOptions tune a workload run.
+type RunnerOptions struct {
+	// Seed derives every application's private random stream.
+	Seed uint64
+	// MaxQuanta bounds the run; the run also stops once every app has
+	// completed its target. Zero means the DefaultMaxQuanta bound.
+	MaxQuanta int
+	// RecordTrace keeps per-quantum per-app samples in the Result
+	// (needed by the Fig. 6/7 and Table V analyses).
+	RecordTrace bool
+}
+
+// DefaultMaxQuanta caps runaway executions.
+const DefaultMaxQuanta = 20_000
+
+// appState is the runner's bookkeeping for one application.
+type appState struct {
+	inst        *apps.Instance
+	bank        *pmu.Bank
+	target      uint64
+	prevSnap    pmu.Counters
+	completedAt uint64
+	completedQ  int
+	launches    uint64 // completed target multiples so far
+}
+
+// Run executes the given applications under a policy until every app
+// reaches its instruction target (relaunching completed apps to keep the
+// machine loaded, per §V-B) or MaxQuanta elapses.
+//
+// targets[i] is the retired-instruction target of models[i]; a zero target
+// means "run for the whole experiment without a completion time".
+func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt RunnerOptions) (*Result, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("machine: no applications")
+	}
+	if len(targets) != len(models) {
+		return nil, fmt.Errorf("machine: %d targets for %d applications", len(targets), len(models))
+	}
+	if hwThreads := len(m.cores) * smtcore.ThreadsPerCore; len(models) > hwThreads {
+		return nil, fmt.Errorf("machine: %d applications exceed %d hardware threads", len(models), hwThreads)
+	}
+	maxQuanta := opt.MaxQuanta
+	if maxQuanta <= 0 {
+		maxQuanta = DefaultMaxQuanta
+	}
+
+	anyTarget := false
+	for _, tgt := range targets {
+		if tgt > 0 {
+			anyTarget = true
+			break
+		}
+	}
+
+	states := make([]*appState, len(models))
+	for i, mod := range models {
+		st := &appState{
+			inst:       apps.NewInstance(mod, opt.Seed+uint64(i)*0x9e3779b97f4a7c15+1),
+			bank:       &pmu.Bank{},
+			target:     targets[i],
+			completedQ: -1,
+		}
+		st.bank.Enable()
+		states[i] = st
+	}
+
+	res := &Result{
+		Policy:        policy.Name(),
+		QuantumCycles: m.cfg.QuantumCycles,
+	}
+
+	var prev Placement
+	samples := make([]pmu.Counters, len(models))
+	var havePrev bool
+
+	for q := 0; q < maxQuanta; q++ {
+		st := &QuantumState{
+			Quantum:       q,
+			NumCores:      len(m.cores),
+			NumApps:       len(models),
+			DispatchWidth: m.cfg.Core.DispatchWidth,
+		}
+		if havePrev {
+			st.Prev = prev
+			st.Samples = samples
+		}
+		place := policy.Place(st)
+		if len(place) != len(models) {
+			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d apps",
+				policy.Name(), len(place), len(models))
+		}
+		if err := place.Validate(len(m.cores)); err != nil {
+			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
+		}
+		m.applyPlacement(states, place, prev)
+		res.Placements = append(res.Placements, place.Clone())
+
+		m.runQuantum()
+		res.Quanta++
+
+		nowCycle := uint64(res.Quanta) * m.cfg.QuantumCycles
+		newSamples := make([]pmu.Counters, len(models))
+		allDone := anyTarget
+		for i, s := range states {
+			snap := s.bank.Read()
+			newSamples[i] = snap.Delta(s.prevSnap)
+			s.prevSnap = snap
+
+			if s.target > 0 {
+				if done := s.inst.Retired / s.target; done > s.launches {
+					if s.completedAt == 0 {
+						s.completedAt = nowCycle
+						s.completedQ = res.Quanta - 1
+					}
+					s.launches = done
+					s.inst.Relaunch()
+				}
+				if s.completedAt == 0 {
+					allDone = false
+				}
+			}
+		}
+		samples = newSamples
+		havePrev = true
+		if opt.RecordTrace {
+			res.Samples = append(res.Samples, newSamples)
+		}
+		prev = place
+		if allDone {
+			break
+		}
+	}
+
+	res.AllCompleted = true
+	for i, s := range states {
+		ar := AppResult{
+			Name:               models[i].Name,
+			Target:             s.target,
+			CompletedAtCycle:   s.completedAt,
+			CompletedAtQuantum: s.completedQ,
+			Retired:            s.inst.Retired,
+		}
+		if s.completedAt > 0 {
+			ar.IPC = float64(s.target) / float64(s.completedAt)
+		} else if s.target > 0 {
+			res.AllCompleted = false
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	return res, nil
+}
+
+// applyPlacement rebinds only the cores whose application set changed,
+// preserving pipeline state on unchanged cores (migrations flush state, a
+// stable pairing does not).
+func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
+	for core := 0; core < len(m.cores); core++ {
+		var cur [smtcore.ThreadsPerCore]int
+		n := 0
+		for app, c := range place {
+			if c == core && n < smtcore.ThreadsPerCore {
+				cur[n] = app
+				n++
+			}
+		}
+		if prev != nil && sameSet(core, place, prev) {
+			continue
+		}
+		for slot := 0; slot < smtcore.ThreadsPerCore; slot++ {
+			if slot < n {
+				m.cores[core].Bind(slot, states[cur[slot]].inst, states[cur[slot]].bank)
+			} else {
+				m.cores[core].Bind(slot, nil, nil)
+			}
+		}
+	}
+}
+
+// sameSet reports whether core hosts exactly the same apps in both
+// placements.
+func sameSet(core int, a, b Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for app := range a {
+		if (a[app] == core) != (b[app] == core) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunIsolated executes a single application alone on a one-core machine for
+// the given number of quanta and returns its per-quantum samples. It is the
+// building block of the Fig. 4 characterization, the §IV-C training profile
+// collection, and the target-setting methodology of §V-B.
+func RunIsolated(model *apps.Model, seed uint64, quanta int, cfg Config) ([]pmu.Counters, error) {
+	cfg.Cores = 1
+	cfg.Parallel = false
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := apps.NewInstance(model, seed)
+	bank := &pmu.Bank{}
+	bank.Enable()
+	m.cores[0].Bind(0, inst, bank)
+
+	out := make([]pmu.Counters, 0, quanta)
+	var prevSnap pmu.Counters
+	for q := 0; q < quanta; q++ {
+		m.cores[0].Run(cfg.QuantumCycles)
+		snap := bank.Read()
+		out = append(out, snap.Delta(prevSnap))
+		prevSnap = snap
+	}
+	return out, nil
+}
+
+// RunPairSMT executes two applications together on one core for the given
+// number of quanta, returning each one's per-quantum samples. It is the
+// training pipeline's SMT data collector (§IV-C).
+func RunPairSMT(a, b *apps.Model, seedA, seedB uint64, quanta int, cfg Config) (sa, sb []pmu.Counters, err error) {
+	cfg.Cores = 1
+	cfg.Parallel = false
+	m, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ia := apps.NewInstance(a, seedA)
+	ib := apps.NewInstance(b, seedB)
+	ba, bb := &pmu.Bank{}, &pmu.Bank{}
+	ba.Enable()
+	bb.Enable()
+	m.cores[0].Bind(0, ia, ba)
+	m.cores[0].Bind(1, ib, bb)
+
+	var prevA, prevB pmu.Counters
+	for q := 0; q < quanta; q++ {
+		m.cores[0].Run(cfg.QuantumCycles)
+		snapA, snapB := ba.Read(), bb.Read()
+		sa = append(sa, snapA.Delta(prevA))
+		sb = append(sb, snapB.Delta(prevB))
+		prevA, prevB = snapA, snapB
+	}
+	return sa, sb, nil
+}

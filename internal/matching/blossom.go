@@ -1,0 +1,522 @@
+// Package matching implements weighted matching on general graphs.
+//
+// SYNPA (paper §IV-B, Step 3) must pick, every quantum, the set of
+// application pairs that minimises the total predicted SMT degradation. With
+// 2k applications on k SMT2 cores this is exactly minimum-weight perfect
+// matching on the complete graph whose edge weights are the pairwise
+// predicted slowdown sums. The paper solves it with Edmonds' Blossom
+// algorithm [21]; so does this package.
+//
+// The core is an O(n³) maximum-weight general matching with dual variables
+// and blossom shrinking (the classic primal-dual formulation of Edmonds'
+// algorithm). Minimum-weight perfect matching is obtained by the usual
+// complement transform: on a complete graph whose transformed weights are all
+// strictly positive, every maximum-weight matching is perfect, and
+// maximising Σ(W−w) minimises Σw over perfect matchings.
+//
+// A brute-force exact matcher (subset dynamic program, O(2ⁿ·n)) is provided
+// for cross-validation in tests and for the matcher-overhead ablation bench.
+package matching
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the matchers.
+var (
+	ErrOddVertices  = errors.New("matching: perfect matching requires an even vertex count")
+	ErrNotSquare    = errors.New("matching: weight matrix must be square")
+	ErrNotSymmetric = errors.New("matching: weight matrix must be symmetric")
+	ErrBadWeight    = errors.New("matching: weights must be finite")
+)
+
+// weightScale converts float64 edge weights into the integer domain the
+// primal-dual algorithm requires for exact zero-slack tests. Slowdown sums
+// are O(1..10); six decimal digits of resolution is far below any
+// behavioural difference the simulator can produce.
+const weightScale = 1e6
+
+type edge struct {
+	u, v int
+	w    int64
+}
+
+// blossomSolver carries the state of one maximum-weight matching run.
+// Vertices are 1-indexed; ids above n denote contracted blossoms.
+type blossomSolver struct {
+	n, nx int // original vertex count; current max node id (incl. blossoms)
+
+	g          [][]edge // g[u][v]: best edge between (super)nodes u and v
+	lab        []int64  // dual variables
+	match      []int    // matched original-vertex id (0 = unmatched)
+	slack      []int
+	st         []int // st[x]: the (super)node currently containing x
+	pa         []int // tree parent edge endpoint
+	flowerFrom [][]int
+	flower     [][]int
+	s          []int // node label: -1 unvisited, 0 even, 1 odd
+	vis        []int
+	visTime    int
+	queue      []int
+}
+
+const infWeight = int64(math.MaxInt64 / 4)
+
+func newBlossomSolver(n int, w [][]int64) *blossomSolver {
+	size := 2*n + 8
+	b := &blossomSolver{
+		n:          n,
+		nx:         n,
+		g:          make([][]edge, size),
+		lab:        make([]int64, size),
+		match:      make([]int, size),
+		slack:      make([]int, size),
+		st:         make([]int, size),
+		pa:         make([]int, size),
+		flowerFrom: make([][]int, size),
+		flower:     make([][]int, size),
+		s:          make([]int, size),
+		vis:        make([]int, size),
+	}
+	for i := range b.g {
+		b.g[i] = make([]edge, size)
+		b.flowerFrom[i] = make([]int, n+1)
+		for j := range b.g[i] {
+			b.g[i][j] = edge{u: i, v: j, w: 0}
+		}
+	}
+	var wMax int64
+	for u := 1; u <= n; u++ {
+		b.st[u] = u
+		for v := 1; v <= n; v++ {
+			if u == v {
+				b.flowerFrom[u][v] = u
+				continue
+			}
+			b.g[u][v].w = w[u-1][v-1]
+			if b.g[u][v].w > wMax {
+				wMax = b.g[u][v].w
+			}
+		}
+	}
+	for u := 1; u <= n; u++ {
+		b.lab[u] = wMax
+	}
+	return b
+}
+
+// eDelta is the reduced cost (slack) of edge e: lab[u]+lab[v]−2w.
+// Weights are implicitly doubled so that all dual updates stay integral.
+func (b *blossomSolver) eDelta(e edge) int64 {
+	return b.lab[e.u] + b.lab[e.v] - 2*e.w
+}
+
+func (b *blossomSolver) updateSlack(u, x int) {
+	if b.slack[x] == 0 || b.eDelta(b.g[u][x]) < b.eDelta(b.g[b.slack[x]][x]) {
+		b.slack[x] = u
+	}
+}
+
+func (b *blossomSolver) setSlack(x int) {
+	b.slack[x] = 0
+	for u := 1; u <= b.n; u++ {
+		if b.g[u][x].w > 0 && b.st[u] != x && b.s[b.st[u]] == 0 {
+			b.updateSlack(u, x)
+		}
+	}
+}
+
+func (b *blossomSolver) qPush(x int) {
+	if x <= b.n {
+		b.queue = append(b.queue, x)
+		return
+	}
+	for _, t := range b.flower[x] {
+		b.qPush(t)
+	}
+}
+
+func (b *blossomSolver) setSt(x, v int) {
+	b.st[x] = v
+	if x > b.n {
+		for _, t := range b.flower[x] {
+			b.setSt(t, v)
+		}
+	}
+}
+
+// getPr locates xr inside blossom bl and, if it sits at an odd position,
+// reverses the cyclic order so the even-length alternating path is used.
+func (b *blossomSolver) getPr(bl, xr int) int {
+	pr := 0
+	for i, t := range b.flower[bl] {
+		if t == xr {
+			pr = i
+			break
+		}
+	}
+	if pr%2 == 1 {
+		// Reverse flower[bl][1:] to flip traversal direction.
+		fl := b.flower[bl]
+		for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+			fl[i], fl[j] = fl[j], fl[i]
+		}
+		return len(fl) - pr
+	}
+	return pr
+}
+
+func (b *blossomSolver) setMatch(u, v int) {
+	b.match[u] = b.g[u][v].v
+	if u <= b.n {
+		return
+	}
+	e := b.g[u][v]
+	xr := b.flowerFrom[u][e.u]
+	pr := b.getPr(u, xr)
+	for i := 0; i < pr; i++ {
+		b.setMatch(b.flower[u][i], b.flower[u][i^1])
+	}
+	b.setMatch(xr, v)
+	// Rotate so xr becomes the blossom base.
+	fl := b.flower[u]
+	b.flower[u] = append(append([]int{}, fl[pr:]...), fl[:pr]...)
+}
+
+func (b *blossomSolver) augment(u, v int) {
+	for {
+		xnv := b.st[b.match[u]]
+		b.setMatch(u, v)
+		if xnv == 0 {
+			return
+		}
+		b.setMatch(xnv, b.st[b.pa[xnv]])
+		u, v = b.st[b.pa[xnv]], xnv
+	}
+}
+
+func (b *blossomSolver) getLCA(u, v int) int {
+	b.visTime++
+	t := b.visTime
+	for u != 0 || v != 0 {
+		if u != 0 {
+			if b.vis[u] == t {
+				return u
+			}
+			b.vis[u] = t
+			u = b.st[b.match[u]]
+			if u != 0 {
+				u = b.st[b.pa[u]]
+			}
+		}
+		u, v = v, u
+	}
+	return 0
+}
+
+func (b *blossomSolver) addBlossom(u, lca, v int) {
+	bl := b.n + 1
+	for bl <= b.nx && b.st[bl] != 0 {
+		bl++
+	}
+	if bl > b.nx {
+		b.nx++
+	}
+	if b.nx >= len(b.st) {
+		panic(fmt.Sprintf("matching: blossom id overflow (n=%d)", b.n))
+	}
+	b.lab[bl] = 0
+	b.s[bl] = 0
+	b.match[bl] = b.match[lca]
+	b.flower[bl] = b.flower[bl][:0]
+	b.flower[bl] = append(b.flower[bl], lca)
+	for x := u; x != lca; {
+		b.flower[bl] = append(b.flower[bl], x)
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	// Reverse flower[bl][1:].
+	fl := b.flower[bl]
+	for i, j := 1, len(fl)-1; i < j; i, j = i+1, j-1 {
+		fl[i], fl[j] = fl[j], fl[i]
+	}
+	for x := v; x != lca; {
+		b.flower[bl] = append(b.flower[bl], x)
+		y := b.st[b.match[x]]
+		b.flower[bl] = append(b.flower[bl], y)
+		b.qPush(y)
+		x = b.st[b.pa[y]]
+	}
+	b.setSt(bl, bl)
+	for x := 1; x <= b.nx; x++ {
+		b.g[bl][x].w = 0
+		b.g[x][bl].w = 0
+	}
+	for x := 1; x <= b.n; x++ {
+		b.flowerFrom[bl][x] = 0
+	}
+	for _, xs := range b.flower[bl] {
+		for x := 1; x <= b.nx; x++ {
+			if b.g[bl][x].w == 0 || b.eDelta(b.g[xs][x]) < b.eDelta(b.g[bl][x]) {
+				b.g[bl][x] = b.g[xs][x]
+				b.g[x][bl] = b.g[x][xs]
+			}
+		}
+		for x := 1; x <= b.n; x++ {
+			if b.flowerFrom[xs][x] != 0 {
+				b.flowerFrom[bl][x] = xs
+			}
+		}
+	}
+	b.setSlack(bl)
+}
+
+func (b *blossomSolver) expandBlossom(bl int) {
+	for _, t := range b.flower[bl] {
+		b.setSt(t, t)
+	}
+	xr := b.flowerFrom[bl][b.g[bl][b.pa[bl]].u]
+	pr := b.getPr(bl, xr)
+	for i := 0; i < pr; i += 2 {
+		xs := b.flower[bl][i]
+		xns := b.flower[bl][i+1]
+		b.pa[xs] = b.g[xns][xs].u
+		b.s[xs] = 1
+		b.s[xns] = 0
+		b.slack[xs] = 0
+		b.setSlack(xns)
+		b.qPush(xns)
+	}
+	b.s[xr] = 1
+	b.pa[xr] = b.pa[bl]
+	for i := pr + 1; i < len(b.flower[bl]); i++ {
+		xs := b.flower[bl][i]
+		b.s[xs] = -1
+		b.setSlack(xs)
+	}
+	b.st[bl] = 0
+}
+
+// onFoundEdge processes a tight edge discovered during the search. It
+// returns true when an augmenting path was found and applied.
+func (b *blossomSolver) onFoundEdge(e edge) bool {
+	u := b.st[e.u]
+	v := b.st[e.v]
+	switch b.s[v] {
+	case -1:
+		b.pa[v] = e.u
+		b.s[v] = 1
+		nu := b.st[b.match[v]]
+		b.slack[v] = 0
+		b.slack[nu] = 0
+		b.s[nu] = 0
+		b.qPush(nu)
+	case 0:
+		lca := b.getLCA(u, v)
+		if lca == 0 {
+			b.augment(u, v)
+			b.augment(v, u)
+			return true
+		}
+		b.addBlossom(u, lca, v)
+	}
+	return false
+}
+
+// matchingRound grows alternating trees from all free (super)nodes and
+// either augments the matching (returns true) or proves no augmenting path
+// of positive gain exists (returns false).
+func (b *blossomSolver) matchingRound() bool {
+	for i := 1; i <= b.nx; i++ {
+		b.s[i] = -1
+		b.slack[i] = 0
+	}
+	b.queue = b.queue[:0]
+	for x := 1; x <= b.nx; x++ {
+		if b.st[x] == x && b.match[x] == 0 {
+			b.pa[x] = 0
+			b.s[x] = 0
+			b.qPush(x)
+		}
+	}
+	if len(b.queue) == 0 {
+		return false
+	}
+	for {
+		for len(b.queue) > 0 {
+			u := b.queue[0]
+			b.queue = b.queue[1:]
+			if b.s[b.st[u]] == 1 {
+				continue
+			}
+			for v := 1; v <= b.n; v++ {
+				if b.g[u][v].w > 0 && b.st[u] != b.st[v] {
+					if b.eDelta(b.g[u][v]) == 0 {
+						if b.onFoundEdge(b.g[u][v]) {
+							return true
+						}
+					} else {
+						b.updateSlack(u, b.st[v])
+					}
+				}
+			}
+		}
+		// Dual adjustment.
+		d := infWeight
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 {
+				if v := b.lab[bl] / 2; v < d {
+					d = v
+				}
+			}
+		}
+		for x := 1; x <= b.nx; x++ {
+			if b.st[x] == x && b.slack[x] != 0 {
+				delta := b.eDelta(b.g[b.slack[x]][x])
+				switch b.s[x] {
+				case -1:
+					if delta < d {
+						d = delta
+					}
+				case 0:
+					if v := delta / 2; v < d {
+						d = v
+					}
+				}
+			}
+		}
+		for u := 1; u <= b.n; u++ {
+			switch b.s[b.st[u]] {
+			case 0:
+				if b.lab[u] <= d {
+					return false // maximum weight reached
+				}
+				b.lab[u] -= d
+			case 1:
+				b.lab[u] += d
+			}
+		}
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl {
+				switch b.s[bl] {
+				case 0:
+					b.lab[bl] += 2 * d
+				case 1:
+					b.lab[bl] -= 2 * d
+				}
+			}
+		}
+		b.queue = b.queue[:0]
+		for x := 1; x <= b.nx; x++ {
+			if b.st[x] == x && b.slack[x] != 0 && b.st[b.slack[x]] != x &&
+				b.eDelta(b.g[b.slack[x]][x]) == 0 {
+				if b.onFoundEdge(b.g[b.slack[x]][x]) {
+					return true
+				}
+			}
+		}
+		for bl := b.n + 1; bl <= b.nx; bl++ {
+			if b.st[bl] == bl && b.s[bl] == 1 && b.lab[bl] == 0 {
+				b.expandBlossom(bl)
+			}
+		}
+	}
+}
+
+// maxWeightMatching computes a maximum-weight matching of the complete graph
+// with positive integer weights w (0-indexed, symmetric). It returns the
+// 0-indexed mate array with -1 for unmatched vertices.
+func maxWeightMatching(n int, w [][]int64) []int {
+	b := newBlossomSolver(n, w)
+	for b.matchingRound() {
+	}
+	mate := make([]int, n)
+	for u := 1; u <= n; u++ {
+		if b.match[u] != 0 {
+			mate[u-1] = b.match[u] - 1
+		} else {
+			mate[u-1] = -1
+		}
+	}
+	return mate
+}
+
+// MinWeightPerfectMatching returns a perfect matching of the complete graph
+// on len(w) vertices minimising the total edge weight, together with that
+// total. w must be square and symmetric with finite values; the diagonal is
+// ignored. mate[i] is the partner of vertex i.
+//
+// This is the exact optimisation SYNPA performs every quantum over the
+// pairwise predicted-degradation matrix.
+func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err error) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n%2 != 0 {
+		return nil, 0, ErrOddVertices
+	}
+	var wMin, wMax float64 = math.Inf(1), math.Inf(-1)
+	for i := range w {
+		if len(w[i]) != n {
+			return nil, 0, ErrNotSquare
+		}
+		for j := range w[i] {
+			if i == j {
+				continue
+			}
+			v := w[i][j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, ErrBadWeight
+			}
+			if math.Abs(v-w[j][i]) > 1e-9*(1+math.Abs(v)) {
+				return nil, 0, ErrNotSymmetric
+			}
+			if v < wMin {
+				wMin = v
+			}
+			if v > wMax {
+				wMax = v
+			}
+		}
+	}
+
+	// Complement transform to strictly positive integer weights:
+	// w' = round((wMax - w)·scale) + 1  ≥ 1.
+	iw := make([][]int64, n)
+	for i := range iw {
+		iw[i] = make([]int64, n)
+		for j := range iw[i] {
+			if i == j {
+				continue
+			}
+			iw[i][j] = int64(math.Round((wMax-w[i][j])*weightScale)) + 1
+		}
+	}
+
+	mate = maxWeightMatching(n, iw)
+	for i, m := range mate {
+		if m < 0 || mate[m] != i {
+			return nil, 0, fmt.Errorf("matching: internal error, vertex %d left unmatched", i)
+		}
+		if i < m {
+			total += w[i][m]
+		}
+	}
+	return mate, total, nil
+}
+
+// Pairs converts a mate array into a list of (i, j) pairs with i < j.
+func Pairs(mate []int) [][2]int {
+	var out [][2]int
+	for i, m := range mate {
+		if m > i {
+			out = append(out, [2]int{i, m})
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package metrics computes the system-level performance metrics of the
+// paper's evaluation (§VI): turnaround time, individual speedups, fairness
+// (Eyerman & Eeckhout [24]) and workload IPC, plus the ANTT and STP metrics
+// customary in multi-program studies.
+package metrics
+
+import (
+	"fmt"
+
+	"synpa/internal/machine"
+	"synpa/internal/stats"
+)
+
+// TurnaroundCycles returns the workload turnaround time in cycles: the
+// completion time of the slowest application (§VI-B).
+func TurnaroundCycles(r *machine.Result) (uint64, error) {
+	tt, ok := r.TurnaroundCycles()
+	if !ok {
+		return 0, fmt.Errorf("metrics: workload under %s did not complete", r.Policy)
+	}
+	return tt, nil
+}
+
+// IndividualSpeedups returns each application's individual speedup: the
+// ratio of its IPC in SMT execution to its IPC in isolated execution
+// (§VI-D). Values are <= ~1; higher is better.
+func IndividualSpeedups(r *machine.Result, isolatedIPC []float64) ([]float64, error) {
+	if len(isolatedIPC) != len(r.Apps) {
+		return nil, fmt.Errorf("metrics: %d isolated IPCs for %d apps", len(isolatedIPC), len(r.Apps))
+	}
+	out := make([]float64, len(r.Apps))
+	for i := range r.Apps {
+		if r.Apps[i].CompletedAtCycle == 0 {
+			return nil, fmt.Errorf("metrics: app %d (%s) never completed", i, r.Apps[i].Name)
+		}
+		if isolatedIPC[i] <= 0 {
+			return nil, fmt.Errorf("metrics: app %d (%s) has non-positive isolated IPC", i, r.Apps[i].Name)
+		}
+		out[i] = r.Apps[i].IPC / isolatedIPC[i]
+	}
+	return out, nil
+}
+
+// Fairness computes the paper's fairness metric: 1 − σ/µ over the
+// individual speedups. A value of 1 means perfectly uniform progress
+// (§VI-D, [24]).
+func Fairness(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	mu := stats.Mean(speedups)
+	if mu == 0 {
+		return 0
+	}
+	f := 1 - stats.StdDev(speedups)/mu
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// GeomeanIPC returns the workload IPC as the geometric mean of the
+// applications' IPCs, the aggregation used for Fig. 9.
+func GeomeanIPC(r *machine.Result) (float64, error) {
+	vals := make([]float64, len(r.Apps))
+	for i := range r.Apps {
+		if r.Apps[i].IPC <= 0 {
+			return 0, fmt.Errorf("metrics: app %d (%s) has no IPC", i, r.Apps[i].Name)
+		}
+		vals[i] = r.Apps[i].IPC
+	}
+	return stats.GeoMean(vals), nil
+}
+
+// ANTT returns the average normalized turnaround time: the arithmetic mean
+// of per-application slowdowns (1/speedup). Lower is better.
+func ANTT(speedups []float64) float64 {
+	if len(speedups) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range speedups {
+		if v <= 0 {
+			return 0
+		}
+		s += 1 / v
+	}
+	return s / float64(len(speedups))
+}
+
+// STP returns the system throughput: the sum of individual speedups,
+// i.e. the aggregate progress rate in "isolated applications" units.
+// Higher is better.
+func STP(speedups []float64) float64 {
+	s := 0.0
+	for _, v := range speedups {
+		s += v
+	}
+	return s
+}

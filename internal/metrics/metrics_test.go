@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"synpa/internal/machine"
+)
+
+func resultWith(ipcs []float64, completed bool) *machine.Result {
+	r := &machine.Result{Policy: "test"}
+	for i, ipc := range ipcs {
+		ar := machine.AppResult{Name: "app", IPC: ipc}
+		if completed {
+			ar.CompletedAtCycle = uint64(1000 * (i + 1))
+		}
+		r.Apps = append(r.Apps, ar)
+	}
+	r.AllCompleted = completed
+	return r
+}
+
+func TestTurnaroundCycles(t *testing.T) {
+	r := resultWith([]float64{1, 2, 3}, true)
+	tt, err := TurnaroundCycles(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt != 3000 {
+		t.Fatalf("TT = %d, want 3000 (slowest app)", tt)
+	}
+	if _, err := TurnaroundCycles(resultWith([]float64{1}, false)); err == nil {
+		t.Fatal("incomplete workload accepted")
+	}
+}
+
+func TestIndividualSpeedups(t *testing.T) {
+	r := resultWith([]float64{0.5, 1.0}, true)
+	s, err := IndividualSpeedups(r, []float64{1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != 0.5 || s[1] != 0.5 {
+		t.Fatalf("speedups = %v", s)
+	}
+	if _, err := IndividualSpeedups(r, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := IndividualSpeedups(r, []float64{1, 0}); err == nil {
+		t.Fatal("zero isolated IPC accepted")
+	}
+	if _, err := IndividualSpeedups(resultWith([]float64{1, 1}, false), []float64{1, 1}); err == nil {
+		t.Fatal("incomplete app accepted")
+	}
+}
+
+func TestFairness(t *testing.T) {
+	// Perfectly uniform progress → fairness 1.
+	if f := Fairness([]float64{0.7, 0.7, 0.7}); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("uniform fairness = %v, want 1", f)
+	}
+	// Known case: σ/µ of {0.4, 0.8} is (0.2)/(0.6).
+	want := 1 - 0.2/0.6
+	if f := Fairness([]float64{0.4, 0.8}); math.Abs(f-want) > 1e-12 {
+		t.Fatalf("fairness = %v, want %v", f, want)
+	}
+	if f := Fairness(nil); f != 0 {
+		t.Fatalf("empty fairness = %v", f)
+	}
+	// Extreme dispersion (σ > µ) clamps at zero rather than going
+	// negative.
+	if f := Fairness([]float64{0.01, 0.01, 0.01, 10}); f != 0 {
+		t.Fatalf("clamped fairness = %v", f)
+	}
+}
+
+func TestFairnessOrdering(t *testing.T) {
+	// More dispersion → lower fairness, always in [0,1].
+	check := func(seedA, seedB uint8) bool {
+		base := 0.5
+		spreadSmall := float64(seedA%10) / 100
+		spreadBig := spreadSmall + 0.2
+		small := []float64{base - spreadSmall, base + spreadSmall}
+		big := []float64{base - spreadBig, base + spreadBig}
+		fs, fb := Fairness(small), Fairness(big)
+		return fs >= fb && fs <= 1 && fb >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeomeanIPC(t *testing.T) {
+	r := resultWith([]float64{1, 4}, true)
+	g, err := GeomeanIPC(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v, want 2", g)
+	}
+	if _, err := GeomeanIPC(resultWith([]float64{1, 0}, true)); err == nil {
+		t.Fatal("zero IPC accepted")
+	}
+}
+
+func TestANTT(t *testing.T) {
+	// Slowdowns 2 and 4 → ANTT = 3.
+	if a := ANTT([]float64{0.5, 0.25}); math.Abs(a-3) > 1e-12 {
+		t.Fatalf("ANTT = %v, want 3", a)
+	}
+	if ANTT(nil) != 0 || ANTT([]float64{0}) != 0 {
+		t.Fatal("degenerate ANTT should be 0")
+	}
+}
+
+func TestSTP(t *testing.T) {
+	if s := STP([]float64{0.5, 0.7}); math.Abs(s-1.2) > 1e-12 {
+		t.Fatalf("STP = %v, want 1.2", s)
+	}
+	if STP(nil) != 0 {
+		t.Fatal("empty STP should be 0")
+	}
+}

@@ -1,0 +1,169 @@
+// Package pmu emulates the ARMv8.1 Performance Monitoring Unit events that
+// SYNPA consumes (paper Table I), on a per-hardware-thread basis.
+//
+// The paper's approach hinges on a property of the ARM PMU that this package
+// reproduces faithfully: the dispatch-stall counters STALL_FRONTEND and
+// STALL_BACKEND only tick on cycles where *no* µop is dispatched. A cycle in
+// which a single µop is dispatched on a 4-wide machine wastes three dispatch
+// slots, yet no stall counter moves — this horizontal waste is invisible and
+// must be *revealed* arithmetically (paper §III-B Step 2) from INST_SPEC and
+// the dispatch width. The simulator in internal/smtcore increments these
+// counters with exactly those semantics.
+//
+// Beyond the four architectural events of Table I, the bank also exposes the
+// fine-grained stall-cause events (ROB full, IQ full, load/store queue full,
+// dispatch-slot contention, …) that the authors used for their discarded
+// ten-category preliminary model (§VI-A). On real hardware those are
+// micro-architectural events; here they come from the simulator's exact
+// blocked-cycle attribution.
+package pmu
+
+import "fmt"
+
+// Event identifies one hardware performance event.
+type Event uint8
+
+// The architectural events of paper Table I, followed by the fine-grained
+// stall-cause events used by the ten-category ablation.
+const (
+	// CPUCycles counts processor cycles while the thread context is active.
+	CPUCycles Event = iota
+	// InstSpec counts operations speculatively executed (dispatched), the
+	// ARM INST_SPEC event. It includes wrong-path µops: the paper
+	// deliberately makes no distinction between committed and cancelled
+	// instructions at the dispatch stage (§III-B Step 3, last paragraph).
+	InstSpec
+	// StallFrontend counts cycles with no operation dispatched because the
+	// dispatch queue was empty (instruction supply starved).
+	StallFrontend
+	// StallBackend counts cycles with no operation dispatched because a
+	// backend resource was unavailable.
+	StallBackend
+
+	// Fine-grained frontend decomposition.
+	StallFEICache // frontend stall due to an instruction-cache miss
+	StallFEBranch // frontend stall due to a branch misprediction squash
+
+	// Fine-grained backend decomposition (the paper split backend stalls
+	// into seven component categories for its preliminary model).
+	StallBEMemLat // blocked while own long-latency load is outstanding
+	StallBEROB    // blocked: shared reorder buffer full
+	StallBEIQ     // blocked: issue queue full
+	StallBELDQ    // blocked: load queue full
+	StallBESTQ    // blocked: store queue full
+	StallBESlots  // blocked: co-runner consumed all dispatch slots
+	StallBEOther  // blocked: any other backend condition
+
+	// InstRetired counts architecturally committed instructions. The
+	// training methodology (§IV-C) uses committed-instruction counts to
+	// align quanta between ST and SMT executions.
+	InstRetired
+
+	// NumEvents is the size of a counter bank.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"CPU_CYCLES",
+	"INST_SPEC",
+	"STALL_FRONTEND",
+	"STALL_BACKEND",
+	"STALL_FE_ICACHE",
+	"STALL_FE_BRANCH",
+	"STALL_BE_MEMLAT",
+	"STALL_BE_ROB",
+	"STALL_BE_IQ",
+	"STALL_BE_LDQ",
+	"STALL_BE_STQ",
+	"STALL_BE_SLOTS",
+	"STALL_BE_OTHER",
+	"INST_RETIRED",
+}
+
+// String returns the ARM-style event mnemonic.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("EVENT(%d)", uint8(e))
+}
+
+// TableIEvents lists the four events of paper Table I — everything SYNPA
+// itself needs.
+var TableIEvents = []Event{CPUCycles, InstSpec, StallFrontend, StallBackend}
+
+// FineBackendEvents lists the component backend-stall events.
+var FineBackendEvents = []Event{
+	StallBEMemLat, StallBEROB, StallBEIQ, StallBELDQ, StallBESTQ,
+	StallBESlots, StallBEOther,
+}
+
+// Counters is an immutable snapshot of a counter bank.
+type Counters [NumEvents]uint64
+
+// Get returns the value of event e.
+func (c Counters) Get(e Event) uint64 { return c[e] }
+
+// Delta returns c − prev per event. Counters are monotonic within a
+// measurement session; Delta of two ordered snapshots is the interval count.
+func (c Counters) Delta(prev Counters) Counters {
+	var d Counters
+	for i := range c {
+		d[i] = c[i] - prev[i]
+	}
+	return d
+}
+
+// Add returns the event-wise sum of two snapshots.
+func (c Counters) Add(other Counters) Counters {
+	var s Counters
+	for i := range c {
+		s[i] = c[i] + other[i]
+	}
+	return s
+}
+
+// IPC returns retired instructions per cycle, or 0 when no cycles elapsed.
+func (c Counters) IPC() float64 {
+	if c[CPUCycles] == 0 {
+		return 0
+	}
+	return float64(c[InstRetired]) / float64(c[CPUCycles])
+}
+
+// Bank is one hardware thread's set of performance counters. It mimics the
+// perf_event workflow: counters accumulate only while enabled, can be read
+// at any time, and reset on demand. The zero value is a disabled bank.
+type Bank struct {
+	counts  Counters
+	enabled bool
+}
+
+// Enable starts counting.
+func (b *Bank) Enable() { b.enabled = true }
+
+// Disable stops counting; values are retained.
+func (b *Bank) Disable() { b.enabled = false }
+
+// Enabled reports whether the bank is counting.
+func (b *Bank) Enabled() bool { return b.enabled }
+
+// Reset zeroes every counter (values only; the enable state is kept).
+func (b *Bank) Reset() { b.counts = Counters{} }
+
+// Inc adds 1 to event e if the bank is enabled.
+func (b *Bank) Inc(e Event) {
+	if b.enabled {
+		b.counts[e]++
+	}
+}
+
+// Add adds n to event e if the bank is enabled.
+func (b *Bank) Add(e Event, n uint64) {
+	if b.enabled {
+		b.counts[e] += n
+	}
+}
+
+// Read returns a snapshot of the current counter values.
+func (b *Bank) Read() Counters { return b.counts }

@@ -1,0 +1,145 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNames(t *testing.T) {
+	// Table I mnemonics must match the ARM event names the paper cites.
+	cases := map[Event]string{
+		CPUCycles:     "CPU_CYCLES",
+		InstSpec:      "INST_SPEC",
+		StallFrontend: "STALL_FRONTEND",
+		StallBackend:  "STALL_BACKEND",
+		InstRetired:   "INST_RETIRED",
+	}
+	for e, want := range cases {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Event(200).String(), "EVENT(") {
+		t.Errorf("unknown event String() = %q", Event(200).String())
+	}
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" {
+			t.Errorf("event %d has empty name", e)
+		}
+	}
+}
+
+func TestTableIEvents(t *testing.T) {
+	if len(TableIEvents) != 4 {
+		t.Fatalf("Table I defines exactly 4 events, got %d", len(TableIEvents))
+	}
+}
+
+func TestBankDisabledByDefault(t *testing.T) {
+	var b Bank
+	if b.Enabled() {
+		t.Fatal("zero-value bank must be disabled")
+	}
+	b.Inc(CPUCycles)
+	b.Add(InstSpec, 10)
+	if c := b.Read(); c[CPUCycles] != 0 || c[InstSpec] != 0 {
+		t.Fatalf("disabled bank counted: %v", c)
+	}
+}
+
+func TestBankEnableDisable(t *testing.T) {
+	var b Bank
+	b.Enable()
+	b.Inc(CPUCycles)
+	b.Add(InstSpec, 4)
+	b.Disable()
+	b.Inc(CPUCycles) // must not count
+	c := b.Read()
+	if c[CPUCycles] != 1 || c[InstSpec] != 4 {
+		t.Fatalf("counts = %v, want cycles=1 inst=4", c)
+	}
+}
+
+func TestBankReset(t *testing.T) {
+	var b Bank
+	b.Enable()
+	b.Add(StallBackend, 7)
+	b.Reset()
+	if c := b.Read(); c[StallBackend] != 0 {
+		t.Fatalf("Reset left %d", c[StallBackend])
+	}
+	if !b.Enabled() {
+		t.Fatal("Reset must not disable the bank")
+	}
+}
+
+func TestCountersDelta(t *testing.T) {
+	var b Bank
+	b.Enable()
+	b.Add(CPUCycles, 100)
+	snap1 := b.Read()
+	b.Add(CPUCycles, 50)
+	b.Add(InstSpec, 120)
+	d := b.Read().Delta(snap1)
+	if d[CPUCycles] != 50 || d[InstSpec] != 120 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a[CPUCycles] = 3
+	b[CPUCycles] = 4
+	b[InstSpec] = 5
+	s := a.Add(b)
+	if s[CPUCycles] != 7 || s[InstSpec] != 5 {
+		t.Fatalf("sum = %v", s)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 {
+		t.Fatal("IPC with zero cycles must be 0")
+	}
+	c[CPUCycles] = 100
+	c[InstRetired] = 250
+	if got := c.IPC(); got != 2.5 {
+		t.Fatalf("IPC = %v, want 2.5", got)
+	}
+}
+
+func TestDeltaAddRoundTrip(t *testing.T) {
+	// prev + (cur − prev) == cur for any counter values.
+	check := func(prevRaw, deltaRaw [NumEvents]uint32) bool {
+		var prev, cur Counters
+		for i := range prevRaw {
+			prev[i] = uint64(prevRaw[i])
+			cur[i] = prev[i] + uint64(deltaRaw[i])
+		}
+		return prev.Add(cur.Delta(prev)) == cur
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGet(t *testing.T) {
+	var c Counters
+	c[StallFrontend] = 42
+	if c.Get(StallFrontend) != 42 {
+		t.Fatal("Get mismatch")
+	}
+}
+
+func TestFineBackendEventsAreBackend(t *testing.T) {
+	for _, e := range FineBackendEvents {
+		if !strings.HasPrefix(e.String(), "STALL_BE_") {
+			t.Errorf("%v is not a backend stall component", e)
+		}
+	}
+	if len(FineBackendEvents) != 7 {
+		t.Fatalf("paper splits backend stalls into 7 components, got %d", len(FineBackendEvents))
+	}
+}

@@ -1,0 +1,234 @@
+// Package regression implements ordinary least squares linear regression,
+// the numerical core of SYNPA's interference model (paper §IV). The model of
+// Eq. 1 is linear in its coefficients,
+//
+//	C_smt[i,j] = α + β·C_st[i] + γ·C_st[j] + ρ·C_st[i]·C_st[j],
+//
+// so fitting reduces to OLS on the design matrix [1, Ci, Cj, Ci·Cj]. The
+// solver uses the normal equations with Gaussian elimination and partial
+// pivoting, plus a tiny ridge fallback for rank-deficient systems (which
+// arise when a training term is constant, e.g. the paper's FE model where
+// γ = ρ = 0).
+package regression
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the fitting routines.
+var (
+	ErrDimensionMismatch = errors.New("regression: rows of X and y differ")
+	ErrTooFewSamples     = errors.New("regression: fewer samples than coefficients")
+	ErrSingular          = errors.New("regression: singular normal equations")
+	ErrEmpty             = errors.New("regression: empty design matrix")
+)
+
+// Model is a fitted linear model y ≈ X·Coef.
+type Model struct {
+	// Coef holds the fitted coefficients, one per design-matrix column.
+	Coef []float64
+	// MSE is the mean squared error over the training samples.
+	MSE float64
+	// R2 is the coefficient of determination over the training samples.
+	R2 float64
+	// N is the number of training samples used.
+	N int
+}
+
+// Fit solves min ||X·c − y||² by the normal equations. Each row of x is one
+// sample; all rows must have equal length.
+func Fit(x [][]float64, y []float64) (*Model, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(x) != len(y) {
+		return nil, ErrDimensionMismatch
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, ErrEmpty
+	}
+	if len(x) < p {
+		return nil, ErrTooFewSamples
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("regression: row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+
+	// Build XᵀX (p×p) and Xᵀy (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for _, rowIdx := range sampleIndices(len(x)) {
+		row := x[rowIdx]
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[rowIdx]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	coef, err := SolveLinear(xtx, xty)
+	if err != nil {
+		// Rank-deficient training sets occur legitimately (constant
+		// columns). Retry with a tiny ridge on the diagonal, which
+		// shrinks unidentifiable coefficients toward zero — matching
+		// the paper's reporting of exact zeros for γ and ρ in the FE
+		// category.
+		const ridge = 1e-9
+		for i := 0; i < p; i++ {
+			xtx[i][i] += ridge
+		}
+		coef, err = SolveLinear(xtx, xty)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	m := &Model{Coef: coef, N: len(x)}
+	m.MSE, m.R2 = Evaluate(coef, x, y)
+	return m, nil
+}
+
+// Predict evaluates the fitted model on one sample row.
+func (m *Model) Predict(row []float64) float64 {
+	s := 0.0
+	for i, c := range m.Coef {
+		s += c * row[i]
+	}
+	return s
+}
+
+// Evaluate returns the MSE and R² of coefficients coef on samples (x, y).
+func Evaluate(coef []float64, x [][]float64, y []float64) (mse, r2 float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(len(y))
+
+	var sse, sst float64
+	for i, row := range x {
+		pred := 0.0
+		for j, c := range coef {
+			pred += c * row[j]
+		}
+		d := y[i] - pred
+		sse += d * d
+		dy := y[i] - meanY
+		sst += dy * dy
+	}
+	mse = sse / float64(len(x))
+	if sst == 0 {
+		if sse == 0 {
+			r2 = 1
+		}
+		return mse, r2
+	}
+	return mse, 1 - sse/sst
+}
+
+// sampleIndices returns 0..n-1; factored out so accumulation order is
+// explicit and deterministic.
+func sampleIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// SolveLinear solves the dense linear system A·x = b using Gaussian
+// elimination with partial pivoting. A is modified; pass a copy if the
+// caller needs it intact. It returns ErrSingular when a pivot underflows.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, ErrDimensionMismatch
+	}
+	// Work on copies to keep the API side-effect free for callers that
+	// reuse matrices (the training pipeline fits three categories from
+	// overlapping scatter matrices).
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, ErrDimensionMismatch
+		}
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > best {
+				pivot, best = r, abs
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := v[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// PairRow builds the Eq. 1 design row [1, ci, cj, ci·cj] for one sample:
+// the category value of the target application in isolation (ci), of the
+// co-runner in isolation (cj), and their product.
+func PairRow(ci, cj float64) []float64 {
+	return []float64{1, ci, cj, ci * cj}
+}
+
+// PairDesign builds a full design matrix from parallel slices of isolated
+// category values. It panics if the slices differ in length, which would be
+// a programming error in the training pipeline.
+func PairDesign(ci, cj []float64) [][]float64 {
+	if len(ci) != len(cj) {
+		panic("regression: PairDesign length mismatch")
+	}
+	x := make([][]float64, len(ci))
+	for k := range ci {
+		x[k] = PairRow(ci[k], cj[k])
+	}
+	return x
+}

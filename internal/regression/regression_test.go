@@ -1,0 +1,277 @@
+package regression
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"synpa/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitExactLine(t *testing.T) {
+	// y = 3 + 2x fitted exactly from noiseless data.
+	x := [][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}}
+	y := []float64{3, 5, 7, 9}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Coef[0], 3, 1e-9) || !almostEq(m.Coef[1], 2, 1e-9) {
+		t.Fatalf("coef = %v, want [3 2]", m.Coef)
+	}
+	if m.MSE > 1e-18 {
+		t.Fatalf("MSE = %v, want ~0", m.MSE)
+	}
+	if !almostEq(m.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", m.R2)
+	}
+}
+
+func TestFitRecoversEq1Coefficients(t *testing.T) {
+	// Generate data from a known Eq. 1 model and verify recovery.
+	rng := xrand.New(99)
+	alpha, beta, gamma, rho := 0.21, 0.34, 1.44, 0.031
+	var x [][]float64
+	var y []float64
+	for k := 0; k < 500; k++ {
+		ci := rng.Float64()
+		cj := rng.Float64()
+		x = append(x, PairRow(ci, cj))
+		y = append(y, alpha+beta*ci+gamma*cj+rho*ci*cj)
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{alpha, beta, gamma, rho}
+	for i, w := range want {
+		if !almostEq(m.Coef[i], w, 1e-9) {
+			t.Fatalf("coef[%d] = %v, want %v (all %v)", i, m.Coef[i], w, m.Coef)
+		}
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := xrand.New(7)
+	alpha, beta := 1.0, -2.0
+	var x [][]float64
+	var y []float64
+	for k := 0; k < 5000; k++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{1, v})
+		y = append(y, alpha+beta*v+0.1*rng.NormFloat64())
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Coef[0], alpha, 0.05) || !almostEq(m.Coef[1], beta, 0.01) {
+		t.Fatalf("coef = %v, want ~[1 -2]", m.Coef)
+	}
+	if m.MSE > 0.012 {
+		t.Fatalf("MSE = %v, want ~0.01", m.MSE)
+	}
+	if m.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want > 0.99", m.R2)
+	}
+}
+
+func TestFitConstantColumn(t *testing.T) {
+	// A constant (all-zero) regressor makes the normal equations singular;
+	// the ridge fallback should pin its coefficient near zero, matching
+	// the paper's γ = ρ = 0 rows in Table IV.
+	var x [][]float64
+	var y []float64
+	rng := xrand.New(3)
+	for k := 0; k < 100; k++ {
+		v := rng.Float64()
+		x = append(x, []float64{1, v, 0})
+		y = append(y, 2+3*v)
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.Coef[0], 2, 1e-6) || !almostEq(m.Coef[1], 3, 1e-6) {
+		t.Fatalf("coef = %v, want [2 3 ~0]", m.Coef)
+	}
+	if math.Abs(m.Coef[2]) > 1e-6 {
+		t.Fatalf("dead coefficient = %v, want ~0", m.Coef[2])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil); err != ErrEmpty {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}); err != ErrDimensionMismatch {
+		t.Fatalf("mismatch: %v", err)
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1}); err != ErrTooFewSamples {
+		t.Fatalf("too few: %v", err)
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged design accepted")
+	}
+	if _, err := Fit([][]float64{{}}, []float64{1}); err != ErrEmpty {
+		t.Fatalf("zero-width: %v", err)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-9) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	// Input must not be clobbered.
+	if a[0][0] != 2 || b[0] != 8 {
+		t.Fatal("SolveLinear mutated its inputs")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the initial pivot position requires row exchange.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 5, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [5 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("singular err = %v", err)
+	}
+}
+
+func TestSolveLinearDimensionErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err != ErrDimensionMismatch {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err != ErrDimensionMismatch {
+		t.Fatalf("b length: %v", err)
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err != ErrDimensionMismatch {
+		t.Fatalf("ragged: %v", err)
+	}
+}
+
+func TestSolveLinearProperty(t *testing.T) {
+	// For random diagonally dominant systems (guaranteed non-singular),
+	// A·x must reproduce b.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(6)
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			rowSum := 0.0
+			for j := range a[i] {
+				a[i][j] = rng.Float64()*2 - 1
+				rowSum += math.Abs(a[i][j])
+			}
+			a[i][i] = rowSum + 1 // diagonal dominance
+			b[i] = rng.Float64() * 10
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a[i][j] * x[j]
+			}
+			if !almostEq(s, b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	coef := []float64{1, 2}
+	x := [][]float64{{1, 1}, {1, 2}}
+	y := []float64{3, 5} // perfect
+	mse, r2 := Evaluate(coef, x, y)
+	if mse != 0 || r2 != 1 {
+		t.Fatalf("mse=%v r2=%v, want 0,1", mse, r2)
+	}
+	y = []float64{4, 4} // mean model exactly
+	mse, r2 = Evaluate(coef, x, y)
+	if !almostEq(mse, 1, 1e-12) {
+		t.Fatalf("mse = %v, want 1", mse)
+	}
+	// Constant y with wrong predictions: R² stays 0 (sst = 0, sse > 0).
+	mse, r2 = Evaluate([]float64{0, 0}, x, []float64{2, 2})
+	if r2 != 0 || mse != 4 {
+		t.Fatalf("constant-y case mse=%v r2=%v", mse, r2)
+	}
+	if m, r := Evaluate(coef, nil, nil); m != 0 || r != 0 {
+		t.Fatal("empty Evaluate should be zeros")
+	}
+}
+
+func TestPairRowAndDesign(t *testing.T) {
+	row := PairRow(0.25, 0.5)
+	want := []float64{1, 0.25, 0.5, 0.125}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("PairRow = %v, want %v", row, want)
+		}
+	}
+	d := PairDesign([]float64{1, 2}, []float64{3, 4})
+	if len(d) != 2 || d[1][3] != 8 {
+		t.Fatalf("PairDesign = %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PairDesign length mismatch did not panic")
+		}
+	}()
+	PairDesign([]float64{1}, []float64{1, 2})
+}
+
+func TestModelPredict(t *testing.T) {
+	m := &Model{Coef: []float64{1, 2, 3}}
+	if got := m.Predict([]float64{1, 10, 100}); got != 321 {
+		t.Fatalf("Predict = %v, want 321", got)
+	}
+}
+
+func BenchmarkFitEq1_500Samples(b *testing.B) {
+	rng := xrand.New(99)
+	var x [][]float64
+	var y []float64
+	for k := 0; k < 500; k++ {
+		ci, cj := rng.Float64(), rng.Float64()
+		x = append(x, PairRow(ci, cj))
+		y = append(y, 0.2+0.3*ci+1.4*cj+0.03*ci*cj)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

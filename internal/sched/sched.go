@@ -1,0 +1,84 @@
+// Package sched provides the baseline thread-to-core allocation policies
+// SYNPA is evaluated against.
+//
+// The primary baseline is the Linux scheduler as the paper observed it
+// (§VI-C): the CFS, being unaware of thread dispatch behaviour, assigns
+// applications to cores in arrival order — applications k and k+cores share
+// core k — and an application then "remains in the core until its execution
+// finishes". The Random policy re-pairs applications uniformly at random
+// every quantum and serves as a sanity baseline: SYNPA must beat it, and it
+// must roughly tie with Linux on homogeneous workloads.
+package sched
+
+import (
+	"synpa/internal/machine"
+	"synpa/internal/xrand"
+)
+
+// Linux is the behaviour-oblivious static arrival-order policy the paper
+// measured the CFS to follow for its workloads.
+type Linux struct{}
+
+var _ machine.Policy = Linux{}
+
+// Name implements machine.Policy.
+func (Linux) Name() string { return "Linux" }
+
+// Place implements machine.Policy: arrival-order pairing, then never move.
+func (Linux) Place(st *machine.QuantumState) machine.Placement {
+	if st.Prev != nil {
+		return st.Prev
+	}
+	p := make(machine.Placement, st.NumApps)
+	for i := range p {
+		p[i] = i % st.NumCores
+	}
+	return p
+}
+
+// Random re-pairs all applications uniformly at random each quantum.
+type Random struct {
+	rng *xrand.RNG
+}
+
+var _ machine.Policy = (*Random)(nil)
+
+// NewRandom builds a Random policy with a deterministic stream.
+func NewRandom(seed uint64) *Random { return &Random{rng: xrand.New(seed)} }
+
+// Name implements machine.Policy.
+func (*Random) Name() string { return "Random" }
+
+// Place implements machine.Policy.
+func (r *Random) Place(st *machine.QuantumState) machine.Placement {
+	perm := r.rng.Perm(st.NumApps)
+	p := make(machine.Placement, st.NumApps)
+	for idx, app := range perm {
+		p[app] = (idx / 2) % st.NumCores
+	}
+	return p
+}
+
+// Pinned places each application on a fixed, caller-chosen core forever;
+// used by tests and by experiments that need a specific static pairing.
+type Pinned struct {
+	// Assignment maps app index to core index.
+	Assignment machine.Placement
+	// Label is the policy name shown in output.
+	Label string
+}
+
+var _ machine.Policy = Pinned{}
+
+// Name implements machine.Policy.
+func (p Pinned) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "Pinned"
+}
+
+// Place implements machine.Policy.
+func (p Pinned) Place(*machine.QuantumState) machine.Placement {
+	return p.Assignment.Clone()
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"synpa/internal/machine"
+)
+
+func TestLinuxArrivalOrderPairing(t *testing.T) {
+	p := Linux{}
+	if p.Name() != "Linux" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	place := p.Place(&machine.QuantumState{NumApps: 8, NumCores: 4})
+	// The paper's observed pairing for fb2 (§VI-C): apps k and k+4 share
+	// core k.
+	want := machine.Placement{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if place[i] != want[i] {
+			t.Fatalf("placement = %v, want %v", place, want)
+		}
+	}
+}
+
+func TestLinuxNeverMigrates(t *testing.T) {
+	p := Linux{}
+	prev := machine.Placement{3, 2, 1, 0, 0, 1, 2, 3}
+	place := p.Place(&machine.QuantumState{Quantum: 5, NumApps: 8, NumCores: 4, Prev: prev})
+	for i := range prev {
+		if place[i] != prev[i] {
+			t.Fatalf("Linux migrated: %v -> %v", prev, place)
+		}
+	}
+}
+
+func TestRandomProducesValidPlacements(t *testing.T) {
+	p := NewRandom(7)
+	if p.Name() != "Random" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	st := &machine.QuantumState{NumApps: 8, NumCores: 4}
+	changed := false
+	var prev machine.Placement
+	for q := 0; q < 50; q++ {
+		place := p.Place(st)
+		if err := place.Validate(4); err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			for i := range place {
+				if place[i] != prev[i] {
+					changed = true
+				}
+			}
+		}
+		prev = place
+	}
+	if !changed {
+		t.Fatal("Random policy never re-paired in 50 quanta")
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	a, b := NewRandom(3), NewRandom(3)
+	st := &machine.QuantumState{NumApps: 8, NumCores: 4}
+	for q := 0; q < 10; q++ {
+		pa, pb := a.Place(st), b.Place(st)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatal("same-seed Random policies diverged")
+			}
+		}
+	}
+}
+
+func TestPinned(t *testing.T) {
+	assign := machine.Placement{1, 1, 0, 0}
+	p := Pinned{Assignment: assign, Label: "pinned-test"}
+	if p.Name() != "pinned-test" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if (Pinned{}).Name() != "Pinned" {
+		t.Fatal("default label wrong")
+	}
+	place := p.Place(&machine.QuantumState{NumApps: 4, NumCores: 2})
+	for i := range assign {
+		if place[i] != assign[i] {
+			t.Fatalf("placement = %v", place)
+		}
+	}
+	// Returned placement must be a copy.
+	place[0] = 9
+	if assign[0] == 9 {
+		t.Fatal("Place leaked internal state")
+	}
+}

@@ -1,0 +1,37 @@
+package smtcore
+
+import (
+	"testing"
+
+	"synpa/internal/apps"
+	"synpa/internal/characterize"
+	"synpa/internal/pmu"
+)
+
+// runIsolated executes one app alone on a core and returns its breakdown.
+func runIsolated(t testing.TB, m *apps.Model, cycles uint64) characterize.Breakdown {
+	t.Helper()
+	core := New(0, DefaultConfig())
+	inst := apps.NewInstance(m, 0xC0FFEE)
+	bank := &pmu.Bank{}
+	bank.Enable()
+	core.Bind(0, inst, bank)
+	core.Run(cycles)
+	return characterize.FromCounters(bank.Read(), core.Config().DispatchWidth)
+}
+
+// TestIsolatedCharacterizationMatchesTableIII is the calibration gate for
+// the whole reproduction: every application model, run in isolation, must
+// fall into its paper group under the Fig. 4 / Table III thresholds.
+func TestIsolatedCharacterizationMatchesTableIII(t *testing.T) {
+	for _, m := range apps.Catalog() {
+		b := runIsolated(t, m, 1_500_000)
+		t.Logf("%-13s FD=%5.1f%% FE=%5.1f%% BE=%5.1f%% IPC=%.2f group=%s",
+			m.Name, b.FD*100, b.FE*100, b.BE*100,
+			float64(b.Retired)/float64(b.Cycles), b.Group())
+		if got, want := b.Group(), m.Group.String(); got != want {
+			t.Errorf("%s characterized as %q, want %q (FD=%.2f FE=%.2f BE=%.2f)",
+				m.Name, got, want, b.FD, b.FE, b.BE)
+		}
+	}
+}

@@ -1,0 +1,545 @@
+// Package smtcore simulates one SMT2 core of the Cavium ThunderX2 (Vulcan
+// microarchitecture, paper Table II) at cycle granularity, focused on the
+// dispatch stage — the pipeline point where the paper measures performance
+// (§III).
+//
+// Two hardware threads share:
+//
+//   - the 4-wide dispatch stage (cycle-alternating priority, so a thread can
+//     receive zero slots in a busy cycle — horizontal waste);
+//   - the 128-entry reorder buffer, 60-entry issue queue and 64/36-entry
+//     load/store queues (a memory-stalled thread keeps its in-flight
+//     instructions resident, squeezing the co-runner);
+//   - the cache hierarchy and memory bandwidth (footprint-driven inflation
+//     of miss rates and latencies).
+//
+// Inter-thread interference is therefore *emergent*: backend-bound pairs
+// collide on ROB/IQ occupancy and memory bandwidth, frontend-bound pairs on
+// the instruction cache, while complementary pairs barely touch — the
+// physical phenomenon SYNPA's scheduler exploits. The PMU counters are
+// updated with exact ARM semantics: STALL_FRONTEND / STALL_BACKEND tick only
+// on zero-dispatch cycles, so partially filled cycles are invisible to them
+// (the "revealed stalls" of paper §III-B Step 2).
+package smtcore
+
+import (
+	"fmt"
+	"math"
+
+	"synpa/internal/apps"
+	"synpa/internal/pmu"
+)
+
+// Config collects the core's microarchitectural and contention parameters.
+type Config struct {
+	DispatchWidth int // dispatch slots per cycle (Table II: 4)
+	RetireWidth   int // commit slots per cycle
+	ROBSize       int // shared reorder buffer entries (Table II: 128)
+	IQSize        int // shared issue queue entries (Table II: 60)
+	LDQSize       int // shared load queue entries (Table II: 64)
+	STQSize       int // shared store queue entries (Table II: 36)
+
+	// ICacheContention inflates a thread's instruction-cache miss rate by
+	// (1 + ICacheContention · coRunnerIFootprint).
+	ICacheContention float64
+	// DCacheContention inflates a thread's long-latency-load rate by
+	// (1 + DCacheContention · coRunnerDFootprint): shared-cache thrashing
+	// turns hits into misses.
+	DCacheContention float64
+	// DCacheThrashMPKI adds misses a co-runner's cache footprint inflicts
+	// on a thread regardless of its base miss rate:
+	// ΔMPKI = DCacheThrashMPKI · coRunnerDFootprint · ownDFootprint.
+	// This is the eviction mechanism that lets a streaming co-runner turn
+	// a cache-friendly thread memory-bound — the phenomenon behind the
+	// paper's fb2 analysis, where a frontend-categorized leela_r becomes
+	// backend-limited under Linux's static pairing (§VI-C).
+	DCacheThrashMPKI float64
+	// MemBWContention inflates memory latency by
+	// (1 + MemBWContention · coRunnerMemBW): bandwidth queuing delay.
+	MemBWContention float64
+
+	// SMTPartitionFrac caps the fraction of each shared queue (ROB, IQ,
+	// LDQ, STQ) that a single hardware thread may occupy while the core
+	// runs two threads. Real SMT cores impose such caps to stop one
+	// stalled thread from starving its co-runner outright; a thread
+	// running alone gets the whole structure. Must be in (0.5, 1].
+	SMTPartitionFrac float64
+}
+
+// DefaultConfig returns the ThunderX2 CN9975 parameters of paper Table II
+// with calibrated contention coefficients.
+func DefaultConfig() Config {
+	return Config{
+		DispatchWidth:    4,
+		RetireWidth:      4,
+		ROBSize:          128,
+		IQSize:           60,
+		LDQSize:          64,
+		STQSize:          36,
+		ICacheContention: 1.2,
+		DCacheContention: 0.5,
+		DCacheThrashMPKI: 10.0,
+		MemBWContention:  0.45,
+		SMTPartitionFrac: 0.75,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.DispatchWidth < 1 || c.RetireWidth < 1 {
+		return fmt.Errorf("smtcore: dispatch/retire width must be >= 1")
+	}
+	if c.ROBSize < c.DispatchWidth || c.IQSize < 1 || c.LDQSize < 1 || c.STQSize < 1 {
+		return fmt.Errorf("smtcore: queue sizes too small")
+	}
+	if c.ICacheContention < 0 || c.DCacheContention < 0 || c.MemBWContention < 0 ||
+		c.DCacheThrashMPKI < 0 {
+		return fmt.Errorf("smtcore: contention coefficients must be >= 0")
+	}
+	if c.SMTPartitionFrac <= 0.5 || c.SMTPartitionFrac > 1 {
+		return fmt.Errorf("smtcore: SMTPartitionFrac %v outside (0.5, 1]", c.SMTPartitionFrac)
+	}
+	return nil
+}
+
+// ThreadsPerCore is the SMT level the paper configures in the BIOS (§V-A):
+// the ThunderX2 supports SMT4 but is run as SMT2.
+const ThreadsPerCore = 2
+
+// stall-event kinds drawn by the application models.
+const (
+	evICache = iota
+	evBranch
+	evMem
+)
+
+// thread is one hardware thread context.
+type thread struct {
+	inst *apps.Instance
+	bank *pmu.Bank
+
+	// Effective event parameters after contention inflation, refreshed on
+	// bind and on any phase change of either thread.
+	pICache, pBranch, pMem float64 // cumulative per-instruction thresholds
+	pEvent                 float64 // total event probability per instruction
+	durICache, durBranch   float64
+	durMem                 float64
+	invDepFrac             float64
+	invLoadRatio           float64
+	invStoreRatio          float64
+	loadRatio, storeRatio  float64
+	depFrac                float64
+
+	// ILP dithering.
+	ilpBase int
+	ilpFrac float64
+	ilpAcc  float64
+
+	// wrongPathMean is the mean number of wrong-path µops squashed per
+	// branch misprediction (≈ ILP · pipeline depth to resolution).
+	wrongPathMean float64
+
+	// Microstate.
+	window   int // instructions until the next stall event
+	feLeft   int // remaining frontend-starved cycles
+	feKind   int // evICache or evBranch
+	missLeft int // remaining cycles of the blocking load
+
+	robHeld int     // un-retired instructions in the ROB
+	iqHeld  float64 // issue-queue entries held by miss-dependent µops
+	ldqHeld float64 // load-queue entries held
+	stqHeld float64 // store-queue entries held
+}
+
+// Core simulates one SMT2 core.
+type Core struct {
+	cfg     Config
+	id      int
+	cycle   uint64
+	prio    int // which thread dispatches/retires first this cycle
+	threads [ThreadsPerCore]thread
+
+	// Per-thread occupancy caps, refreshed on Bind: the full structure in
+	// ST mode, SMTPartitionFrac of it when both threads are active.
+	robCap int
+	iqCap  float64
+	ldqCap float64
+	stqCap float64
+}
+
+// New creates a core with the given configuration. It panics on an invalid
+// configuration, which is a programming error.
+func New(id int, cfg Config) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{cfg: cfg, id: id}
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.id }
+
+// Cycle returns the core's current cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Instance returns the application bound to hardware thread slot, or nil.
+func (c *Core) Instance(slot int) *apps.Instance { return c.threads[slot].inst }
+
+// Bind attaches an application instance and its counter bank to hardware
+// thread slot (0 or 1). Passing a nil instance idles the slot. Binding
+// flushes the thread's pipeline microstate — the architectural cost of a
+// context switch, negligible at quantum scale — and refreshes both threads'
+// contention-adjusted event rates.
+func (c *Core) Bind(slot int, inst *apps.Instance, bank *pmu.Bank) {
+	if slot < 0 || slot >= ThreadsPerCore {
+		panic(fmt.Sprintf("smtcore: bad thread slot %d", slot))
+	}
+	t := &c.threads[slot]
+	t.inst = inst
+	t.bank = bank
+	t.feLeft = 0
+	t.missLeft = 0
+	t.robHeld = 0
+	t.iqHeld = 0
+	t.ldqHeld = 0
+	t.stqHeld = 0
+	t.ilpAcc = 0
+	t.window = 0
+	c.refreshRates()
+	c.refreshCaps()
+	// Draw the first event window for the fresh binding.
+	if inst != nil {
+		t.drawWindow()
+	}
+}
+
+// refreshRates recomputes both threads' contention-adjusted event
+// parameters from the current phases. Called on bind and on phase change of
+// either thread (the co-runner's phase shift changes *my* interference).
+func (c *Core) refreshRates() {
+	for s := 0; s < ThreadsPerCore; s++ {
+		t := &c.threads[s]
+		if t.inst == nil {
+			continue
+		}
+		p := t.inst.Profile()
+		var co *apps.Profile
+		if other := &c.threads[1-s]; other.inst != nil {
+			co = other.inst.Profile()
+		}
+
+		icRate := p.ICacheMPKI / 1000
+		memRate := p.MemMPKI / 1000
+		memLat := p.MemLat
+		if co != nil {
+			icRate *= 1 + c.cfg.ICacheContention*co.IFootprint
+			memRate *= 1 + c.cfg.DCacheContention*co.DFootprint
+			memRate += c.cfg.DCacheThrashMPKI / 1000 * co.DFootprint * p.DFootprint
+			memLat *= 1 + c.cfg.MemBWContention*co.MemBW
+		}
+		brRate := p.BranchMPKI / 1000
+
+		t.pICache = icRate
+		t.pBranch = icRate + brRate
+		t.pMem = icRate + brRate + memRate
+		t.pEvent = t.pMem
+		t.durICache = p.ICacheStall
+		t.durBranch = p.BranchStall
+		t.durMem = memLat
+
+		t.depFrac = p.DepFrac
+		t.loadRatio = p.LoadRatio
+		t.storeRatio = p.StoreRatio
+		t.invDepFrac = safeInv(p.DepFrac)
+		t.invLoadRatio = safeInv(p.LoadRatio)
+		t.invStoreRatio = safeInv(p.StoreRatio)
+
+		t.ilpBase = int(p.ILP)
+		t.ilpFrac = p.ILP - float64(t.ilpBase)
+
+		// Wrong-path depth: the µops dispatched during the cycles it
+		// takes to resolve the mispredicted branch.
+		t.wrongPathMean = p.ILP * wrongPathResolveCycles
+	}
+}
+
+// wrongPathResolveCycles approximates the dispatch-to-resolve depth of a
+// mispredicted branch; multiplied by the thread's ILP it gives the mean
+// number of squashed wrong-path µops per misprediction.
+const wrongPathResolveCycles = 8.0
+
+// refreshCaps recomputes the per-thread occupancy caps for the current SMT
+// occupancy (one or two active threads).
+func (c *Core) refreshCaps() {
+	frac := 1.0
+	if c.threads[0].inst != nil && c.threads[1].inst != nil {
+		frac = c.cfg.SMTPartitionFrac
+	}
+	c.robCap = int(frac * float64(c.cfg.ROBSize))
+	c.iqCap = frac * float64(c.cfg.IQSize)
+	c.ldqCap = frac * float64(c.cfg.LDQSize)
+	c.stqCap = frac * float64(c.cfg.STQSize)
+}
+
+func safeInv(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / x
+}
+
+// drawWindow draws the number of instructions until the thread's next stall
+// event from its (contention-adjusted) combined event rate.
+func (t *thread) drawWindow() {
+	if t.pEvent <= 0 {
+		t.window = 1 << 30
+		return
+	}
+	t.window = t.inst.RNG().Geometric(t.pEvent)
+}
+
+// fireEvent triggers the stall event that ends the current window and draws
+// the next window.
+func (t *thread) fireEvent() {
+	rng := t.inst.RNG()
+	u := rng.Float64() * t.pEvent
+	switch {
+	case u < t.pICache:
+		d := int(rng.Exp(t.durICache)) + 1
+		t.feLeft += d
+		t.feKind = evICache
+	case u < t.pBranch:
+		d := int(rng.Exp(t.durBranch)) + 1
+		t.feLeft += d
+		t.feKind = evBranch
+		// The squash discards the wrong-path µops dispatched behind the
+		// mispredicted branch. They were counted by INST_SPEC — the ARM
+		// event deliberately includes speculative work (§III-B) — but
+		// they will never retire. Flush them from the backend queues.
+		if t.robHeld > 0 {
+			wrong := 1 + int(rng.Exp(t.wrongPathMean))
+			if wrong > t.robHeld {
+				wrong = t.robHeld
+			}
+			t.robHeld -= wrong
+			t.ldqHeld -= t.loadRatio * float64(wrong)
+			if t.ldqHeld < 0 {
+				t.ldqHeld = 0
+			}
+			t.stqHeld -= t.storeRatio * float64(wrong)
+			if t.stqHeld < 0 {
+				t.stqHeld = 0
+			}
+		}
+	default:
+		d := int(rng.Exp(t.durMem)) + 1
+		if t.missLeft > 0 {
+			// A second miss while one is outstanding: the dependent
+			// fraction serialises, the rest overlaps (memory-level
+			// parallelism).
+			t.missLeft += int(t.depFrac * float64(d))
+		} else {
+			t.missLeft = d
+		}
+	}
+	t.drawWindow()
+}
+
+// Run advances the core by the given number of cycles.
+func (c *Core) Run(cycles uint64) {
+	for n := uint64(0); n < cycles; n++ {
+		c.step()
+	}
+}
+
+// step simulates one cycle.
+func (c *Core) step() {
+	c.cycle++
+	first := c.prio
+	c.prio = 1 - c.prio
+
+	// --- retire stage (shared width, alternating priority) -------------
+	retireLeft := c.cfg.RetireWidth
+	for i := 0; i < ThreadsPerCore && retireLeft > 0; i++ {
+		t := &c.threads[(first+i)%ThreadsPerCore]
+		if t.inst == nil || t.missLeft > 0 || t.robHeld == 0 {
+			continue
+		}
+		k := t.robHeld
+		if k > retireLeft {
+			k = retireLeft
+		}
+		retireLeft -= k
+		t.robHeld -= k
+		t.ldqHeld -= t.loadRatio * float64(k)
+		if t.ldqHeld < 0 {
+			t.ldqHeld = 0
+		}
+		t.stqHeld -= t.storeRatio * float64(k)
+		if t.stqHeld < 0 {
+			t.stqHeld = 0
+		}
+		if t.robHeld == 0 {
+			// Empty ROB implies empty derived queues; clamp any
+			// accumulated floating-point drift.
+			t.ldqHeld, t.stqHeld = 0, 0
+		}
+		t.bank.Add(pmu.InstRetired, uint64(k))
+		t.inst.Retired += uint64(k)
+	}
+
+	// --- miss timers ----------------------------------------------------
+	for i := range c.threads {
+		t := &c.threads[i]
+		if t.inst != nil && t.missLeft > 0 {
+			t.missLeft--
+			if t.missLeft == 0 {
+				// Data returned: dependants issue, IQ drains.
+				t.iqHeld = 0
+			}
+		}
+	}
+
+	// --- dispatch stage (shared slots, alternating priority) ------------
+	slots := c.cfg.DispatchWidth
+	robUsed := c.threads[0].robHeld + c.threads[1].robHeld
+	phaseChanged := false
+
+	for i := 0; i < ThreadsPerCore; i++ {
+		t := &c.threads[(first+i)%ThreadsPerCore]
+		if t.inst == nil {
+			continue
+		}
+		t.bank.Inc(pmu.CPUCycles)
+
+		// Frontend starvation has priority in ARM's attribution: the
+		// dispatch queue is empty, so the stall belongs to the frontend
+		// regardless of backend state.
+		if t.feLeft > 0 {
+			t.feLeft--
+			t.bank.Inc(pmu.StallFrontend)
+			if t.feKind == evICache {
+				t.bank.Inc(pmu.StallFEICache)
+			} else {
+				t.bank.Inc(pmu.StallFEBranch)
+			}
+			continue
+		}
+
+		// Frontend supply this cycle (ILP dithering, no RNG).
+		supply := t.ilpBase
+		t.ilpAcc += t.ilpFrac
+		if t.ilpAcc >= 1 {
+			supply++
+			t.ilpAcc--
+		}
+
+		// Clamp by every shared backend resource, remembering the cause
+		// of the binding constraint for fine-grained attribution.
+		k := supply
+		cause := pmu.StallBEOther
+		if t.window < k {
+			k = t.window
+		}
+		if slots < k {
+			k = slots
+			if slots == 0 {
+				cause = pmu.StallBESlots
+			}
+		}
+		if free := c.cfg.ROBSize - robUsed; free < k {
+			k = free
+			if free <= 0 {
+				k = 0
+				cause = pmu.StallBEROB
+			}
+		}
+		if free := c.robCap - t.robHeld; free < k {
+			k = free
+			if free <= 0 {
+				k = 0
+				cause = pmu.StallBEROB
+			}
+		}
+		iqFree := float64(c.cfg.IQSize) - c.threads[0].iqHeld - c.threads[1].iqHeld
+		if own := c.iqCap - t.iqHeld; own < iqFree {
+			iqFree = own
+		}
+		if iqFree < 1 {
+			k = 0
+			cause = pmu.StallBEIQ
+		} else if t.missLeft > 0 && t.depFrac > 0 {
+			if lim := int(iqFree * t.invDepFrac); lim < k {
+				k = lim
+				if lim <= 0 {
+					k = 0
+					cause = pmu.StallBEIQ
+				}
+			}
+		}
+		if t.loadRatio > 0 && k > 0 {
+			ldqFree := float64(c.cfg.LDQSize) - c.threads[0].ldqHeld - c.threads[1].ldqHeld
+			if own := c.ldqCap - t.ldqHeld; own < ldqFree {
+				ldqFree = own
+			}
+			if lim := int(ldqFree * t.invLoadRatio); lim < k {
+				k = lim
+				if lim <= 0 {
+					k = 0
+					cause = pmu.StallBELDQ
+				}
+			}
+		}
+		if t.storeRatio > 0 && k > 0 {
+			stqFree := float64(c.cfg.STQSize) - c.threads[0].stqHeld - c.threads[1].stqHeld
+			if own := c.stqCap - t.stqHeld; own < stqFree {
+				stqFree = own
+			}
+			if lim := int(stqFree * t.invStoreRatio); lim < k {
+				k = lim
+				if lim <= 0 {
+					k = 0
+					cause = pmu.StallBESTQ
+				}
+			}
+		}
+
+		if k <= 0 {
+			// Zero-dispatch cycle: exactly here the ARM backend stall
+			// counter ticks. An outstanding own miss dominates the
+			// fine-grained attribution.
+			t.bank.Inc(pmu.StallBackend)
+			if t.missLeft > 0 {
+				t.bank.Inc(pmu.StallBEMemLat)
+			} else {
+				t.bank.Inc(cause)
+			}
+			continue
+		}
+
+		// Dispatch k µops.
+		slots -= k
+		robUsed += k
+		t.robHeld += k
+		if t.missLeft > 0 {
+			t.iqHeld += t.depFrac * float64(k)
+		}
+		t.ldqHeld += t.loadRatio * float64(k)
+		t.stqHeld += t.storeRatio * float64(k)
+		t.bank.Add(pmu.InstSpec, uint64(k))
+		t.window -= k
+		if t.inst.AdvanceDispatched(uint64(k)) {
+			phaseChanged = true
+		}
+		if t.window == 0 {
+			t.fireEvent()
+		}
+	}
+
+	if phaseChanged {
+		c.refreshRates()
+	}
+}

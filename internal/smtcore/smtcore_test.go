@@ -1,0 +1,366 @@
+package smtcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"synpa/internal/apps"
+	"synpa/internal/pmu"
+)
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.DispatchWidth != 4 {
+		t.Errorf("dispatch width = %d, Table II says 4", cfg.DispatchWidth)
+	}
+	if cfg.ROBSize != 128 {
+		t.Errorf("ROB = %d, Table II says 128", cfg.ROBSize)
+	}
+	if cfg.IQSize != 60 {
+		t.Errorf("IQ = %d, Table II says 60", cfg.IQSize)
+	}
+	if cfg.LDQSize != 64 || cfg.STQSize != 36 {
+		t.Errorf("LSQ = %d/%d, Table II says 64/36", cfg.LDQSize, cfg.STQSize)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.DispatchWidth = 0 },
+		func(c *Config) { c.RetireWidth = 0 },
+		func(c *Config) { c.ROBSize = 2 },
+		func(c *Config) { c.IQSize = 0 },
+		func(c *Config) { c.LDQSize = 0 },
+		func(c *Config) { c.STQSize = 0 },
+		func(c *Config) { c.ICacheContention = -1 },
+		func(c *Config) { c.DCacheContention = -0.1 },
+		func(c *Config) { c.MemBWContention = -2 },
+		func(c *Config) { c.SMTPartitionFrac = 0.3 },
+		func(c *Config) { c.SMTPartitionFrac = 1.2 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid config")
+		}
+	}()
+	New(0, Config{})
+}
+
+func TestBindPanicsOnBadSlot(t *testing.T) {
+	core := New(0, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bind accepted slot 2")
+		}
+	}()
+	core.Bind(2, nil, nil)
+}
+
+func TestIdleCoreRuns(t *testing.T) {
+	core := New(3, DefaultConfig())
+	core.Run(1000)
+	if core.Cycle() != 1000 {
+		t.Fatalf("cycle = %d, want 1000", core.Cycle())
+	}
+	if core.ID() != 3 {
+		t.Fatalf("ID = %d", core.ID())
+	}
+	if core.Instance(0) != nil || core.Instance(1) != nil {
+		t.Fatal("idle core has instances")
+	}
+}
+
+func newBoundCore(t testing.TB, name string, seed uint64) (*Core, *apps.Instance, *pmu.Bank) {
+	t.Helper()
+	m, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := New(0, DefaultConfig())
+	inst := apps.NewInstance(m, seed)
+	bank := &pmu.Bank{}
+	bank.Enable()
+	core.Bind(0, inst, bank)
+	return core, inst, bank
+}
+
+func TestCounterInvariants(t *testing.T) {
+	// The ARM semantics this simulator promises (DESIGN.md §2):
+	//   STALL_FRONTEND + STALL_BACKEND <= CPU_CYCLES
+	//   STALL_FRONTEND == sum of fine FE events
+	//   STALL_BACKEND  == sum of fine BE events
+	//   INST_RETIRED   <= INST_SPEC
+	for _, name := range []string{"mcf", "leela_r", "nab_r", "hmmer"} {
+		core, inst, bank := newBoundCore(t, name, 7)
+		core.Run(300_000)
+		c := bank.Read()
+
+		if c[pmu.CPUCycles] != 300_000 {
+			t.Errorf("%s: CPU_CYCLES = %d, want 300000", name, c[pmu.CPUCycles])
+		}
+		if c[pmu.StallFrontend]+c[pmu.StallBackend] > c[pmu.CPUCycles] {
+			t.Errorf("%s: stalls exceed cycles", name)
+		}
+		if got := c[pmu.StallFEICache] + c[pmu.StallFEBranch]; got != c[pmu.StallFrontend] {
+			t.Errorf("%s: fine FE sum %d != STALL_FRONTEND %d", name, got, c[pmu.StallFrontend])
+		}
+		var fineBE uint64
+		for _, e := range pmu.FineBackendEvents {
+			fineBE += c[e]
+		}
+		if fineBE != c[pmu.StallBackend] {
+			t.Errorf("%s: fine BE sum %d != STALL_BACKEND %d", name, fineBE, c[pmu.StallBackend])
+		}
+		if c[pmu.InstRetired] > c[pmu.InstSpec] {
+			t.Errorf("%s: retired %d > dispatched %d", name, c[pmu.InstRetired], c[pmu.InstSpec])
+		}
+		if c[pmu.InstSpec] == 0 {
+			t.Errorf("%s: nothing dispatched", name)
+		}
+		if inst.Retired != c[pmu.InstRetired] {
+			t.Errorf("%s: instance retired %d != counter %d", name, inst.Retired, c[pmu.InstRetired])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() pmu.Counters {
+		core, _, bank := newBoundCore(t, "mcf", 99)
+		mb, _ := apps.ByName("leela_r")
+		ib := apps.NewInstance(mb, 123)
+		bb := &pmu.Bank{}
+		bb.Enable()
+		core.Bind(1, ib, bb)
+		core.Run(200_000)
+		return bank.Read().Add(bb.Read())
+	}
+	if run() != run() {
+		t.Fatal("identical seeds produced different executions")
+	}
+}
+
+func TestSeedChangesExecution(t *testing.T) {
+	run := func(seed uint64) pmu.Counters {
+		core, _, bank := newBoundCore(t, "mcf", seed)
+		core.Run(100_000)
+		return bank.Read()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical executions")
+	}
+}
+
+func TestSTModeUsesFullROB(t *testing.T) {
+	// In ST mode the thread owns the whole ROB; in SMT mode the cap
+	// shrinks. Observable: lbm_r alone has fewer BE stalls per cycle than
+	// lbm_r with an mcf co-runner.
+	core, _, bank := newBoundCore(t, "lbm_r", 5)
+	core.Run(300_000)
+	stST := bank.Read()
+
+	core2, _, bank2 := newBoundCore(t, "lbm_r", 5)
+	mb, _ := apps.ByName("mcf")
+	bb := &pmu.Bank{}
+	bb.Enable()
+	core2.Bind(1, apps.NewInstance(mb, 11), bb)
+	core2.Run(300_000)
+	stSMT := bank2.Read()
+
+	rateST := float64(stST[pmu.StallBackend]) / float64(stST[pmu.CPUCycles])
+	rateSMT := float64(stSMT[pmu.StallBackend]) / float64(stSMT[pmu.CPUCycles])
+	if rateSMT <= rateST {
+		t.Fatalf("backend stall rate should rise under SMT: ST %.3f, SMT %.3f", rateST, rateSMT)
+	}
+}
+
+func TestSlotContentionProducesBESlots(t *testing.T) {
+	// Two high-ILP threads must collide on dispatch slots.
+	ma, _ := apps.ByName("nab_r")
+	mb, _ := apps.ByName("exchange2_r")
+	core := New(0, DefaultConfig())
+	ba, bb := &pmu.Bank{}, &pmu.Bank{}
+	ba.Enable()
+	bb.Enable()
+	core.Bind(0, apps.NewInstance(ma, 1), ba)
+	core.Bind(1, apps.NewInstance(mb, 2), bb)
+	core.Run(300_000)
+	if ba.Read()[pmu.StallBESlots]+bb.Read()[pmu.StallBESlots] == 0 {
+		t.Fatal("two ILP>3 threads never collided on dispatch slots")
+	}
+}
+
+func TestUnbindReturnsToSTBehaviour(t *testing.T) {
+	core, _, bank := newBoundCore(t, "nab_r", 9)
+	mb, _ := apps.ByName("mcf")
+	bb := &pmu.Bank{}
+	bb.Enable()
+	core.Bind(1, apps.NewInstance(mb, 10), bb)
+	core.Run(100_000)
+	smtIPC := bank.Read().IPC()
+
+	core.Bind(1, nil, nil) // co-runner leaves
+	before := bank.Read()
+	core.Run(100_000)
+	stIPC := bank.Read().Delta(before).IPC()
+	if stIPC <= smtIPC {
+		t.Fatalf("IPC should recover after co-runner unbinds: SMT %.3f, ST %.3f", smtIPC, stIPC)
+	}
+}
+
+func TestRebindFlushesPipelineState(t *testing.T) {
+	// After rebinding the same instance, the core must not carry stale
+	// occupancy: IPC over a fresh window stays in the normal range.
+	core, inst, bank := newBoundCore(t, "mcf", 21)
+	core.Run(50_000)
+	core.Bind(0, inst, bank) // re-bind (e.g. migration to the same slot)
+	before := bank.Read()
+	core.Run(50_000)
+	d := bank.Read().Delta(before)
+	if d[pmu.InstSpec] == 0 {
+		t.Fatal("no dispatch after rebind")
+	}
+}
+
+func TestPhaseBehaviourDiffers(t *testing.T) {
+	// leela_r's two phases must look different at the PMU: the FE-heavy
+	// phase has a higher frontend-stall rate than the BE-heavy phase.
+	m, _ := apps.ByName("leela_r")
+	core := New(0, DefaultConfig())
+	inst := apps.NewInstance(m, 33)
+	bank := &pmu.Bank{}
+	bank.Enable()
+	core.Bind(0, inst, bank)
+
+	var fe0, fe1, cyc0, cyc1 uint64
+	prev := bank.Read()
+	for i := 0; i < 400; i++ {
+		phase := inst.PhaseIndex()
+		core.Run(5_000)
+		d := bank.Read().Delta(prev)
+		prev = bank.Read()
+		if phase == 0 && inst.PhaseIndex() == 0 {
+			fe0 += d[pmu.StallFrontend]
+			cyc0 += d[pmu.CPUCycles]
+		} else if phase == 1 && inst.PhaseIndex() == 1 {
+			fe1 += d[pmu.StallFrontend]
+			cyc1 += d[pmu.CPUCycles]
+		}
+	}
+	if cyc0 == 0 || cyc1 == 0 {
+		t.Fatal("did not observe both phases; lengthen the run")
+	}
+	r0 := float64(fe0) / float64(cyc0)
+	r1 := float64(fe1) / float64(cyc1)
+	if r0 <= r1 {
+		t.Fatalf("phase 0 FE rate %.3f should exceed phase 1 FE rate %.3f", r0, r1)
+	}
+}
+
+func TestRunZeroCycles(t *testing.T) {
+	core, _, bank := newBoundCore(t, "mcf", 3)
+	core.Run(0)
+	if c := bank.Read(); c[pmu.CPUCycles] != 0 {
+		t.Fatal("Run(0) advanced counters")
+	}
+}
+
+func TestDisabledBankStaysZero(t *testing.T) {
+	m, _ := apps.ByName("nab_r")
+	core := New(0, DefaultConfig())
+	bank := &pmu.Bank{} // never enabled
+	core.Bind(0, apps.NewInstance(m, 1), bank)
+	core.Run(10_000)
+	if c := bank.Read(); c != (pmu.Counters{}) {
+		t.Fatalf("disabled bank accumulated %v", c)
+	}
+}
+
+func TestSlotSymmetry(t *testing.T) {
+	// Running an app on slot 0 vs slot 1 (alone) must give statistically
+	// identical behaviour; with identical seeds, exactly identical.
+	run := func(slot int) pmu.Counters {
+		m, _ := apps.ByName("hmmer")
+		core := New(0, DefaultConfig())
+		bank := &pmu.Bank{}
+		bank.Enable()
+		core.Bind(slot, apps.NewInstance(m, 77), bank)
+		core.Run(100_000)
+		return bank.Read()
+	}
+	a, b := run(0), run(1)
+	// Allow the ±1 cycle of priority-alternation skew.
+	if a[pmu.InstSpec] == 0 || b[pmu.InstSpec] == 0 {
+		t.Fatal("no dispatch")
+	}
+	ratio := float64(a[pmu.InstRetired]) / float64(b[pmu.InstRetired])
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("slot asymmetry: %d vs %d retired", a[pmu.InstRetired], b[pmu.InstRetired])
+	}
+}
+
+func TestCounterInvariantsProperty(t *testing.T) {
+	// For random app pairs and seeds, core invariants always hold.
+	all := apps.Catalog()
+	check := func(seed uint64, ai, bi uint8) bool {
+		ma := all[int(ai)%len(all)]
+		mb := all[int(bi)%len(all)]
+		core := New(0, DefaultConfig())
+		ba, bb := &pmu.Bank{}, &pmu.Bank{}
+		ba.Enable()
+		bb.Enable()
+		core.Bind(0, apps.NewInstance(ma, seed), ba)
+		core.Bind(1, apps.NewInstance(mb, seed^0xdead), bb)
+		core.Run(30_000)
+		for _, c := range []pmu.Counters{ba.Read(), bb.Read()} {
+			if c[pmu.StallFrontend]+c[pmu.StallBackend] > c[pmu.CPUCycles] {
+				return false
+			}
+			if c[pmu.InstRetired] > c[pmu.InstSpec] {
+				return false
+			}
+			if c[pmu.CPUCycles] != 30_000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCoreSTCycle(b *testing.B) {
+	m, _ := apps.ByName("mcf")
+	core := New(0, DefaultConfig())
+	bank := &pmu.Bank{}
+	bank.Enable()
+	core.Bind(0, apps.NewInstance(m, 1), bank)
+	b.ResetTimer()
+	core.Run(uint64(b.N))
+}
+
+func BenchmarkCoreSMTCycle(b *testing.B) {
+	ma, _ := apps.ByName("mcf")
+	mb, _ := apps.ByName("leela_r")
+	core := New(0, DefaultConfig())
+	ba, bb := &pmu.Bank{}, &pmu.Bank{}
+	ba.Enable()
+	bb.Enable()
+	core.Bind(0, apps.NewInstance(ma, 1), ba)
+	core.Bind(1, apps.NewInstance(mb, 2), bb)
+	b.ResetTimer()
+	core.Run(uint64(b.N))
+}

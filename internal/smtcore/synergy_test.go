@@ -1,0 +1,102 @@
+package smtcore
+
+import (
+	"testing"
+
+	"synpa/internal/apps"
+	"synpa/internal/pmu"
+)
+
+// isolatedIPC measures an app's retired IPC running alone.
+func isolatedIPC(t testing.TB, name string, cycles uint64) float64 {
+	t.Helper()
+	m, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := New(0, DefaultConfig())
+	inst := apps.NewInstance(m, 0xABCD)
+	bank := &pmu.Bank{}
+	bank.Enable()
+	core.Bind(0, inst, bank)
+	core.Run(cycles)
+	c := bank.Read()
+	return c.IPC()
+}
+
+// pairSlowdowns runs two apps together and returns each one's slowdown
+// (isolated IPC / SMT IPC).
+func pairSlowdowns(t testing.TB, a, b string, cycles uint64) (float64, float64) {
+	t.Helper()
+	ipcA := isolatedIPC(t, a, cycles)
+	ipcB := isolatedIPC(t, b, cycles)
+
+	ma, _ := apps.ByName(a)
+	mb, _ := apps.ByName(b)
+	core := New(0, DefaultConfig())
+	ia := apps.NewInstance(ma, 0xABCD)
+	ib := apps.NewInstance(mb, 0xF00D)
+	ba, bb := &pmu.Bank{}, &pmu.Bank{}
+	ba.Enable()
+	bb.Enable()
+	core.Bind(0, ia, ba)
+	core.Bind(1, ib, bb)
+	core.Run(cycles)
+	sa := ipcA / ba.Read().IPC()
+	sb := ipcB / bb.Read().IPC()
+	return sa, sb
+}
+
+// TestSMTSlowdownsAreSane: SMT execution must slow both threads down, but
+// within the plausible SMT2 envelope (individual slowdown roughly 1.0–3.5).
+func TestSMTSlowdownsAreSane(t *testing.T) {
+	cases := [][2]string{
+		{"mcf", "lbm_r"},           // BE + BE
+		{"leela_r", "gobmk"},       // FE + FE
+		{"mcf", "leela_r"},         // BE + FE
+		{"nab_r", "exchange2_r"},   // high-ILP pair
+		{"cactuBSSN_r", "imagick_r"},
+	}
+	for _, c := range cases {
+		sa, sb := pairSlowdowns(t, c[0], c[1], 600_000)
+		t.Logf("%-12s + %-12s slowdowns = %.3f / %.3f", c[0], c[1], sa, sb)
+		for i, s := range []float64{sa, sb} {
+			if s < 0.99 {
+				t.Errorf("%s in (%s,%s): slowdown %v < 1, SMT cannot speed a thread up", c[i], c[0], c[1], s)
+			}
+			if s > 3.8 {
+				t.Errorf("%s in (%s,%s): slowdown %v implausibly large", c[i], c[0], c[1], s)
+			}
+		}
+	}
+}
+
+// TestComplementaryPairsAreSynergistic is the core premise of the paper:
+// pairing a frontend-bound app with a backend-bound app must hurt less than
+// pairing two same-type apps. We compare total pair degradation of the
+// mixed split against the same four apps paired same-with-same.
+func TestComplementaryPairsAreSynergistic(t *testing.T) {
+	const cycles = 600_000
+	// Four apps: two strongly backend (mcf, lbm_r), two strongly frontend
+	// (leela_r, gobmk).
+	sdMcfLbm0, sdMcfLbm1 := pairSlowdowns(t, "mcf", "lbm_r", cycles)
+	sdLeeGob0, sdLeeGob1 := pairSlowdowns(t, "leela_r", "gobmk", cycles)
+	sameTotal := sdMcfLbm0 + sdMcfLbm1 + sdLeeGob0 + sdLeeGob1
+
+	sdMcfLee0, sdMcfLee1 := pairSlowdowns(t, "mcf", "leela_r", cycles)
+	sdLbmGob0, sdLbmGob1 := pairSlowdowns(t, "lbm_r", "gobmk", cycles)
+	mixedTotal := sdMcfLee0 + sdMcfLee1 + sdLbmGob0 + sdLbmGob1
+
+	t.Logf("same-type total degradation  = %.3f", sameTotal)
+	t.Logf("mixed-type total degradation = %.3f", mixedTotal)
+	if mixedTotal >= sameTotal {
+		t.Fatalf("mixed pairing (%.3f) must beat same-type pairing (%.3f): the synergy premise failed",
+			mixedTotal, sameTotal)
+	}
+	// The gap should be substantial (the paper reports ~36%% TT gains from
+	// exploiting it), not a rounding artifact.
+	if (sameTotal-mixedTotal)/sameTotal < 0.05 {
+		t.Errorf("synergy gap only %.1f%%, too small to drive the paper's results",
+			100*(sameTotal-mixedTotal)/sameTotal)
+	}
+}

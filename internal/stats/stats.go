@@ -1,0 +1,175 @@
+// Package stats implements the summary statistics used throughout the SYNPA
+// reproduction: means, geometric means, dispersion measures, and the paper's
+// repeated-run methodology (§V-B) that averages nine executions per workload
+// and discards outlier runs until the coefficient of variation drops below
+// 5 %.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values make the result NaN, mirroring the undefined
+// mathematical case so that callers notice bad inputs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the population variance of xs (the paper's fairness
+// metric uses population moments across the applications of a workload).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CoeffVar returns the coefficient of variation σ/µ. A zero mean yields 0
+// when all samples are zero and +Inf otherwise.
+func CoeffVar(xs []float64) float64 {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if m == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / math.Abs(m)
+}
+
+// Min returns the minimum of xs. It returns an error for empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs. It returns an error for empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the median of xs (average of middle pair for even length).
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2], nil
+	}
+	return (c[n/2-1] + c[n/2]) / 2, nil
+}
+
+// RobustMean implements the paper's measurement methodology: runs are
+// averaged, and while the coefficient of variation exceeds maxCV and more
+// than minKeep runs remain, the run farthest from the current mean is
+// discarded. It returns the final mean, the surviving samples, and the
+// number of discarded runs.
+//
+// The paper executes each workload nine times and discards runs with
+// excessive deviation until CV < 5 % (§V-B).
+func RobustMean(runs []float64, maxCV float64, minKeep int) (mean float64, kept []float64, discarded int) {
+	kept = append([]float64(nil), runs...)
+	if minKeep < 1 {
+		minKeep = 1
+	}
+	for len(kept) > minKeep && CoeffVar(kept) > maxCV {
+		m := Mean(kept)
+		worst, worstDev := 0, -1.0
+		for i, x := range kept {
+			if d := math.Abs(x - m); d > worstDev {
+				worst, worstDev = i, d
+			}
+		}
+		kept = append(kept[:worst], kept[worst+1:]...)
+		discarded++
+	}
+	return Mean(kept), kept, discarded
+}
+
+// Summary bundles the descriptive statistics reported for experiment series.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	StdDev float64
+	CV     float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. Empty input returns a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	med, _ := Median(xs)
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: med,
+		StdDev: StdDev(xs),
+		CV:     CoeffVar(xs),
+		Min:    mn,
+		Max:    mx,
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{-5}); got != -5 {
+		t.Fatalf("Mean single = %v, want -5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("GeoMean{1,4} = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("GeoMean{2,2,2} = %v, want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{1, 0, 2}); !math.IsNaN(got) {
+		t.Fatalf("GeoMean with zero = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{-1}); !math.IsNaN(got) {
+		t.Fatalf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestGeoMeanLEArithmeticMean(t *testing.T) {
+	// AM-GM inequality as a property test over positive samples.
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1 // ensure positive
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{3, 3, 3}); got != 0 {
+		t.Fatalf("Variance of constants = %v, want 0", got)
+	}
+}
+
+func TestCoeffVar(t *testing.T) {
+	if got := CoeffVar([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEq(got, 0.4, 1e-12) {
+		t.Fatalf("CoeffVar = %v, want 0.4", got)
+	}
+	if got := CoeffVar([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("CoeffVar zeros = %v, want 0", got)
+	}
+	if got := CoeffVar([]float64{-1, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("CoeffVar zero-mean = %v, want +Inf", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	mn, err := Min(xs)
+	if err != nil || mn != 1 {
+		t.Fatalf("Min = %v err %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 9 {
+		t.Fatalf("Max = %v err %v", mx, err)
+	}
+	med, err := Median(xs)
+	if err != nil || med != 4 {
+		t.Fatalf("Median even = %v err %v", med, err)
+	}
+	med, err = Median([]float64{7, 1, 3})
+	if err != nil || med != 3 {
+		t.Fatalf("Median odd = %v err %v", med, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatalf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatalf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Fatalf("Median(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestRobustMeanNoOutliers(t *testing.T) {
+	runs := []float64{100, 101, 99, 100.5, 99.5}
+	mean, kept, discarded := RobustMean(runs, 0.05, 3)
+	if discarded != 0 {
+		t.Fatalf("discarded %d runs from a tight cluster", discarded)
+	}
+	if len(kept) != len(runs) {
+		t.Fatalf("kept %d, want %d", len(kept), len(runs))
+	}
+	if !almostEq(mean, 100, 0.5) {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestRobustMeanDiscardsOutlier(t *testing.T) {
+	// Mirrors §V-B: one anomalous execution is removed to get CV below 5%.
+	runs := []float64{100, 101, 99, 100, 100, 100, 101, 99, 190}
+	mean, kept, discarded := RobustMean(runs, 0.05, 3)
+	if discarded != 1 {
+		t.Fatalf("discarded = %d, want 1", discarded)
+	}
+	if len(kept) != 8 {
+		t.Fatalf("kept = %d, want 8", len(kept))
+	}
+	if !almostEq(mean, 100, 1) {
+		t.Fatalf("mean = %v, want ~100", mean)
+	}
+	if CoeffVar(kept) > 0.05 {
+		t.Fatalf("CV after discard = %v, want < 0.05", CoeffVar(kept))
+	}
+}
+
+func TestRobustMeanRespectsMinKeep(t *testing.T) {
+	runs := []float64{1, 100, 10000}
+	_, kept, _ := RobustMean(runs, 0.0001, 2)
+	if len(kept) < 2 {
+		t.Fatalf("kept %d runs, minKeep=2 violated", len(kept))
+	}
+	_, kept, _ = RobustMean(runs, 0.0001, 0)
+	if len(kept) < 1 {
+		t.Fatal("minKeep must be clamped to 1")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	z := Summarize(nil)
+	if z.N != 0 || z.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestRobustMeanProperty(t *testing.T) {
+	// RobustMean never discards below minKeep and the mean stays within
+	// the [min,max] of the original data.
+	check := func(raw []uint16, cvTimes100 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) + 1
+		}
+		maxCV := float64(cvTimes100%20) / 100
+		mean, kept, _ := RobustMean(xs, maxCV, 3)
+		if len(xs) >= 3 && len(kept) < 3 {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return mean >= mn-1e-9 && mean <= mx+1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package train
+
+import (
+	"testing"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/machine"
+)
+
+// smallOptions keeps unit-test training cheap.
+func smallOptions() Options {
+	opt := DefaultOptions()
+	cfg := machine.DefaultConfig()
+	cfg.QuantumCycles = 8_000
+	opt.Machine = cfg
+	opt.IsolatedQuanta = 60
+	opt.PairQuanta = 40
+	opt.SampleFrac = 1.0
+	return opt
+}
+
+func smallTrainingSet(t *testing.T, names ...string) []*apps.Model {
+	t.Helper()
+	out := make([]*apps.Model, len(names))
+	for i, n := range names {
+		m, err := apps.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// TestTrainedCoefficientStructure verifies the qualitative structure the
+// paper reports in Table IV and §VI-A:
+//   - the backend category depends most on the co-runner (largest γ);
+//   - the frontend category mainly depends on the app itself (β ≫ γ);
+//   - the full-dispatch category has β < 1 (SMT slows dispatch) and the
+//     smallest MSE of the three;
+//   - the backend category has the largest MSE ("the most sensitive to
+//     interference variations").
+func TestTrainedCoefficientStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	models := smallTrainingSet(t,
+		"mcf", "lbm_r", "milc", "leela_r", "gobmk", "perlbench", "hmmer", "nab_r")
+	m, rep, err := Train(models, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, name := range m.Categories {
+		t.Logf("%-22s α=%+.4f β=%+.4f γ=%+.4f ρ=%+.4f  MSE=%.4f R²=%.3f",
+			name, m.Coef[k].Alpha, m.Coef[k].Beta, m.Coef[k].Gamma, m.Coef[k].Rho,
+			rep.MSE[k], rep.R2[k])
+	}
+	t.Logf("samples=%d pairs=%d", rep.Samples, rep.Pairs)
+
+	// Co-runner sensitivity ∂C_smt/∂C_st[j] evaluated at a typical
+	// operating point (both categories at 0.4). With a free product term
+	// the dependence can move between γ and ρ, so compare sensitivities
+	// rather than raw coefficients.
+	coSens := func(c core.Coefficients) float64 { return c.Gamma + c.Rho*0.4 }
+	selfSens := func(c core.Coefficients) float64 { return c.Beta + c.Rho*0.4 }
+	fd, fe, be := m.Coef[0], m.Coef[1], m.Coef[2]
+
+	if coSens(be) <= coSens(fd) {
+		t.Errorf("backend co-runner sensitivity %.3f should exceed full-dispatch %.3f",
+			coSens(be), coSens(fd))
+	}
+	if coSens(be) <= 0 {
+		t.Errorf("backend co-runner sensitivity %.3f must be positive (contention)", coSens(be))
+	}
+	if selfSens(fe) <= coSens(fe) {
+		t.Errorf("frontend must be mainly self-driven: self %.3f vs co %.3f",
+			selfSens(fe), coSens(fe))
+	}
+	if !(m.MSE[0] < m.MSE[2]) {
+		t.Errorf("FD MSE %.4f should be below BE MSE %.4f (paper: 0.0021 vs 0.1583)",
+			m.MSE[0], m.MSE[2])
+	}
+	if !(m.MSE[1] < m.MSE[2]) {
+		t.Errorf("FE MSE %.4f should be below BE MSE %.4f (paper: 0.0703 vs 0.1583)",
+			m.MSE[1], m.MSE[2])
+	}
+	if m.MSE[0] == 0 {
+		t.Errorf("FD category degenerated to an exact identity; wrong-path dispatch modelling is not active")
+	}
+}

@@ -1,0 +1,168 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by every stochastic component of the SYNPA reproduction.
+//
+// All simulator state is seeded explicitly so that every experiment, table
+// and figure in the repository is bit-for-bit reproducible. The generator is
+// xoshiro256** seeded through SplitMix64, following the reference
+// implementations by Blackman and Vigna. The package also offers the handful
+// of distributions the application models need (uniform, bounded integers,
+// geometric and exponential draws) without pulling in math/rand global state.
+package xrand
+
+import "math"
+
+// RNG is a deterministic xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New or Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances the SplitMix64 state and returns the next output.
+// It is used only to expand a user seed into the xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	sm := seed
+	r := &RNG{}
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
+	// Guard against the (astronomically unlikely) all-zero state, which is
+	// the single absorbing state of xoshiro.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator from r. The child stream is
+// decorrelated from the parent by mixing a fresh parent draw through
+// SplitMix64. Splitting lets each simulated core and application own a
+// private stream so that scheduling order never perturbs app behaviour.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits, standard conversion.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	lo = a * b
+	hi = a1*b1 + t>>32 + (t&mask+a0*b1)>>32
+	return hi, lo
+}
+
+// Geometric returns a draw from a geometric distribution with success
+// probability p, i.e. the number of Bernoulli(p) trials up to and including
+// the first success (support {1, 2, ...}). For p >= 1 it returns 1; for
+// p <= 0 it returns a very large value clamped to maxGeometric.
+func (r *RNG) Geometric(p float64) int {
+	const maxGeometric = 1 << 30
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return maxGeometric
+	}
+	u := r.Float64()
+	// Inverse CDF: ceil(ln(1-u) / ln(1-p)).
+	g := math.Ceil(math.Log1p(-u) / math.Log1p(-p))
+	if g < 1 {
+		return 1
+	}
+	if g > maxGeometric {
+		return maxGeometric
+	}
+	return int(g)
+}
+
+// Exp returns an exponentially distributed draw with the given mean.
+// Non-positive means yield 0.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return -mean * math.Log1p(-r.Float64())
+}
+
+// NormFloat64 returns a standard normal draw using the Marsaglia polar
+// method. It is used only for small jitter terms in the app models, so the
+// method's modest speed is irrelevant.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,305 @@
+// Package synpa is the public API of the SYNPA reproduction: a thread-to-
+// core allocation library for SMT processors driven by ARM dispatch-stage
+// performance counters, after "SYNPA: SMT Performance Analysis and
+// Allocation of Threads to Cores in ARM Processors" (Navarro, Feliu, Petit,
+// Gómez, Sahuquillo).
+//
+// The package wraps the building blocks under internal/ into a small
+// workflow:
+//
+//	sys, _ := synpa.New(synpa.DefaultConfig())
+//	model, _, _ := sys.TrainDefaultModel()          // §IV-C training
+//	report, _ := sys.Run(
+//	    []string{"lbm_r", "mcf", "cactuBSSN_r", "mcf",
+//	             "leela_r", "leela_r", "astar", "mcf_r"}, // the paper's fb2
+//	    sys.SYNPAPolicy(model))
+//	fmt.Println(report.TurnaroundCycles)
+//
+// Because real ThunderX2 hardware is not available here, the "machine" is
+// the cycle-level SMT2 simulator of internal/smtcore and applications are
+// the calibrated synthetic models of internal/apps; the policy logic
+// consumes only ARM PMU counter values and would drive the real
+// perf + sched_setaffinity backend unchanged (see DESIGN.md).
+package synpa
+
+import (
+	"fmt"
+
+	"synpa/internal/apps"
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/metrics"
+	"synpa/internal/pmu"
+	"synpa/internal/sched"
+	"synpa/internal/smtcore"
+	"synpa/internal/train"
+	"synpa/internal/workload"
+)
+
+// Re-exported building blocks, so user code only imports this package.
+type (
+	// Model is a fitted interference model (Eq. 1 per category).
+	Model = core.Model
+	// Coefficients holds one category's Eq. 1 parameters.
+	Coefficients = core.Coefficients
+	// Policy decides the thread-to-core allocation each quantum. Custom
+	// policies implement this interface; see examples/custom-policy.
+	Policy = machine.Policy
+	// QuantumState is the per-quantum information handed to a Policy.
+	QuantumState = machine.QuantumState
+	// Placement maps application index to core index.
+	Placement = machine.Placement
+	// PolicyOptions tune the SYNPA policy (matcher, inversion, extractor).
+	PolicyOptions = core.PolicyOptions
+	// TrainOptions tune the §IV-C training pipeline.
+	TrainOptions = train.Options
+	// TrainReport summarises a training run.
+	TrainReport = train.Report
+)
+
+// Counters is a snapshot of one application's PMU counters; QuantumState
+// hands policies one delta per application per quantum.
+type Counters = pmu.Counters
+
+// Event identifies a hardware performance event.
+type Event = pmu.Event
+
+// The four architectural events of paper Table I, re-exported for custom
+// policies.
+const (
+	CPUCycles     = pmu.CPUCycles
+	InstSpec      = pmu.InstSpec
+	StallFrontend = pmu.StallFrontend
+	StallBackend  = pmu.StallBackend
+	InstRetired   = pmu.InstRetired
+)
+
+// PaperModel returns the coefficients published in paper Table IV (fitted
+// on the authors' ThunderX2). Models trained with TrainDefaultModel on the
+// simulated system are preferred for running experiments here; the paper
+// model is the documented reference point.
+func PaperModel() *Model { return core.PaperCoefficients() }
+
+// Config describes the simulated system a System runs on.
+type Config struct {
+	// Cores is the number of SMT2 cores (default 4, enough for the
+	// paper's 8-application workloads).
+	Cores int
+	// QuantumCycles is the scheduling quantum length in cycles.
+	QuantumCycles uint64
+	// RefQuanta is the isolated reference interval used to derive each
+	// application's instruction target (§V-B methodology).
+	RefQuanta int
+	// Seed makes every run reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-equivalent defaults.
+func DefaultConfig() Config {
+	return Config{Cores: 4, QuantumCycles: 20_000, RefQuanta: 100, Seed: 1}
+}
+
+// System is a simulated ARM SMT2 machine plus the measurement methodology
+// needed to run multi-program workloads and report the paper's metrics.
+type System struct {
+	cfg     Config
+	machCfg machine.Config
+	targets *workload.TargetCache
+}
+
+// New creates a System. It validates the configuration.
+func New(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.QuantumCycles == 0 {
+		cfg.QuantumCycles = 20_000
+	}
+	if cfg.RefQuanta <= 0 {
+		cfg.RefQuanta = 100
+	}
+	mc := machine.DefaultConfig()
+	mc.Cores = cfg.Cores
+	mc.QuantumCycles = cfg.QuantumCycles
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:     cfg,
+		machCfg: mc,
+		targets: workload.NewTargetCache(mc, cfg.RefQuanta, cfg.Seed),
+	}, nil
+}
+
+// Applications lists the 28 available application models (paper Table III).
+func (s *System) Applications() []string { return apps.Names() }
+
+// TrainDefaultModel trains the three-category interference model on the
+// paper's 22-application training set with default options.
+func (s *System) TrainDefaultModel() (*Model, *TrainReport, error) {
+	opts := train.DefaultOptions()
+	opts.Machine = s.machCfg
+	return train.Train(apps.TrainingSet(), opts)
+}
+
+// TrainModel trains a model on an explicit application list with custom
+// options. Zero-value fields of opts fall back to defaults.
+func (s *System) TrainModel(appNames []string, opts TrainOptions) (*Model, *TrainReport, error) {
+	models, err := resolve(appNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.IsolatedQuanta == 0 {
+		def := train.DefaultOptions()
+		def.Machine = s.machCfg
+		opts = def
+	} else {
+		opts.Machine = s.machCfg
+	}
+	return train.Train(models, opts)
+}
+
+// SYNPAPolicy builds the paper's allocation policy around a trained model.
+func (s *System) SYNPAPolicy(m *Model) Policy {
+	return core.MustPolicy(m, core.PolicyOptions{})
+}
+
+// SYNPAPolicyWithOptions builds a SYNPA variant (alternative matcher,
+// disabled inversion, different extractor) for ablation studies.
+func (s *System) SYNPAPolicyWithOptions(m *Model, opt PolicyOptions) (Policy, error) {
+	return core.NewPolicy(m, opt)
+}
+
+// LinuxPolicy returns the arrival-order baseline the paper compares
+// against.
+func (s *System) LinuxPolicy() Policy { return sched.Linux{} }
+
+// RandomPolicy returns a policy that re-pairs applications randomly every
+// quantum.
+func (s *System) RandomPolicy(seed uint64) Policy { return sched.NewRandom(seed) }
+
+// AppReport is one application's outcome within a Run.
+type AppReport struct {
+	// Name is the benchmark name.
+	Name string
+	// TurnaroundCycles is when the app first completed its target.
+	TurnaroundCycles uint64
+	// IPC is target instructions / turnaround cycles.
+	IPC float64
+	// IndividualSpeedup is IPC divided by the app's isolated IPC (<= ~1).
+	IndividualSpeedup float64
+}
+
+// RunReport is the outcome of one workload execution, carrying the paper's
+// §VI metrics.
+type RunReport struct {
+	// Policy is the allocation policy used.
+	Policy string
+	// TurnaroundCycles is the workload turnaround time (slowest app).
+	TurnaroundCycles uint64
+	// Quanta is the number of scheduling quanta executed.
+	Quanta int
+	// Apps holds per-application results in workload order.
+	Apps []AppReport
+	// Fairness is 1 − σ/µ over the individual speedups (§VI-D).
+	Fairness float64
+	// IPCGeomean is the workload IPC (geometric mean over apps).
+	IPCGeomean float64
+	// ANTT is the average normalized turnaround time (lower is better).
+	ANTT float64
+	// STP is the system throughput in isolated-app units.
+	STP float64
+}
+
+// Run executes the named applications (up to 2 per core) under the given
+// policy, using the paper's §V-B methodology: per-application instruction
+// targets from isolated reference runs, relaunch-on-completion to keep the
+// machine loaded, and completion of the slowest application as the workload
+// turnaround time.
+func (s *System) Run(appNames []string, policy Policy) (*RunReport, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("synpa: nil policy")
+	}
+	models, err := resolve(appNames)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]uint64, len(models))
+	isoIPC := make([]float64, len(models))
+	for i, m := range models {
+		if targets[i], err = s.targets.Target(m); err != nil {
+			return nil, err
+		}
+		if isoIPC[i], err = s.targets.IsolatedIPC(m); err != nil {
+			return nil, err
+		}
+	}
+	mach, err := machine.New(s.machCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mach.Run(models, targets, policy, machine.RunnerOptions{Seed: s.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tt, err := metrics.TurnaroundCycles(res)
+	if err != nil {
+		return nil, err
+	}
+	speedups, err := metrics.IndividualSpeedups(res, isoIPC)
+	if err != nil {
+		return nil, err
+	}
+	ipcGeo, err := metrics.GeomeanIPC(res)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RunReport{
+		Policy:           res.Policy,
+		TurnaroundCycles: tt,
+		Quanta:           res.Quanta,
+		Fairness:         metrics.Fairness(speedups),
+		IPCGeomean:       ipcGeo,
+		ANTT:             metrics.ANTT(speedups),
+		STP:              metrics.STP(speedups),
+	}
+	for i := range res.Apps {
+		rep.Apps = append(rep.Apps, AppReport{
+			Name:              res.Apps[i].Name,
+			TurnaroundCycles:  res.Apps[i].CompletedAtCycle,
+			IPC:               res.Apps[i].IPC,
+			IndividualSpeedup: speedups[i],
+		})
+	}
+	return rep, nil
+}
+
+// StandardWorkloads returns the names of the paper's twenty workloads
+// (be0–be4, fe0–fe4, fb0–fb9) with their application lists.
+func (s *System) StandardWorkloads() map[string][]string {
+	out := map[string][]string{}
+	for _, w := range workload.StandardSet(s.cfg.Seed) {
+		out[w.Name] = w.Names()
+	}
+	return out
+}
+
+// MaxAppsPerRun returns the hardware-thread capacity of the system.
+func (s *System) MaxAppsPerRun() int { return s.cfg.Cores * smtcore.ThreadsPerCore }
+
+// resolve maps names to application models.
+func resolve(names []string) ([]*apps.Model, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("synpa: empty application list")
+	}
+	out := make([]*apps.Model, len(names))
+	for i, n := range names {
+		m, err := apps.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}

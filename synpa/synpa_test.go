@@ -1,0 +1,199 @@
+package synpa
+
+import (
+	"testing"
+)
+
+// fastSystem returns a System scaled down for unit tests.
+func fastSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{Cores: 4, QuantumCycles: 6_000, RefQuanta: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewDefaultsAndValidation(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.MaxAppsPerRun() != 8 {
+		t.Fatalf("default capacity = %d, want 8", sys.MaxAppsPerRun())
+	}
+	if _, err := New(Config{Cores: 2, QuantumCycles: 10}); err == nil {
+		t.Fatal("absurd quantum accepted")
+	}
+}
+
+func TestApplicationsCatalogue(t *testing.T) {
+	sys := fastSystem(t)
+	names := sys.Applications()
+	if len(names) != 28 {
+		t.Fatalf("catalogue has %d apps, want 28", len(names))
+	}
+}
+
+func TestStandardWorkloads(t *testing.T) {
+	sys := fastSystem(t)
+	std := sys.StandardWorkloads()
+	if len(std) != 20 {
+		t.Fatalf("standard set has %d workloads, want 20", len(std))
+	}
+	fb2 := std["fb2"]
+	if len(fb2) != 8 || fb2[0] != "lbm_r" {
+		t.Fatalf("fb2 = %v", fb2)
+	}
+}
+
+func TestPaperModel(t *testing.T) {
+	m := PaperModel()
+	if m.K() != 3 || m.Coef[2].Gamma != 1.4391 {
+		t.Fatalf("paper model wrong: %+v", m.Coef)
+	}
+}
+
+func TestRunLinuxBaseline(t *testing.T) {
+	sys := fastSystem(t)
+	rep, err := sys.Run([]string{"mcf", "leela_r", "lbm_r", "gobmk"}, sys.LinuxPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "Linux" {
+		t.Fatalf("policy = %q", rep.Policy)
+	}
+	if rep.TurnaroundCycles == 0 || rep.Quanta == 0 {
+		t.Fatal("empty report")
+	}
+	if len(rep.Apps) != 4 {
+		t.Fatalf("report has %d apps", len(rep.Apps))
+	}
+	for _, a := range rep.Apps {
+		if a.IPC <= 0 || a.IndividualSpeedup <= 0 || a.IndividualSpeedup > 1.05 {
+			t.Fatalf("app %s metrics out of range: %+v", a.Name, a)
+		}
+	}
+	if rep.Fairness <= 0 || rep.Fairness > 1 {
+		t.Fatalf("fairness = %v", rep.Fairness)
+	}
+	if rep.ANTT < 1 {
+		t.Fatalf("ANTT = %v, must be >= 1", rep.ANTT)
+	}
+	if rep.STP <= 0 || rep.STP > 4 {
+		t.Fatalf("STP = %v", rep.STP)
+	}
+}
+
+func TestRunWithPaperModelPolicy(t *testing.T) {
+	// The paper model is not trained on this simulator but must still
+	// drive the policy machinery without error.
+	sys := fastSystem(t)
+	rep, err := sys.Run(
+		[]string{"mcf", "leela_r", "lbm_r", "gobmk"},
+		sys.SYNPAPolicy(PaperModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "SYNPA" {
+		t.Fatalf("policy = %q", rep.Policy)
+	}
+}
+
+func TestRunRandomPolicy(t *testing.T) {
+	sys := fastSystem(t)
+	rep, err := sys.Run([]string{"mcf", "leela_r", "hmmer", "nab_r"}, sys.RandomPolicy(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != "Random" {
+		t.Fatalf("policy = %q", rep.Policy)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	sys := fastSystem(t)
+	if _, err := sys.Run(nil, sys.LinuxPolicy()); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	if _, err := sys.Run([]string{"nonexistent"}, sys.LinuxPolicy()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := sys.Run([]string{"mcf"}, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	nine := make([]string, 9)
+	for i := range nine {
+		nine[i] = "mcf"
+	}
+	if _, err := sys.Run(nine, sys.LinuxPolicy()); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+}
+
+func TestSYNPAPolicyWithOptions(t *testing.T) {
+	sys := fastSystem(t)
+	p, err := sys.SYNPAPolicyWithOptions(PaperModel(), PolicyOptions{Name: "variant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "variant" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if _, err := sys.SYNPAPolicyWithOptions(nil, PolicyOptions{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestTrainModelSmallSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	sys := fastSystem(t)
+	model, rep, err := sys.TrainModel(
+		[]string{"mcf", "leela_r", "lbm_r", "gobmk", "hmmer", "nab_r"},
+		TrainOptions{IsolatedQuanta: 40, PairQuanta: 30, SampleFrac: 1.0, Seed: 5, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.K() != 3 || rep.Pairs != 15 {
+		t.Fatalf("model K=%d pairs=%d", model.K(), rep.Pairs)
+	}
+	if _, _, err := sys.TrainModel([]string{"zzz"}, TrainOptions{}); err == nil {
+		t.Fatal("unknown app accepted for training")
+	}
+}
+
+func TestEndToEndSpeedupViaPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training + 2 workload runs")
+	}
+	sys, err := New(Config{Cores: 4, QuantumCycles: 8_000, RefQuanta: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := sys.TrainModel(
+		[]string{"mcf", "lbm_r", "milc", "leela_r", "gobmk", "perlbench", "hmmer", "nab_r"},
+		TrainOptions{IsolatedQuanta: 50, PairQuanta: 35, SampleFrac: 1.0, Seed: 5, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrival order that makes Linux pair same-type apps.
+	wl := []string{"lbm_r", "mcf", "leela_r", "gobmk", "milc", "mcf", "leela_r", "perlbench"}
+	linux, err := sys.Run(wl, sys.LinuxPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	synpaRep, err := sys.Run(wl, sys.SYNPAPolicy(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(linux.TurnaroundCycles) / float64(synpaRep.TurnaroundCycles)
+	t.Logf("public-API TT speedup: %.3f", speedup)
+	if speedup < 1.05 {
+		t.Fatalf("speedup %.3f too small on an adversarial mixed workload", speedup)
+	}
+	if synpaRep.Fairness < linux.Fairness {
+		t.Errorf("SYNPA fairness %.3f below Linux %.3f", synpaRep.Fairness, linux.Fairness)
+	}
+}
