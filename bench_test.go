@@ -12,6 +12,9 @@
 // Environment:
 //
 //	SYNPA_BENCH_FAST=1   use a scaled-down configuration (quick smoke)
+//	SYNPA_FF=0           disable the core fast-forward engine (reference
+//	                     per-cycle loop; results are bit-identical, only
+//	                     slower — used to measure the engine's speedup)
 package synpabench
 
 import (
@@ -36,12 +39,16 @@ func sharedSuite() *experiments.Suite {
 		cfg := experiments.DefaultConfig()
 		if os.Getenv("SYNPA_BENCH_FAST") == "1" {
 			cfg.Machine.QuantumCycles = 8_000
-			cfg.Train.Machine = cfg.Machine
 			cfg.Train.IsolatedQuanta = 50
 			cfg.Train.PairQuanta = 35
 			cfg.RefQuanta = 30
 			cfg.Reps = 1
 		}
+		if os.Getenv("SYNPA_FF") == "0" {
+			cfg.Machine.FastForward = false
+		}
+		// cfg.Train.Machine needs no mirroring: Suite.Model always trains
+		// on cfg.Machine.
 		suite = experiments.NewSuite(cfg)
 	})
 	return suite

@@ -8,6 +8,16 @@
 //	synpa-bench -experiment fig5           # one experiment
 //	synpa-bench -experiment fig5 -reps 9   # the paper's repetition count
 //	synpa-bench -list                      # list experiment names
+//
+// Performance tracking:
+//
+//	synpa-bench -experiment all -perfstat auto        # next BENCH_NNNN.json
+//	synpa-bench -experiment all -perfstat run.json    # explicit path
+//	synpa-bench -experiment all -fastforward=false    # reference engine
+//
+// The perfstat report records each experiment's wall time and allocation
+// churn plus the run configuration, so committed BENCH_*.json files form a
+// performance trajectory across PRs.
 package main
 
 import (
@@ -15,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"synpa/internal/experiments"
+	"synpa/internal/perfstat"
 )
 
 func main() {
@@ -31,6 +43,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "random seed (default: suite default)")
 		parallel = flag.Bool("parallel", true, "fan runs out over CPUs")
 		format   = flag.String("format", "text", "output format: text | json | csv")
+		ff       = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
+		perfOut  = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
 	)
 	flag.Parse()
 
@@ -40,7 +54,6 @@ func main() {
 	}
 	if *quantum > 0 {
 		cfg.Machine.QuantumCycles = *quantum
-		cfg.Train.Machine.QuantumCycles = *quantum
 	}
 	if *refQ > 0 {
 		cfg.RefQuanta = *refQ
@@ -49,6 +62,9 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallel = *parallel
+	cfg.Machine.FastForward = *ff
+	// cfg.Train.Machine needs no mirroring: Suite.Model always trains on
+	// cfg.Machine.
 	s := experiments.NewSuite(cfg)
 
 	type experiment struct {
@@ -89,13 +105,19 @@ func main() {
 		return
 	}
 
+	var collector perfstat.Collector
 	ran := 0
 	for _, e := range exps {
 		if *exp != "all" && e.name != *exp {
 			continue
 		}
 		start := time.Now()
-		tab, err := e.run()
+		var tab *experiments.Table
+		err := collector.Measure(e.name, func() error {
+			var err error
+			tab, err = e.run()
+			return err
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "synpa-bench: %s: %v\n", e.name, err)
 			os.Exit(1)
@@ -119,5 +141,32 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "synpa-bench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(1)
+	}
+
+	if *perfOut != "" {
+		path := *perfOut
+		if path == "auto" {
+			var err error
+			path, err = perfstat.NextBenchPath(".")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "synpa-bench:", err)
+				os.Exit(1)
+			}
+		}
+		report := collector.Report(map[string]string{
+			"experiment":  *exp,
+			"reps":        strconv.Itoa(cfg.Reps),
+			"quantum":     strconv.FormatUint(cfg.Machine.QuantumCycles, 10),
+			"ref_quanta":  strconv.Itoa(cfg.RefQuanta),
+			"seed":        strconv.FormatUint(cfg.Seed, 10),
+			"fastforward": strconv.FormatBool(*ff),
+			"parallel":    strconv.FormatBool(*parallel),
+		})
+		if err := report.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "synpa-bench: perfstat written to %s (total %.1fs)\n",
+			path, report.TotalWallSeconds)
 	}
 }

@@ -1,0 +1,3 @@
+module synpa
+
+go 1.24

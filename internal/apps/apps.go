@@ -189,6 +189,13 @@ func (in *Instance) Profile() *Profile {
 // PhaseIndex returns the index of the current phase.
 func (in *Instance) PhaseIndex() int { return in.phaseIdx }
 
+// InstsToPhaseBoundary returns how many more dispatched instructions fit in
+// the current phase before the next boundary (always >= 1). The core's
+// fast-forward engine uses it to bound event-free spans.
+func (in *Instance) InstsToPhaseBoundary() uint64 {
+	return in.Model.Phases[in.phaseIdx].Insts - in.intoPhase
+}
+
 // AdvanceDispatched records n dispatched instructions and returns true if
 // the application crossed into a different phase.
 func (in *Instance) AdvanceDispatched(n uint64) bool {

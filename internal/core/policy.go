@@ -80,6 +80,8 @@ type Policy struct {
 	// lastST caches the most recent ST estimates per application for
 	// introspection and tests.
 	lastST [][]float64
+	// mates is the reusable pairing view of the previous placement.
+	mates []int
 }
 
 var _ machine.Policy = (*Policy)(nil)
@@ -153,14 +155,20 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	}
 
 	n := st.NumApps
-	// Step 1: estimate each application's ST category vector.
+	// Step 1: estimate each application's ST category vector. The pairing
+	// view is precomputed once per quantum instead of an O(n) CoMate scan
+	// per application.
+	p.mates = st.Prev.CoMates(p.mates)
 	est := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		if est[i] != nil {
 			continue
 		}
 		fi := p.opt.Extract(st.Samples[i], st.DispatchWidth)
-		mate := st.Prev.CoMate(i)
+		mate := -1
+		if i < len(p.mates) {
+			mate = p.mates[i]
+		}
 		if mate < 0 || p.opt.DisableInversion {
 			// Running alone, its measurements are ST already; or the
 			// inversion ablation is active.
@@ -224,7 +232,7 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 
 	// Hysteresis: only migrate when the predicted gain is material.
 	if p.opt.Hysteresis > 0 {
-		prevCost, ok := pairingCost(w, st.Prev, n)
+		prevCost, ok := pairingCost(w, p.mates, n)
 		if ok {
 			newCost := 0.0
 			for i, m := range mate {
@@ -242,15 +250,16 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 }
 
 // pairingCost evaluates a placement's total cost under the current weight
-// matrix (including the implicit idle partners of solo apps). ok is false
-// when the placement is unusable.
-func pairingCost(w [][]float64, place machine.Placement, n int) (float64, bool) {
-	if len(place) < n {
+// matrix (including the implicit idle partners of solo apps), given the
+// placement's precomputed pairing view. ok is false when the placement is
+// unusable.
+func pairingCost(w [][]float64, mates []int, n int) (float64, bool) {
+	if len(mates) < n {
 		return 0, false
 	}
 	cost := 0.0
 	for i := 0; i < n; i++ {
-		j := place.CoMate(i)
+		j := mates[i]
 		switch {
 		case j < 0:
 			cost += 1 // solo app runs at ST speed

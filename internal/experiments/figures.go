@@ -9,6 +9,7 @@ import (
 	"synpa/internal/machine"
 	"synpa/internal/metrics"
 	"synpa/internal/pmu"
+	"synpa/internal/pool"
 	"synpa/internal/stats"
 	"synpa/internal/workload"
 )
@@ -20,24 +21,34 @@ type isoProfile struct {
 }
 
 // isolatedProfiles characterizes all 28 applications in isolation (the data
-// behind Fig. 4 and Table III), once.
+// behind Fig. 4 and Table III), once, fanning the independent isolated runs
+// out over CPUs.
 func (s *Suite) isolatedProfiles() (map[string]isoProfile, error) {
 	s.isoOnce.Do(func() {
-		s.iso = map[string]isoProfile{}
-		for _, m := range apps.Catalog() {
+		catalog := apps.Catalog()
+		profiles := make([]isoProfile, len(catalog))
+		s.isoErr = pool.Run(len(catalog), s.cfg.Parallel, func(i int) error {
+			m := catalog[i]
 			samples, err := machine.RunIsolated(m, s.cfg.Seed^hashString(m.Name), s.cfg.RefQuanta, s.cfg.Machine)
 			if err != nil {
-				s.isoErr = err
-				return
+				return err
 			}
 			var agg pmu.Counters
 			for _, smp := range samples {
 				agg = agg.Add(smp)
 			}
-			s.iso[m.Name] = isoProfile{
+			profiles[i] = isoProfile{
 				agg:       agg,
 				breakdown: characterize.FromCounters(agg, s.cfg.Machine.Core.DispatchWidth),
 			}
+			return nil
+		})
+		if s.isoErr != nil {
+			return
+		}
+		s.iso = make(map[string]isoProfile, len(catalog))
+		for i, m := range catalog {
+			s.iso[m.Name] = profiles[i]
 		}
 	})
 	return s.iso, s.isoErr
@@ -331,10 +342,12 @@ func (s *Suite) TableV() (*Table, error) {
 	if len(res.Samples) < quanta {
 		quanta = len(res.Samples)
 	}
+	var mates []int
 	for q := 0; q < quanta; q++ {
 		place := res.Placements[q]
+		mates = place.CoMates(mates)
 		for i := 0; i < n; i++ {
-			j := place.CoMate(i)
+			j := mates[i]
 			if j < 0 {
 				continue
 			}

@@ -12,7 +12,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -20,6 +19,7 @@ import (
 	"synpa/internal/apps"
 	"synpa/internal/core"
 	"synpa/internal/machine"
+	"synpa/internal/pool"
 	"synpa/internal/train"
 	"synpa/internal/workload"
 )
@@ -260,45 +260,18 @@ func (s *Suite) runAllPairs() error {
 			jobs = append(jobs, job{w, linux, rep}, job{w, synpa, rep})
 		}
 	}
-	workers := 1
-	if s.cfg.Parallel {
-		workers = runtime.NumCPU()
+	// Warm the per-application instruction targets concurrently before the
+	// runs start: the first touch of each target is an isolated reference
+	// run, and warming keeps it off the critical path of the first
+	// workload executions.
+	if err := s.targets.Warm(s.workloads, s.cfg.Parallel); err != nil {
+		return err
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(jobs) {
-					mu.Unlock()
-					return
-				}
-				j := jobs[next]
-				next++
-				mu.Unlock()
-				if _, err := s.Run(j.w, j.policy, j.rep); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pool.Run(len(jobs), s.cfg.Parallel, func(i int) error {
+		j := jobs[i]
+		_, err := s.Run(j.w, j.policy, j.rep)
+		return err
+	})
 }
 
 // --- Table rendering --------------------------------------------------------

@@ -32,6 +32,11 @@ type Config struct {
 	Core smtcore.Config
 	// Parallel runs the cores of a quantum on separate goroutines.
 	Parallel bool
+	// FastForward enables the event-driven fast-forward engine in every
+	// core (internal/smtcore/DESIGN.md). The engine is observationally
+	// equivalent to the per-cycle reference loop, so this only trades
+	// wall-clock time; disable it to benchmark the reference simulator.
+	FastForward bool
 }
 
 // DefaultConfig returns a four-core machine sized for the paper's
@@ -42,6 +47,7 @@ func DefaultConfig() Config {
 		QuantumCycles: 20_000,
 		Core:          smtcore.DefaultConfig(),
 		Parallel:      true,
+		FastForward:   true,
 	}
 }
 
@@ -90,6 +96,8 @@ func (p Placement) PairsOf(numCores int) [][]int {
 }
 
 // CoMate returns the index of the app sharing a core with app i, or -1.
+// Inside per-quantum or per-app loops prefer CoMates, which computes every
+// pairing in one O(n) pass instead of O(n) per query.
 func (p Placement) CoMate(i int) int {
 	for j, c := range p {
 		if j != i && c == p[i] {
@@ -97,6 +105,41 @@ func (p Placement) CoMate(i int) int {
 		}
 	}
 	return -1
+}
+
+// CoMates returns, for every app, the index of the app sharing its core
+// (-1 for solo apps), in one pass. dst is reused when it has capacity.
+func (p Placement) CoMates(dst []int) []int {
+	if cap(dst) >= len(p) {
+		dst = dst[:len(p)]
+	} else {
+		dst = make([]int, len(p))
+	}
+	for i := range dst {
+		dst[i] = -1
+	}
+	// first[c] remembers the first occupant seen on core c.
+	maxCore := -1
+	for _, c := range p {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	first := make([]int, maxCore+1)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, c := range p {
+		if c < 0 {
+			continue
+		}
+		if j := first[c]; j >= 0 {
+			dst[i], dst[j] = j, i
+		} else {
+			first[c] = i
+		}
+	}
+	return dst
 }
 
 // QuantumState is the information a policy receives when asked to place
@@ -123,7 +166,9 @@ type QuantumState struct {
 type Policy interface {
 	// Name identifies the policy in experiment output.
 	Name() string
-	// Place returns the placement for the next quantum.
+	// Place returns the placement for the next quantum. The QuantumState
+	// and its Samples vector are owned by the runner and reused across
+	// quanta: implementations must not retain them past the call.
 	Place(st *QuantumState) Placement
 }
 
@@ -194,7 +239,9 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg}
 	for i := 0; i < cfg.Cores; i++ {
-		m.cores = append(m.cores, smtcore.New(i, cfg.Core))
+		core := smtcore.New(i, cfg.Core)
+		core.SetFastForward(cfg.FastForward)
+		m.cores = append(m.cores, core)
 	}
 	return m, nil
 }
@@ -294,19 +341,37 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 	res := &Result{
 		Policy:        policy.Name(),
 		QuantumCycles: m.cfg.QuantumCycles,
+		// Typical runs finish within a few hundred quanta; pre-sizing the
+		// per-quantum records avoids most of the append regrowth without
+		// committing MaxQuanta-sized buffers up front.
+		Placements: make([]Placement, 0, 256),
 	}
 
 	var prev Placement
+	// The per-quantum sample vectors double-buffer: the policy reads the
+	// previous quantum's deltas while the new ones are collected, so two
+	// buffers suffice — unless the caller wants the whole trace, in which
+	// case each quantum's vector is retained in the Result and must be
+	// freshly allocated.
 	samples := make([]pmu.Counters, len(models))
+	spare := make([]pmu.Counters, len(models))
 	var havePrev bool
 
+	// The QuantumState is reused across quanta; policies receive it for
+	// the duration of one Place call only.
+	st := &QuantumState{
+		NumCores:      len(m.cores),
+		NumApps:       len(models),
+		DispatchWidth: m.cfg.Core.DispatchWidth,
+	}
+
+	// Placement clones are carved from chunked backing arrays instead of
+	// one small allocation per quantum.
+	var cloneArena []int
+
 	for q := 0; q < maxQuanta; q++ {
-		st := &QuantumState{
-			Quantum:       q,
-			NumCores:      len(m.cores),
-			NumApps:       len(models),
-			DispatchWidth: m.cfg.Core.DispatchWidth,
-		}
+		st.Quantum = q
+		st.Prev, st.Samples = nil, nil
 		if havePrev {
 			st.Prev = prev
 			st.Samples = samples
@@ -320,13 +385,22 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
 		}
 		m.applyPlacement(states, place, prev)
-		res.Placements = append(res.Placements, place.Clone())
+		if len(cloneArena) < len(place) {
+			cloneArena = make([]int, 256*len(place))
+		}
+		clone := Placement(cloneArena[:len(place):len(place)])
+		cloneArena = cloneArena[len(place):]
+		copy(clone, place)
+		res.Placements = append(res.Placements, clone)
 
 		m.runQuantum()
 		res.Quanta++
 
 		nowCycle := uint64(res.Quanta) * m.cfg.QuantumCycles
-		newSamples := make([]pmu.Counters, len(models))
+		newSamples := spare
+		if opt.RecordTrace {
+			newSamples = make([]pmu.Counters, len(models))
+		}
 		allDone := anyTarget
 		for i, s := range states {
 			snap := s.bank.Read()
@@ -347,12 +421,13 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 				}
 			}
 		}
+		spare = samples
 		samples = newSamples
 		havePrev = true
 		if opt.RecordTrace {
 			res.Samples = append(res.Samples, newSamples)
 		}
-		prev = place
+		prev = clone
 		if allDone {
 			break
 		}
@@ -382,6 +457,9 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 // stable pairing does not).
 func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
 	for core := 0; core < len(m.cores); core++ {
+		if prev != nil && sameSet(core, place, prev) {
+			continue
+		}
 		var cur [smtcore.ThreadsPerCore]int
 		n := 0
 		for app, c := range place {
@@ -389,9 +467,6 @@ func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
 				cur[n] = app
 				n++
 			}
-		}
-		if prev != nil && sameSet(core, place, prev) {
-			continue
 		}
 		for slot := 0; slot < smtcore.ThreadsPerCore; slot++ {
 			if slot < n {

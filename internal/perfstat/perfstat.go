@@ -1,0 +1,127 @@
+// Package perfstat measures wall time and allocation churn of named
+// regions and serialises them as JSON, so that cmd/synpa-bench can emit
+// per-experiment performance records (BENCH_NNNN.json) whose trajectory
+// tracks the simulator's throughput across PRs.
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"time"
+)
+
+// Record captures one measured region.
+type Record struct {
+	// Name identifies the region (an experiment name).
+	Name string `json:"name"`
+	// WallSeconds is the region's elapsed wall time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Allocs is the number of heap allocations during the region.
+	Allocs uint64 `json:"allocs"`
+	// AllocBytes is the number of heap bytes allocated during the region.
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// Report is the serialised output of a collection run.
+type Report struct {
+	// CreatedAt is the RFC 3339 creation timestamp.
+	CreatedAt string `json:"created_at"`
+	// GoMaxProcs records the parallelism the run had available.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Meta carries run configuration (seed, quantum, fast-forward, ...).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Records holds the per-region measurements in execution order.
+	Records []Record `json:"records"`
+	// TotalWallSeconds sums the records' wall times.
+	TotalWallSeconds float64 `json:"total_wall_seconds"`
+}
+
+// Collector accumulates Records. It is not safe for concurrent use; measure
+// regions sequentially (the allocation counters are process-global anyway).
+type Collector struct {
+	records []Record
+}
+
+// Measure runs fn, recording its wall time and allocation deltas under
+// name. The error is passed through; failed regions are recorded too.
+func (c *Collector) Measure(name string, fn func() error) error {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	c.records = append(c.records, Record{
+		Name:        name,
+		WallSeconds: wall.Seconds(),
+		Allocs:      after.Mallocs - before.Mallocs,
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+	})
+	return err
+}
+
+// Records returns the measurements collected so far.
+func (c *Collector) Records() []Record { return c.records }
+
+// Report assembles the collected records into a serialisable report.
+func (c *Collector) Report(meta map[string]string) *Report {
+	r := &Report{
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Meta:       meta,
+		Records:    c.records,
+	}
+	for _, rec := range c.records {
+		r.TotalWallSeconds += rec.WallSeconds
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// NextBenchPath returns the next unused BENCH_NNNN.json path in dir,
+// starting from BENCH_0001.json.
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		if n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", next)), nil
+}

@@ -165,5 +165,18 @@ func (b *Bank) Add(e Event, n uint64) {
 	}
 }
 
+// AddN adds n to every listed event if the bank is enabled. It is the bulk
+// equivalent of n repetitions of Inc on each event: the simulator's
+// fast-forward engine uses it to tick a dormant regime's fixed per-cycle
+// counter signature for a whole batch of cycles in one call.
+func (b *Bank) AddN(n uint64, events ...Event) {
+	if !b.enabled {
+		return
+	}
+	for _, e := range events {
+		b.counts[e] += n
+	}
+}
+
 // Read returns a snapshot of the current counter values.
 func (b *Bank) Read() Counters { return b.counts }

@@ -1,0 +1,65 @@
+// Package pool provides the atomic-counter worker pool used by every
+// fan-out in the repository (training pairs, experiment runs, isolated
+// profiling): jobs are claimed by an atomic increment instead of a mutexed
+// queue, and the first error stops the pool.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(0..n-1) across CPUs (inline when parallel is false or
+// n <= 1), returning the first error. Remaining jobs are abandoned once an
+// error occurs; in-flight jobs finish.
+func Run(n int, parallel bool, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := 1
+	if parallel {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,48 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllJobs(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		var hits [100]atomic.Int32
+		if err := Run(len(hits), parallel, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallel=%v: job %d ran %d times", parallel, i, got)
+			}
+		}
+	}
+}
+
+func TestRunStopsOnFirstError(t *testing.T) {
+	want := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(1000, true, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("pool did not stop early: ran %d jobs", n)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, true, func(int) error { return errors.New("no") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -156,7 +156,8 @@ type Core struct {
 	cfg     Config
 	id      int
 	cycle   uint64
-	prio    int // which thread dispatches/retires first this cycle
+	prio    int  // which thread dispatches/retires first this cycle
+	ff      bool // event-driven fast-forward engine enabled
 	threads [ThreadsPerCore]thread
 
 	// Per-thread occupancy caps, refreshed on Bind: the full structure in
@@ -165,6 +166,26 @@ type Core struct {
 	iqCap  float64
 	ldqCap float64
 	stqCap float64
+
+	// ldqDead/stqDead record that, for the currently bound applications,
+	// the load/store-queue clamps can never bind: occupancy is bounded by
+	// ratio · ROB occupancy (every LDQ/STQ increment and decrement pairs
+	// with a ROB one at the same ratio, and clamping only drifts the
+	// float bookkeeping downward), so when ratio · ROBSize leaves a safe
+	// margin below the queue size — and ratio · robCap below the
+	// partition cap — the clamp outcome is statically known. The fast
+	// tiers then skip the queues' float bookkeeping entirely: the values
+	// become observationally invisible, and the dormancy predicates skip
+	// the corresponding conditions rather than read stale state. The
+	// reference step() is not affected. Refreshed on Bind.
+	ldqDead bool
+	stqDead bool
+
+	// forceLiveQueues disables the dead-clamp analysis; set by the
+	// differential test so the reference core maintains (and evaluates)
+	// the full queue bookkeeping that the analysis would elide, proving
+	// the elision observationally neutral.
+	forceLiveQueues bool
 }
 
 // New creates a core with the given configuration. It panics on an invalid
@@ -184,6 +205,27 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
+
+// SetFastForward toggles the event-driven fast-forward engine (see DESIGN.md
+// in this package). The engine is observationally equivalent to the
+// per-cycle reference loop — identical PMU counters, retired-instruction
+// counts and phase transitions — so the toggle only changes wall-clock
+// speed. It defaults to off on a bare Core; the machine layer enables it
+// from machine.Config.FastForward.
+//
+// Set the toggle before running cycles: the engine elides bookkeeping it
+// has proven unobservable (DESIGN.md, dead-clamp elision), so disabling it
+// mid-run leaves that state stale until the next Bind of the affected
+// slots.
+func (c *Core) SetFastForward(on bool) {
+	c.ff = on
+	// The dead-clamp analysis is gated on the engine; recompute in case
+	// applications were bound before the toggle.
+	c.refreshCaps()
+}
+
+// FastForward reports whether the fast-forward engine is enabled.
+func (c *Core) FastForward() bool { return c.ff }
 
 // Instance returns the application bound to hardware thread slot, or nil.
 func (c *Core) Instance(slot int) *apps.Instance { return c.threads[slot].inst }
@@ -282,6 +324,48 @@ func (c *Core) refreshCaps() {
 	c.iqCap = frac * float64(c.cfg.IQSize)
 	c.ldqCap = frac * float64(c.cfg.LDQSize)
 	c.stqCap = frac * float64(c.cfg.STQSize)
+
+	// Dead-clamp analysis for the fast tiers (see the field comment). The
+	// occupancy bound ldqHeld <= ratio·robHeld holds only when a model's
+	// ratio is identical across its phases: releases (retire, squash) use
+	// the *current* phase's ratio while the held entries were added at
+	// their dispatch-time ratio, so differing per-phase ratios let a
+	// residue ratchet up across fill/drain alternations without bound.
+	// With phase-constant ratios the pairing is exact (clamping and the
+	// robHeld==0 reset only drift the bookkeeping downward), and the
+	// margin covers one dispatch group per clamp use plus rounding.
+	maxL, maxS := 0.0, 0.0
+	constL, constS := true, true
+	for s := 0; s < ThreadsPerCore; s++ {
+		inst := c.threads[s].inst
+		if inst == nil {
+			continue
+		}
+		phases := inst.Model.Phases
+		for _, ph := range phases {
+			if ph.Profile.LoadRatio != phases[0].Profile.LoadRatio {
+				constL = false
+			}
+			if ph.Profile.StoreRatio != phases[0].Profile.StoreRatio {
+				constS = false
+			}
+			if ph.Profile.LoadRatio > maxL {
+				maxL = ph.Profile.LoadRatio
+			}
+			if ph.Profile.StoreRatio > maxS {
+				maxS = ph.Profile.StoreRatio
+			}
+		}
+	}
+	// The elision is part of the fast-forward engine: with it disabled the
+	// core is the unmodified per-cycle reference.
+	margin := float64(c.cfg.DispatchWidth)
+	c.ldqDead = c.ff && !c.forceLiveQueues && constL &&
+		float64(c.cfg.LDQSize)-maxL*float64(c.cfg.ROBSize) >= maxL*margin+2 &&
+		c.ldqCap-maxL*float64(c.robCap) >= maxL*margin+2
+	c.stqDead = c.ff && !c.forceLiveQueues && constS &&
+		float64(c.cfg.STQSize)-maxS*float64(c.cfg.ROBSize) >= maxS*margin+2 &&
+		c.stqCap-maxS*float64(c.robCap) >= maxS*margin+2
 }
 
 func safeInv(x float64) float64 {
@@ -348,12 +432,49 @@ func (t *thread) fireEvent() {
 	t.drawWindow()
 }
 
-// Run advances the core by the given number of cycles.
+// Run advances the core by the given number of cycles. With the
+// fast-forward engine enabled it alternates bulk advances over statically
+// predictable regimes with exact per-cycle steps (fastforward.go); otherwise
+// it is the per-cycle reference loop.
 func (c *Core) Run(cycles uint64) {
-	for n := uint64(0); n < cycles; n++ {
-		c.step()
+	if !c.ff {
+		for n := uint64(0); n < cycles; n++ {
+			c.step()
+		}
+		return
+	}
+	remaining := cycles
+	for remaining > 0 {
+		// Tier 1: skip fully dormant windows outright.
+		if skipped := c.fastForward(remaining); skipped > 0 {
+			remaining -= skipped
+			continue
+		}
+		// Tier 2: execute an event-free span through the scalarised lean
+		// engine.
+		if ran := c.runSpanLite(remaining); ran > 0 {
+			remaining -= ran
+			continue
+		}
+		// Event boundary (stall event, miss expiry, phase crossing) or a
+		// span too short to amortise: run a short burst of reference
+		// steps before re-screening. The burst only delays re-entering a
+		// fast tier — equivalence is untouched because every burst cycle
+		// runs the reference step.
+		burst := uint64(ffBurst)
+		if burst > remaining {
+			burst = remaining
+		}
+		remaining -= burst
+		for ; burst > 0; burst-- {
+			c.step()
+		}
 	}
 }
+
+// ffBurst is the number of reference steps run between fast-forward
+// attempts after both fast tiers decline.
+const ffBurst = 1
 
 // step simulates one cycle.
 func (c *Core) step() {
@@ -374,13 +495,17 @@ func (c *Core) step() {
 		}
 		retireLeft -= k
 		t.robHeld -= k
-		t.ldqHeld -= t.loadRatio * float64(k)
-		if t.ldqHeld < 0 {
-			t.ldqHeld = 0
+		if !c.ldqDead {
+			t.ldqHeld -= t.loadRatio * float64(k)
+			if t.ldqHeld < 0 {
+				t.ldqHeld = 0
+			}
 		}
-		t.stqHeld -= t.storeRatio * float64(k)
-		if t.stqHeld < 0 {
-			t.stqHeld = 0
+		if !c.stqDead {
+			t.stqHeld -= t.storeRatio * float64(k)
+			if t.stqHeld < 0 {
+				t.stqHeld = 0
+			}
 		}
 		if t.robHeld == 0 {
 			// Empty ROB implies empty derived queues; clamp any
@@ -480,7 +605,11 @@ func (c *Core) step() {
 				}
 			}
 		}
-		if t.loadRatio > 0 && k > 0 {
+		// The LDQ/STQ clamps are skipped when the dead-clamp analysis
+		// (refreshCaps) proves they can never bind for the bound
+		// applications; their float bookkeeping is then not maintained
+		// anywhere, so evaluating them here would read stale state.
+		if !c.ldqDead && t.loadRatio > 0 && k > 0 {
 			ldqFree := float64(c.cfg.LDQSize) - c.threads[0].ldqHeld - c.threads[1].ldqHeld
 			if own := c.ldqCap - t.ldqHeld; own < ldqFree {
 				ldqFree = own
@@ -493,7 +622,7 @@ func (c *Core) step() {
 				}
 			}
 		}
-		if t.storeRatio > 0 && k > 0 {
+		if !c.stqDead && t.storeRatio > 0 && k > 0 {
 			stqFree := float64(c.cfg.STQSize) - c.threads[0].stqHeld - c.threads[1].stqHeld
 			if own := c.stqCap - t.stqHeld; own < stqFree {
 				stqFree = own
@@ -527,8 +656,12 @@ func (c *Core) step() {
 		if t.missLeft > 0 {
 			t.iqHeld += t.depFrac * float64(k)
 		}
-		t.ldqHeld += t.loadRatio * float64(k)
-		t.stqHeld += t.storeRatio * float64(k)
+		if !c.ldqDead {
+			t.ldqHeld += t.loadRatio * float64(k)
+		}
+		if !c.stqDead {
+			t.stqHeld += t.storeRatio * float64(k)
+		}
 		t.bank.Add(pmu.InstSpec, uint64(k))
 		t.window -= k
 		if t.inst.AdvanceDispatched(uint64(k)) {

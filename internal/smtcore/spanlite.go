@@ -1,0 +1,870 @@
+// Steady/active span — the lean scalarised tier of the fast-forward engine.
+//
+// This tier executes runs of *event-free* cycles: spans in which no stall
+// event can fire (every dispatching thread's window exceeds what it can
+// consume), no outstanding miss can expire, no frontend stall can end and
+// no phase boundary can be crossed. Those four events are the only places
+// step() touches the RNG or refreshes contention rates, so inside a span
+// every cycle is pure arithmetic on the core's microstate — and that
+// arithmetic is transcribed below from step() operation for operation onto
+// scalar locals, with the dispatch-priority alternation unrolled into the
+// two cycle parities so that no dynamically indexed state remains and the
+// whole cycle body register-allocates. PMU counters accumulate in scalars
+// and flush once per span.
+//
+// Per-thread span roles:
+//
+//   - live: dispatches through the full clamp cascade (including the
+//     issue-queue clamps when its miss is outstanding);
+//   - frozen: miss-blocked with the blocked-ness provable for the whole
+//     span from its own partition caps alone (dispatchBlockedOwn), so the
+//     cascade collapses to the fixed zero-dispatch signature;
+//   - frontend-starved: consumes STALL_FRONTEND cycles (the span ends with
+//     the stall);
+//   - idle: an empty slot with no effects.
+//
+// The parity bodies are deliberate near-duplicates of each other and of
+// step(): the duplication is what buys the register allocation. The file is
+// generated-style mechanical code; the differential test in
+// fastforward_test.go pins every operation to the reference loop.
+package smtcore
+
+import "synpa/internal/pmu"
+
+// minSpan is the shortest span worth the setup/flush overhead; anything
+// shorter runs through step().
+const minSpan = 4
+
+// liteCounters accumulates one thread's per-cycle PMU signatures over a
+// span.
+type liteCounters struct {
+	spec, ret                        uint64
+	feCnt                            uint64
+	slotsCnt, robCnt, ldqCnt, stqCnt uint64
+	iqCnt, otherCnt, memLatCnt       uint64
+}
+
+// runSpanLite executes up to limit event-free cycles, returning the number
+// executed (0 when no worthwhile span exists).
+func (c *Core) runSpanLite(limit uint64) uint64 {
+	t0, t1 := &c.threads[0], &c.threads[1]
+	active0, active1 := t0.inst != nil, t1.inst != nil
+	if !active0 && !active1 {
+		return 0
+	}
+	var frozen0, frozen1, hasMiss0, hasMiss1, liveAny bool
+	var supMax0, supMax1 int
+	var pb0, pb1 uint64 // dispatched instructions left before a phase boundary
+	n := limit
+	for s := 0; s < ThreadsPerCore; s++ {
+		t := &c.threads[s]
+		if t.inst == nil {
+			continue
+		}
+		if t.missLeft > 0 {
+			// The expiry cycle drains iqHeld; stop one cycle short of it
+			// so "a miss is outstanding" is a span-constant fact.
+			if t.missLeft < 2 {
+				return 0
+			}
+			if m := uint64(t.missLeft - 1); m < n {
+				n = m
+			}
+			if s == 0 {
+				hasMiss0 = true
+			} else {
+				hasMiss1 = true
+			}
+		}
+		if t.feLeft > 0 {
+			// Frontend-starved: cannot dispatch; the span ends with the
+			// stall so resumption runs in step().
+			if m := uint64(t.feLeft); m < n {
+				n = m
+			}
+			continue
+		}
+		if t.missLeft > 0 {
+			// A blocked thread freezes — its cascade collapses to the
+			// fixed zero-dispatch signature — when the blocked-ness is
+			// stable for the whole span. Shared frees only shrink while
+			// co-runners dispatch, so the current clamp outcome
+			// (dispatchBlocked) suffices unless the co-runner can retire
+			// (missLeft == 0): retirement grows the shared frees, and
+			// blocked-ness must then hold at maximum free, from t's own
+			// partition caps alone (dispatchBlockedOwn).
+			other := &c.threads[1-s]
+			var blocked bool
+			if other.inst != nil && other.missLeft == 0 {
+				blocked = c.dispatchBlockedOwn(t)
+			} else {
+				blocked = c.dispatchBlocked(t)
+			}
+			if blocked {
+				if s == 0 {
+					frozen0 = true
+				} else {
+					frozen1 = true
+				}
+				continue
+			}
+		}
+		liveAny = true
+		supplyMax := t.ilpBase
+		if t.ilpFrac > 0 {
+			supplyMax++
+		}
+		if supplyMax < 1 {
+			return 0
+		}
+		// The first cycle must be event-free; later cycles are guarded
+		// dynamically inside the loop (a static worst-case bound would
+		// halve span lengths whenever slot contention throttles actual
+		// window consumption).
+		if t.window <= supplyMax {
+			return 0
+		}
+		toBoundary := t.inst.InstsToPhaseBoundary()
+		if toBoundary-1 < uint64(supplyMax) {
+			return 0
+		}
+		if s == 0 {
+			supMax0 = supplyMax
+			pb0 = toBoundary - 1
+		} else {
+			supMax1 = supplyMax
+			pb1 = toBoundary - 1
+		}
+	}
+	if !liveAny || n < minSpan {
+		// With no live dispatcher every thread is dormant — the bulk
+		// tier advances that regime in O(1) per window instead of O(n).
+		return 0
+	}
+
+	// --- hoist state into scalar locals ------------------------------------
+	dispW, retireW := c.cfg.DispatchWidth, c.cfg.RetireWidth
+	robSize := c.cfg.ROBSize
+	robCap := c.robCap
+	iqSizeF := float64(c.cfg.IQSize)
+	ldqSizeF := float64(c.cfg.LDQSize)
+	stqSizeF := float64(c.cfg.STQSize)
+	iqCap := c.iqCap
+	ldqCap, stqCap := c.ldqCap, c.stqCap
+	ldqDead, stqDead := c.ldqDead, c.stqDead
+	var (
+		rob0, win0, fe0 = t0.robHeld, t0.window, t0.feLeft
+		rob1, win1, fe1 = t1.robHeld, t1.window, t1.feLeft
+		iqH0, iqH1      = t0.iqHeld, t1.iqHeld
+		ldq0, stq0      = t0.ldqHeld, t0.stqHeld
+		ldq1, stq1      = t1.ldqHeld, t1.stqHeld
+		acc0, frac0     = t0.ilpAcc, t0.ilpFrac
+		acc1, frac1     = t1.ilpAcc, t1.ilpFrac
+		base0, base1    = t0.ilpBase, t1.ilpBase
+		loadR0, storeR0 = t0.loadRatio, t0.storeRatio
+		loadR1, storeR1 = t1.loadRatio, t1.storeRatio
+		depF0, depF1    = t0.depFrac, t1.depFrac
+		invD0, invD1    = t0.invDepFrac, t1.invDepFrac
+		invL0, invS0    = t0.invLoadRatio, t0.invStoreRatio
+		invL1, invS1    = t1.invLoadRatio, t1.invStoreRatio
+		cnt0, cnt1      liteCounters
+	)
+
+	i := uint64(0)
+	stop := false
+	stallStreak := 0
+	runOdd := c.prio == 1
+
+	for i < n && !stop {
+		i++
+		if !runOdd {
+			runOdd = true
+			// ===== cycle with thread 0 first ==========================
+			dispatched := false
+			retireLeft := retireW
+			if active0 && !hasMiss0 && rob0 > 0 {
+				k := rob0
+				if k > retireLeft {
+					k = retireLeft
+				}
+				retireLeft -= k
+				rob0 -= k
+				if !ldqDead {
+					ldq0 -= loadR0 * float64(k)
+					if ldq0 < 0 {
+						ldq0 = 0
+					}
+				}
+				if !stqDead {
+					stq0 -= storeR0 * float64(k)
+					if stq0 < 0 {
+						stq0 = 0
+					}
+				}
+				if rob0 == 0 {
+					ldq0, stq0 = 0, 0
+				}
+				cnt0.ret += uint64(k)
+			}
+			if active1 && !hasMiss1 && rob1 > 0 && retireLeft > 0 {
+				k := rob1
+				if k > retireLeft {
+					k = retireLeft
+				}
+				rob1 -= k
+				if !ldqDead {
+					ldq1 -= loadR1 * float64(k)
+					if ldq1 < 0 {
+						ldq1 = 0
+					}
+				}
+				if !stqDead {
+					stq1 -= storeR1 * float64(k)
+					if stq1 < 0 {
+						stq1 = 0
+					}
+				}
+				if rob1 == 0 {
+					ldq1, stq1 = 0, 0
+				}
+				cnt1.ret += uint64(k)
+			}
+			slots := dispW
+			robUsed := rob0 + rob1
+			if active0 {
+				if frozen0 {
+					// Blocked on its miss for the whole span: the supply
+					// dither still advances before the cascade discards it,
+					// exactly as in step().
+					acc0 += frac0
+					if acc0 >= 1 {
+						acc0--
+					}
+					cnt0.memLatCnt++
+				} else if fe0 > 0 {
+					fe0--
+					cnt0.feCnt++
+				} else {
+					supply := base0
+					acc0 += frac0
+					if acc0 >= 1 {
+						supply++
+						acc0--
+					}
+					k := supply
+					cause := 0
+					if win0 < k {
+						k = win0
+					}
+					if slots < k {
+						k = slots
+						if slots == 0 {
+							cause = 1
+						}
+					}
+					if free := robSize - robUsed; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					if free := robCap - rob0; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					iqFree := iqSizeF - iqH0 - iqH1
+					if own := iqCap - iqH0; own < iqFree {
+						iqFree = own
+					}
+					if iqFree < 1 {
+						k = 0
+						cause = 5
+					} else if hasMiss0 && depF0 > 0 {
+						if lim := int(iqFree * invD0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 5
+							}
+						}
+					}
+					if !ldqDead && loadR0 > 0 && k > 0 {
+						ldqFree := ldqSizeF - ldq0 - ldq1
+						if own := ldqCap - ldq0; own < ldqFree {
+							ldqFree = own
+						}
+						if lim := int(ldqFree * invL0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 3
+							}
+						}
+					}
+					if !stqDead && storeR0 > 0 && k > 0 {
+						stqFree := stqSizeF - stq0 - stq1
+						if own := stqCap - stq0; own < stqFree {
+							stqFree = own
+						}
+						if lim := int(stqFree * invS0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 4
+							}
+						}
+					}
+					if k <= 0 {
+						if hasMiss0 {
+							cnt0.memLatCnt++
+						} else {
+							cnt0.countStall(cause)
+						}
+					} else {
+						dispatched = true
+						slots -= k
+						robUsed += k
+						rob0 += k
+						if hasMiss0 {
+							iqH0 += depF0 * float64(k)
+						}
+						if !ldqDead {
+							ldq0 += loadR0 * float64(k)
+						}
+						if !stqDead {
+							stq0 += storeR0 * float64(k)
+						}
+						cnt0.spec += uint64(k)
+						win0 -= k
+						pb0 -= uint64(k)
+						if win0 <= supMax0 || pb0 < uint64(supMax0) {
+							stop = true
+						}
+					}
+				}
+			}
+			if active1 {
+				if frozen1 {
+					// Blocked on its miss for the whole span: the supply
+					// dither still advances before the cascade discards it,
+					// exactly as in step().
+					acc1 += frac1
+					if acc1 >= 1 {
+						acc1--
+					}
+					cnt1.memLatCnt++
+				} else if fe1 > 0 {
+					fe1--
+					cnt1.feCnt++
+				} else {
+					supply := base1
+					acc1 += frac1
+					if acc1 >= 1 {
+						supply++
+						acc1--
+					}
+					k := supply
+					cause := 0
+					if win1 < k {
+						k = win1
+					}
+					if slots < k {
+						k = slots
+						if slots == 0 {
+							cause = 1
+						}
+					}
+					if free := robSize - robUsed; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					if free := robCap - rob1; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					iqFree := iqSizeF - iqH0 - iqH1
+					if own := iqCap - iqH1; own < iqFree {
+						iqFree = own
+					}
+					if iqFree < 1 {
+						k = 0
+						cause = 5
+					} else if hasMiss1 && depF1 > 0 {
+						if lim := int(iqFree * invD1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 5
+							}
+						}
+					}
+					if !ldqDead && loadR1 > 0 && k > 0 {
+						ldqFree := ldqSizeF - ldq0 - ldq1
+						if own := ldqCap - ldq1; own < ldqFree {
+							ldqFree = own
+						}
+						if lim := int(ldqFree * invL1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 3
+							}
+						}
+					}
+					if !stqDead && storeR1 > 0 && k > 0 {
+						stqFree := stqSizeF - stq0 - stq1
+						if own := stqCap - stq1; own < stqFree {
+							stqFree = own
+						}
+						if lim := int(stqFree * invS1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 4
+							}
+						}
+					}
+					if k <= 0 {
+						if hasMiss1 {
+							cnt1.memLatCnt++
+						} else {
+							cnt1.countStall(cause)
+						}
+					} else {
+						dispatched = true
+						slots -= k
+						rob1 += k
+						if hasMiss1 {
+							iqH1 += depF1 * float64(k)
+						}
+						if !ldqDead {
+							ldq1 += loadR1 * float64(k)
+						}
+						if !stqDead {
+							stq1 += storeR1 * float64(k)
+						}
+						cnt1.spec += uint64(k)
+						win1 -= k
+						pb1 -= uint64(k)
+						if win1 <= supMax1 || pb1 < uint64(supMax1) {
+							stop = true
+						}
+					}
+				}
+			}
+			if dispatched {
+				stallStreak = 0
+			} else {
+				// Dispatch has gone quiescent: a live thread has blocked
+				// mid-span. Hand the window back so the bulk tier can
+				// skip it in O(1) instead of this loop grinding it out.
+				stallStreak++
+				if stallStreak >= 8 {
+					stop = true
+				}
+			}
+			continue
+		}
+		runOdd = false
+		// ===== cycle with thread 1 first ==============================
+		dispatched := false
+		retireLeft := retireW
+		if active1 && !hasMiss1 && rob1 > 0 {
+			k := rob1
+			if k > retireLeft {
+				k = retireLeft
+			}
+			retireLeft -= k
+			rob1 -= k
+			if !ldqDead {
+				ldq1 -= loadR1 * float64(k)
+				if ldq1 < 0 {
+					ldq1 = 0
+				}
+			}
+			if !stqDead {
+				stq1 -= storeR1 * float64(k)
+				if stq1 < 0 {
+					stq1 = 0
+				}
+			}
+			if rob1 == 0 {
+				ldq1, stq1 = 0, 0
+			}
+			cnt1.ret += uint64(k)
+		}
+		if active0 && !hasMiss0 && rob0 > 0 && retireLeft > 0 {
+			k := rob0
+			if k > retireLeft {
+				k = retireLeft
+			}
+			rob0 -= k
+			if !ldqDead {
+				ldq0 -= loadR0 * float64(k)
+				if ldq0 < 0 {
+					ldq0 = 0
+				}
+			}
+			if !stqDead {
+				stq0 -= storeR0 * float64(k)
+				if stq0 < 0 {
+					stq0 = 0
+				}
+			}
+			if rob0 == 0 {
+				ldq0, stq0 = 0, 0
+			}
+			cnt0.ret += uint64(k)
+		}
+		slots := dispW
+		robUsed := rob0 + rob1
+		if active1 {
+			if frozen1 {
+				// Blocked on its miss for the whole span: the supply
+				// dither still advances before the cascade discards it,
+				// exactly as in step().
+				acc1 += frac1
+				if acc1 >= 1 {
+					acc1--
+				}
+				cnt1.memLatCnt++
+			} else if fe1 > 0 {
+				fe1--
+				cnt1.feCnt++
+			} else {
+				supply := base1
+				acc1 += frac1
+				if acc1 >= 1 {
+					supply++
+					acc1--
+				}
+				k := supply
+				cause := 0
+				if win1 < k {
+					k = win1
+				}
+				if slots < k {
+					k = slots
+					if slots == 0 {
+						cause = 1
+					}
+				}
+				if free := robSize - robUsed; free < k {
+					k = free
+					if free <= 0 {
+						k = 0
+						cause = 2
+					}
+				}
+				if free := robCap - rob1; free < k {
+					k = free
+					if free <= 0 {
+						k = 0
+						cause = 2
+					}
+				}
+				iqFree := iqSizeF - iqH0 - iqH1
+				if own := iqCap - iqH1; own < iqFree {
+					iqFree = own
+				}
+				if iqFree < 1 {
+					k = 0
+					cause = 5
+				} else if hasMiss1 && depF1 > 0 {
+					if lim := int(iqFree * invD1); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 5
+						}
+					}
+				}
+				if !ldqDead && loadR1 > 0 && k > 0 {
+					ldqFree := ldqSizeF - ldq0 - ldq1
+					if own := ldqCap - ldq1; own < ldqFree {
+						ldqFree = own
+					}
+					if lim := int(ldqFree * invL1); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 3
+						}
+					}
+				}
+				if !stqDead && storeR1 > 0 && k > 0 {
+					stqFree := stqSizeF - stq0 - stq1
+					if own := stqCap - stq1; own < stqFree {
+						stqFree = own
+					}
+					if lim := int(stqFree * invS1); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 4
+						}
+					}
+				}
+				if k <= 0 {
+					if hasMiss1 {
+						cnt1.memLatCnt++
+					} else {
+						cnt1.countStall(cause)
+					}
+				} else {
+					dispatched = true
+					slots -= k
+					robUsed += k
+					rob1 += k
+					if hasMiss1 {
+						iqH1 += depF1 * float64(k)
+					}
+					if !ldqDead {
+						ldq1 += loadR1 * float64(k)
+					}
+					if !stqDead {
+						stq1 += storeR1 * float64(k)
+					}
+					cnt1.spec += uint64(k)
+					win1 -= k
+					pb1 -= uint64(k)
+					if win1 <= supMax1 || pb1 < uint64(supMax1) {
+						stop = true
+					}
+				}
+			}
+		}
+		if active0 {
+			if frozen0 {
+				// Blocked on its miss for the whole span: the supply
+				// dither still advances before the cascade discards it,
+				// exactly as in step().
+				acc0 += frac0
+				if acc0 >= 1 {
+					acc0--
+				}
+				cnt0.memLatCnt++
+			} else if fe0 > 0 {
+				fe0--
+				cnt0.feCnt++
+			} else {
+				supply := base0
+				acc0 += frac0
+				if acc0 >= 1 {
+					supply++
+					acc0--
+				}
+				k := supply
+				cause := 0
+				if win0 < k {
+					k = win0
+				}
+				if slots < k {
+					k = slots
+					if slots == 0 {
+						cause = 1
+					}
+				}
+				if free := robSize - robUsed; free < k {
+					k = free
+					if free <= 0 {
+						k = 0
+						cause = 2
+					}
+				}
+				if free := robCap - rob0; free < k {
+					k = free
+					if free <= 0 {
+						k = 0
+						cause = 2
+					}
+				}
+				iqFree := iqSizeF - iqH0 - iqH1
+				if own := iqCap - iqH0; own < iqFree {
+					iqFree = own
+				}
+				if iqFree < 1 {
+					k = 0
+					cause = 5
+				} else if hasMiss0 && depF0 > 0 {
+					if lim := int(iqFree * invD0); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 5
+						}
+					}
+				}
+				if !ldqDead && loadR0 > 0 && k > 0 {
+					ldqFree := ldqSizeF - ldq0 - ldq1
+					if own := ldqCap - ldq0; own < ldqFree {
+						ldqFree = own
+					}
+					if lim := int(ldqFree * invL0); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 3
+						}
+					}
+				}
+				if !stqDead && storeR0 > 0 && k > 0 {
+					stqFree := stqSizeF - stq0 - stq1
+					if own := stqCap - stq0; own < stqFree {
+						stqFree = own
+					}
+					if lim := int(stqFree * invS0); lim < k {
+						k = lim
+						if lim <= 0 {
+							k = 0
+							cause = 4
+						}
+					}
+				}
+				if k <= 0 {
+					if hasMiss0 {
+						cnt0.memLatCnt++
+					} else {
+						cnt0.countStall(cause)
+					}
+				} else {
+					dispatched = true
+					slots -= k
+					rob0 += k
+					if hasMiss0 {
+						iqH0 += depF0 * float64(k)
+					}
+					if !ldqDead {
+						ldq0 += loadR0 * float64(k)
+					}
+					if !stqDead {
+						stq0 += storeR0 * float64(k)
+					}
+					cnt0.spec += uint64(k)
+					win0 -= k
+					pb0 -= uint64(k)
+					if win0 <= supMax0 || pb0 < uint64(supMax0) {
+						stop = true
+					}
+				}
+			}
+		}
+		if dispatched {
+			stallStreak = 0
+		} else {
+			// Dispatch has gone quiescent: a live thread has blocked
+			// mid-span. Hand the window back so the bulk tier can
+			// skip it in O(1) instead of this loop grinding it out.
+			stallStreak++
+			if stallStreak >= 8 {
+				stop = true
+			}
+		}
+	}
+
+	// --- flush (i, not n: the dynamic window/phase guards may have ended
+	// the span early) ------------------------------------------------------
+	c.cycle += i
+	c.prio = (c.prio + int(i&1)) & 1
+	if active0 {
+		t0.robHeld, t0.window, t0.feLeft = rob0, win0, fe0
+		t0.iqHeld, t0.ldqHeld, t0.stqHeld = iqH0, ldq0, stq0
+		t0.ilpAcc = acc0
+		if hasMiss0 {
+			t0.missLeft -= int(i)
+		}
+		flushLite(t0, i, &cnt0)
+	}
+	if active1 {
+		t1.robHeld, t1.window, t1.feLeft = rob1, win1, fe1
+		t1.iqHeld, t1.ldqHeld, t1.stqHeld = iqH1, ldq1, stq1
+		t1.ilpAcc = acc1
+		if hasMiss1 {
+			t1.missLeft -= int(i)
+		}
+		flushLite(t1, i, &cnt1)
+	}
+	return i
+}
+
+// countStall records one zero-dispatch cycle with step()'s cause
+// attribution (1 slots, 2 ROB, 3 LDQ, 4 STQ, 5 IQ, else other).
+func (cnt *liteCounters) countStall(cause int) {
+	switch cause {
+	case 1:
+		cnt.slotsCnt++
+	case 2:
+		cnt.robCnt++
+	case 3:
+		cnt.ldqCnt++
+	case 4:
+		cnt.stqCnt++
+	case 5:
+		cnt.iqCnt++
+	default:
+		cnt.otherCnt++
+	}
+}
+
+// flushLite writes one thread's accumulated counters to its bank and
+// instance.
+func flushLite(t *thread, n uint64, cnt *liteCounters) {
+	b := t.bank
+	b.Add(pmu.CPUCycles, n)
+	if cnt.spec > 0 {
+		b.Add(pmu.InstSpec, cnt.spec)
+	}
+	if cnt.ret > 0 {
+		b.Add(pmu.InstRetired, cnt.ret)
+		t.inst.Retired += cnt.ret
+	}
+	if cnt.feCnt > 0 {
+		b.Add(pmu.StallFrontend, cnt.feCnt)
+		if t.feKind == evICache {
+			b.Add(pmu.StallFEICache, cnt.feCnt)
+		} else {
+			b.Add(pmu.StallFEBranch, cnt.feCnt)
+		}
+	}
+	be := cnt.slotsCnt + cnt.robCnt + cnt.ldqCnt + cnt.stqCnt +
+		cnt.iqCnt + cnt.otherCnt + cnt.memLatCnt
+	if be > 0 {
+		b.Add(pmu.StallBackend, be)
+		if cnt.memLatCnt > 0 {
+			b.Add(pmu.StallBEMemLat, cnt.memLatCnt)
+		}
+		if cnt.slotsCnt > 0 {
+			b.Add(pmu.StallBESlots, cnt.slotsCnt)
+		}
+		if cnt.robCnt > 0 {
+			b.Add(pmu.StallBEROB, cnt.robCnt)
+		}
+		if cnt.iqCnt > 0 {
+			b.Add(pmu.StallBEIQ, cnt.iqCnt)
+		}
+		if cnt.ldqCnt > 0 {
+			b.Add(pmu.StallBELDQ, cnt.ldqCnt)
+		}
+		if cnt.stqCnt > 0 {
+			b.Add(pmu.StallBESTQ, cnt.stqCnt)
+		}
+		if cnt.otherCnt > 0 {
+			b.Add(pmu.StallBEOther, cnt.otherCnt)
+		}
+	}
+	if cnt.spec > 0 {
+		// INST_SPEC counts exactly the dispatched µops, so it doubles as
+		// the phase-advancement total.
+		t.inst.AdvanceDispatched(cnt.spec)
+	}
+}

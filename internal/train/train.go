@@ -20,14 +20,13 @@ package train
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"synpa/internal/apps"
 	"synpa/internal/core"
 	"synpa/internal/machine"
 	"synpa/internal/pmu"
+	"synpa/internal/pool"
 	"synpa/internal/regression"
 	"synpa/internal/xrand"
 )
@@ -347,51 +346,8 @@ func Train(models []*apps.Model, opt Options) (*core.Model, *Report, error) {
 	return model, report, nil
 }
 
-// forEachParallel runs fn(i) for i in [0, n), optionally across CPUs,
-// returning the first error.
+// forEachParallel runs fn(i) for i in [0, n) on the shared atomic-counter
+// worker pool, returning the first error.
 func forEachParallel(n int, parallel bool, fn func(int) error) error {
-	if !parallel || n <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pool.Run(n, parallel, fn)
 }

@@ -22,6 +22,7 @@ import (
 	"synpa/internal/apps"
 	"synpa/internal/machine"
 	"synpa/internal/pmu"
+	"synpa/internal/pool"
 	"synpa/internal/xrand"
 )
 
@@ -180,15 +181,25 @@ func ByName(seed uint64, name string) (Workload, error) {
 }
 
 // TargetCache measures and memoises per-application instruction targets and
-// isolated IPCs. It is safe for concurrent use.
+// isolated IPCs. It is safe for concurrent use; each application's
+// measurement runs at most once, and concurrent measurements of *different*
+// applications proceed in parallel (the cache lock only guards the slot
+// map, never a simulation).
 type TargetCache struct {
 	cfg       machine.Config
 	refQuanta int
 	seed      uint64
 
-	mu      sync.Mutex
-	targets map[string]uint64
-	ipc     map[string]float64
+	mu    sync.Mutex
+	slots map[string]*targetSlot
+}
+
+// targetSlot memoises one application's measurement.
+type targetSlot struct {
+	once   sync.Once
+	target uint64
+	ipc    float64
+	err    error
 }
 
 // NewTargetCache builds a cache using the given machine configuration and
@@ -199,16 +210,28 @@ func NewTargetCache(cfg machine.Config, refQuanta int, seed uint64) *TargetCache
 		cfg:       cfg,
 		refQuanta: refQuanta,
 		seed:      seed,
-		targets:   map[string]uint64{},
-		ipc:       map[string]float64{},
+		slots:     map[string]*targetSlot{},
 	}
 }
 
-// measure runs the application in isolation once and fills both maps.
-func (tc *TargetCache) measure(m *apps.Model) error {
+// slot returns the application's memoisation slot, measuring on first use.
+func (tc *TargetCache) slot(m *apps.Model) *targetSlot {
+	tc.mu.Lock()
+	s, ok := tc.slots[m.Name]
+	if !ok {
+		s = &targetSlot{}
+		tc.slots[m.Name] = s
+	}
+	tc.mu.Unlock()
+	s.once.Do(func() { s.target, s.ipc, s.err = tc.measure(m) })
+	return s
+}
+
+// measure runs the application in isolation once.
+func (tc *TargetCache) measure(m *apps.Model) (target uint64, ipc float64, err error) {
 	samples, err := machine.RunIsolated(m, tc.seed^uint64(len(m.Name))<<32^hash(m.Name), tc.refQuanta, tc.cfg)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	var insts, cycles uint64
 	for _, s := range samples {
@@ -216,11 +239,27 @@ func (tc *TargetCache) measure(m *apps.Model) error {
 		cycles += s[pmu.CPUCycles]
 	}
 	if insts == 0 || cycles == 0 {
-		return fmt.Errorf("workload: %s retired nothing in isolation", m.Name)
+		return 0, 0, fmt.Errorf("workload: %s retired nothing in isolation", m.Name)
 	}
-	tc.targets[m.Name] = insts
-	tc.ipc[m.Name] = float64(insts) / float64(cycles)
-	return nil
+	return insts, float64(insts) / float64(cycles), nil
+}
+
+// Warm measures every distinct application of the given workloads, fanning
+// the isolated reference runs out over CPUs when parallel is set.
+func (tc *TargetCache) Warm(ws []Workload, parallel bool) error {
+	var distinct []*apps.Model
+	seen := map[string]bool{}
+	for _, w := range ws {
+		for _, m := range w.Apps {
+			if !seen[m.Name] {
+				seen[m.Name] = true
+				distinct = append(distinct, m)
+			}
+		}
+	}
+	return pool.Run(len(distinct), parallel, func(i int) error {
+		return tc.slot(distinct[i]).err
+	})
 }
 
 func hash(s string) uint64 {
@@ -234,29 +273,15 @@ func hash(s string) uint64 {
 
 // Target returns the retired-instruction target for one application.
 func (tc *TargetCache) Target(m *apps.Model) (uint64, error) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if v, ok := tc.targets[m.Name]; ok {
-		return v, nil
-	}
-	if err := tc.measure(m); err != nil {
-		return 0, err
-	}
-	return tc.targets[m.Name], nil
+	s := tc.slot(m)
+	return s.target, s.err
 }
 
 // IsolatedIPC returns the application's single-threaded IPC over the
 // reference interval (the denominator of the paper's individual speedups).
 func (tc *TargetCache) IsolatedIPC(m *apps.Model) (float64, error) {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if v, ok := tc.ipc[m.Name]; ok {
-		return v, nil
-	}
-	if err := tc.measure(m); err != nil {
-		return 0, err
-	}
-	return tc.ipc[m.Name], nil
+	s := tc.slot(m)
+	return s.ipc, s.err
 }
 
 // Targets returns the target vector for a workload.
