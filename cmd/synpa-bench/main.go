@@ -93,6 +93,7 @@ func main() {
 		{"ablation-quantum", s.AblationQuantum},
 		{"overhead-model", s.OverheadModelEquations},
 		{"overhead-matching", s.OverheadMatching},
+		{"dynamic", s.DynamicTable},
 	}
 
 	if *list {

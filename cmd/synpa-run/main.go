@@ -6,14 +6,23 @@
 //	synpa-run -workload fb2 -policy synpa
 //	synpa-run -workload fb2 -policy linux
 //	synpa-run -apps mcf,leela_r,lbm_r,gobmk -policy both
+//	synpa-run -trace dyn0 -policy both         # built-in dynamic scenario
+//	synpa-run -trace jobs.trace -policy synpa  # scripted arrival trace
+//
+// A trace file is line-oriented: "<arrive_cycle> <app_name> [work_factor]",
+// with # comments. Applications arrive at their cycles, run their finite
+// work (work_factor × the reference instruction target) and depart — the
+// open-system counterpart of the closed -workload runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"synpa/internal/experiments"
 	"synpa/synpa"
 )
 
@@ -21,6 +30,7 @@ func main() {
 	var (
 		wlName  = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
 		appList = flag.String("apps", "", "comma-separated app names (overrides -workload)")
+		trace   = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4) or trace file path (overrides -workload/-apps)")
 		policy  = flag.String("policy", "both", "linux | synpa | random | both")
 		quantum = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
@@ -33,6 +43,11 @@ func main() {
 	sys, err := synpa.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *trace != "" {
+		runDynamic(sys, *trace, *policy, *quantum, *seed)
+		return
 	}
 
 	var names []string
@@ -90,6 +105,83 @@ func main() {
 		fmt.Printf("fairness: %.3f -> %.3f\n", reports[0].Fairness, reports[1].Fairness)
 		fmt.Printf("IPC geomean speedup: %.3f\n", reports[1].IPCGeomean/reports[0].IPCGeomean)
 	}
+}
+
+// runDynamic executes an open-system trace under the selected policies.
+func runDynamic(sys *synpa.System, traceArg, policy string, quantum, seed uint64) {
+	tr, err := loadTrace(traceArg, quantum, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace %s: %d arrivals over %d cycles\n\n",
+		tr.Name, len(tr.Entries), tr.Span())
+
+	var model *synpa.Model
+	if policy == "synpa" || policy == "both" {
+		fmt.Println("training interference model (22 apps, all pairs)...")
+		m, rep, err := sys.TrainDefaultModel()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained: %d pairs, %d samples\n\n", rep.Pairs, rep.Samples)
+		model = m
+	}
+
+	run := func(p synpa.Policy) {
+		rep, err := sys.RunDynamic(tr, p)
+		if err != nil {
+			fatal(err)
+		}
+		printDynamicReport(rep)
+	}
+	switch policy {
+	case "linux":
+		run(sys.LinuxPolicy())
+	case "synpa":
+		run(sys.SYNPAPolicy(model))
+	case "random":
+		run(sys.RandomPolicy(seed))
+	case "both":
+		run(sys.LinuxPolicy())
+		run(sys.SYNPAPolicy(model))
+	default:
+		fatal(fmt.Errorf("unknown policy %q", policy))
+	}
+}
+
+// loadTrace resolves -trace: a built-in dynamic scenario name or a file.
+func loadTrace(arg string, quantum, seed uint64) (synpa.Trace, error) {
+	for _, tr := range experiments.DynamicScenarios(seed, quantum) {
+		if tr.Name == arg {
+			return tr, nil
+		}
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return synpa.Trace{}, fmt.Errorf("trace %q is neither a built-in scenario (dyn0-dyn4) nor a readable file: %w", arg, err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+	return synpa.ParseTrace(name, f)
+}
+
+func printDynamicReport(r *synpa.DynamicReport) {
+	fmt.Printf("--- %s ---\n", r.Policy)
+	fmt.Printf("span: %d cycles (%d slices)  completed: %d/%d  deferred arrivals: %d\n",
+		r.Cycles, r.Slices, r.Completed, len(r.Apps), r.Deferred)
+	fmt.Printf("mean response=%.0f cycles  ANTT=%.3f  STP=%.3f  occupancy=%.1f%%\n",
+		r.MeanResponseCycles, r.ANTT, r.STP, r.Occupancy*100)
+	for i, a := range r.Apps {
+		status := fmt.Sprintf("resp=%-10d norm=%.3f IPC=%.3f", a.ResponseCycles, a.NormalizedResponse, a.IPC)
+		switch {
+		case !a.Admitted:
+			status = "never admitted (queued to the end)"
+		case a.FinishAt == 0:
+			status = "did not finish"
+		}
+		fmt.Printf("  %02d %-13s arrive=%-10d %s\n", i, a.Name, a.ArriveAt, status)
+	}
+	fmt.Println()
 }
 
 func printReport(r *synpa.RunReport) {

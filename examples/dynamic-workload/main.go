@@ -1,0 +1,82 @@
+// Example dynamic-workload: open-system execution with arrivals, true
+// completions and partial occupancy.
+//
+// The closed-system Run keeps exactly its applications resident forever
+// (relaunch-on-completion, paper §V-B). This example instead drives
+// System.RunDynamic with an arrival trace: five applications on a
+// four-core SMT2 machine, one arriving mid-run and one departing early, so
+// the live-application count passes through 4 → 5 (odd!) → 4 → 3 while the
+// policies keep allocating. It then runs a Poisson arrival stream, the
+// open-system workload model of queueing theory.
+//
+// The SYNPA policy uses the paper's published Table IV coefficients so the
+// example stays fast; train your own model with TrainDefaultModel for
+// simulator-calibrated decisions (see examples/training).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"synpa/synpa"
+)
+
+func main() {
+	sys, err := synpa.New(synpa.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A scripted trace: cycles are absolute arrival times; Work scales the
+	// app's reference instruction target (0 means the full target).
+	scripted, err := synpa.ParseTrace("churn", strings.NewReader(`
+		# four apps at t=0; gobmk does 30% of its reference work and leaves
+		0      mcf
+		0      leela_r
+		0      lbm_r
+		0      gobmk    0.3
+		# a fifth app arrives mid-run: 5 live apps on 4 cores, odd occupancy
+		60000  povray_r
+	`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== scripted churn trace ===")
+	for _, policy := range []synpa.Policy{
+		sys.LinuxPolicy(),
+		sys.SYNPAPolicy(synpa.PaperModel()),
+	} {
+		rep, err := sys.RunDynamic(scripted, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show(rep)
+	}
+
+	// A Poisson stream: deterministic (seeded) exponential inter-arrival
+	// gaps, uniform draws from the pool, half the reference work each.
+	poisson := synpa.PoissonTrace("poisson", 42,
+		[]string{"mcf", "leela_r", "lbm_r", "gobmk"}, 8, 30_000, 0.5)
+	fmt.Println("=== poisson arrivals ===")
+	rep, err := sys.RunDynamic(poisson, sys.LinuxPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(rep)
+}
+
+func show(r *synpa.DynamicReport) {
+	fmt.Printf("%s: %d/%d completed in %d cycles, ANTT=%.3f STP=%.3f occupancy=%.1f%%\n",
+		r.Policy, r.Completed, len(r.Apps), r.Cycles, r.ANTT, r.STP, r.Occupancy*100)
+	for _, a := range r.Apps {
+		if a.FinishAt == 0 {
+			fmt.Printf("  %-13s arrived %7d, did not finish\n", a.Name, a.ArriveAt)
+			continue
+		}
+		fmt.Printf("  %-13s arrived %7d, finished %8d, response %8d (%.2fx isolated)\n",
+			a.Name, a.ArriveAt, a.FinishAt, a.ResponseCycles, a.NormalizedResponse)
+	}
+	fmt.Println()
+}

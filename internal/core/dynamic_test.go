@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"synpa/internal/machine"
+	"synpa/internal/pmu"
+)
+
+// Dynamic-occupancy behaviour of the SYNPA policy: live sets that grow,
+// shrink and re-index between quanta, with stable identities in AppIDs.
+
+func TestPlaceWithUnplacedArrival(t *testing.T) {
+	// Four residents plus one just-arrived app (Unplaced in Prev, zero
+	// sample): the policy must place all five on 4 cores without error —
+	// the arrival's zero sample falls back to a uniform ST estimate.
+	p := MustPolicy(PaperCoefficients(), PolicyOptions{})
+	samples := []pmu.Counters{
+		sampleWith(10000, 4000, 500, 8000),
+		sampleWith(10000, 4000, 8000, 500),
+		sampleWith(10000, 4000, 400, 8200),
+		sampleWith(10000, 4000, 7800, 600),
+		{}, // fresh arrival: has not run yet
+	}
+	st := &machine.QuantumState{
+		Quantum:       3,
+		NumApps:       5,
+		NumCores:      4,
+		DispatchWidth: 4,
+		AppIDs:        []int{0, 1, 2, 3, 9},
+		Prev:          machine.Placement{0, 0, 1, 1, machine.Unplaced},
+		Samples:       samples,
+	}
+	place := p.Place(st)
+	if err := place.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(place) != 5 {
+		t.Fatalf("placement %v", place)
+	}
+	if place[4] < 0 {
+		t.Fatalf("arrival left unplaced: %v", place)
+	}
+}
+
+func TestSmoothingFollowsIdentitiesAcrossRemap(t *testing.T) {
+	// Quantum 1: apps {10, 20, 30} live. Quantum 2: app 10 departed, the
+	// live set compacted to {20, 30}. Smoothing must blend each app with
+	// ITS OWN previous estimate, found by identity — not with whatever
+	// app now occupies the same index.
+	p := MustPolicy(PaperCoefficients(), PolicyOptions{Smoothing: 0.5})
+	be := sampleWith(10000, 4000, 500, 8000)  // backend-shaped sample
+	fe := sampleWith(10000, 4000, 8000, 500)  // frontend-shaped sample
+	md := sampleWith(10000, 4000, 4000, 4000) // mixed
+
+	st := &machine.QuantumState{
+		Quantum: 1, NumApps: 3, NumCores: 2, DispatchWidth: 4,
+		AppIDs:  []int{10, 20, 30},
+		Prev:    machine.Placement{0, 0, 1},
+		Samples: []pmu.Counters{be, fe, md},
+	}
+	if err := p.Place(st).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	est1 := p.LastSTEstimates()
+	if len(est1) != 3 {
+		t.Fatalf("%d estimates", len(est1))
+	}
+	// Remember app 20's estimate (index 1 this quantum).
+	prev20 := append([]float64(nil), est1[1]...)
+
+	// App 10 departs; 20 and 30 shift down one index. Feed identical
+	// samples again: with s=0.5 the new estimate is the average of the
+	// fresh extraction and the app's own previous estimate, so app 20's
+	// estimate must move toward prev20 — not toward app 10's.
+	st2 := &machine.QuantumState{
+		Quantum: 2, NumApps: 2, NumCores: 2, DispatchWidth: 4,
+		AppIDs:  []int{20, 30},
+		Prev:    machine.Placement{0, 1},
+		Samples: []pmu.Counters{fe, md},
+	}
+	if err := p.Place(st2).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	est2 := p.LastSTEstimates()
+	if len(est2) != 2 {
+		t.Fatalf("%d estimates after departure", len(est2))
+	}
+	// The solo extraction of fe is deterministic, so feeding the same
+	// sample with correct identity continuity keeps the estimate at the
+	// fixed point: est2[0] == 0.5*extract(fe) + 0.5*prev20 == prev20
+	// (since prev20 was itself a smoothed fe estimate converging). Verify
+	// the weaker, identity-sensitive property: est2[0] is closer to
+	// prev20 than to app 10's backend estimate.
+	d20, d10 := 0.0, 0.0
+	for k := range est2[0] {
+		d20 += abs(est2[0][k] - prev20[k])
+		d10 += abs(est2[0][k] - est1[0][k])
+	}
+	if d20 >= d10 {
+		t.Fatalf("smoothing blended across identities: dist(own prev)=%v >= dist(other app)=%v", d20, d10)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -78,8 +78,14 @@ type Policy struct {
 	opt   PolicyOptions
 
 	// lastST caches the most recent ST estimates per application for
-	// introspection and tests.
+	// smoothing, introspection and tests.
 	lastST [][]float64
+	// lastIDs holds the stable app identities behind lastST's rows. In
+	// closed-system runs it is the identity permutation; in dynamic runs
+	// it lets smoothing follow an application across live-set compactions
+	// instead of blending estimates of unrelated apps that inherited its
+	// index.
+	lastIDs []int
 	// mates is the reusable pairing view of the previous placement.
 	mates []int
 }
@@ -182,10 +188,10 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 		est[i] = ci
 		est[mate] = cj
 	}
-	if s := p.opt.Smoothing; s > 0 && len(p.lastST) == n {
+	if s := p.opt.Smoothing; s > 0 && p.lastST != nil {
 		for i := range est {
-			prev := p.lastST[i]
-			if len(prev) != len(est[i]) {
+			prev := p.prevEstimate(appID(st, i))
+			if prev == nil || len(prev) != len(est[i]) {
 				continue
 			}
 			for k := range est[i] {
@@ -194,6 +200,10 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 		}
 	}
 	p.lastST = est
+	p.lastIDs = p.lastIDs[:0]
+	for i := 0; i < n; i++ {
+		p.lastIDs = append(p.lastIDs, appID(st, i))
+	}
 
 	// Step 2: predict the degradation of every candidate pair; pad with
 	// virtual idle applications so the matching is always perfect. A real
@@ -226,12 +236,16 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	if err != nil {
 		// Matching cannot fail on a finite complete graph; if it somehow
 		// does, keep the previous placement rather than crash the
-		// manager.
-		return st.Prev.Clone()
+		// manager (only if every app already has a core — under dynamic
+		// occupancy a fresh arrival does not).
+		if fullyPlaced(st.Prev, st.NumCores) {
+			return st.Prev.Clone()
+		}
+		return arrivalOrderPlacement(n, st.NumCores)
 	}
 
 	// Hysteresis: only migrate when the predicted gain is material.
-	if p.opt.Hysteresis > 0 {
+	if p.opt.Hysteresis > 0 && fullyPlaced(st.Prev, st.NumCores) {
 		prevCost, ok := pairingCost(w, p.mates, n)
 		if ok {
 			newCost := 0.0
@@ -247,6 +261,39 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	}
 
 	return placePairs(mate, n, st.NumCores, st.Prev)
+}
+
+// appID resolves application i's stable identity (dynamic runs hand the
+// live set's identities in AppIDs; closed runs use positions).
+func appID(st *machine.QuantumState, i int) int {
+	if st.AppIDs != nil && i < len(st.AppIDs) {
+		return st.AppIDs[i]
+	}
+	return i
+}
+
+// prevEstimate finds the previous quantum's ST estimate for a stable app
+// identity, or nil if the app was not estimated then. lastIDs is always
+// populated alongside lastST, so the scan covers closed-system runs too
+// (identity permutation); O(n) per app is immaterial at SMT2 machine sizes.
+func (p *Policy) prevEstimate(id int) []float64 {
+	for j, pid := range p.lastIDs {
+		if pid == id && j < len(p.lastST) {
+			return p.lastST[j]
+		}
+	}
+	return nil
+}
+
+// fullyPlaced reports whether every application in p has a real core — i.e.
+// the placement is reusable as-is for the next quantum.
+func fullyPlaced(p machine.Placement, numCores int) bool {
+	for _, c := range p {
+		if c < 0 || c >= numCores {
+			return false
+		}
+	}
+	return len(p) > 0
 }
 
 // pairingCost evaluates a placement's total cost under the current weight
@@ -279,7 +326,13 @@ func (p *Policy) match(w [][]float64) ([]int, error) {
 	case MatcherGreedy:
 		return greedyMatch(w), nil
 	default:
-		mate, _, err := matching.MinWeightPerfectMatching(w)
+		// Odd live-app counts are handled before matching ever runs: Place
+		// pads the weight matrix to NumCores*2 vertices with virtual idle
+		// slots (cost 1 against real apps), so this graph is always even
+		// and one app can pair with an idle slot to run solo.
+		// MinWeightMatching additionally tolerates odd matrices (zero-
+		// weight phantom vertex) for callers that skip the padding.
+		mate, _, err := matching.MinWeightMatching(w)
 		return mate, err
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"synpa/internal/core"
 	"synpa/internal/matching"
 	"synpa/internal/metrics"
+	"synpa/internal/sched"
 	"synpa/internal/stats"
 	"synpa/internal/train"
 	"synpa/internal/workload"
@@ -330,7 +331,7 @@ func (s *Suite) AblationQuantum() (*Table, error) {
 			}
 			return metrics.TurnaroundCycles(res)
 		}
-		tl, err := ttFor(linuxPolicy{})
+		tl, err := ttFor(sched.Linux{})
 		if err != nil {
 			return nil, err
 		}

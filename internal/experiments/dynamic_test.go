@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"synpa/internal/machine"
+	"synpa/internal/sched"
+)
+
+func TestDynamicScenariosWellFormed(t *testing.T) {
+	scenarios := DynamicScenarios(0x51A9A, 8_000)
+	if len(scenarios) != 5 {
+		t.Fatalf("%d scenarios, want 5 (dyn0-dyn4)", len(scenarios))
+	}
+	names := map[string]bool{}
+	for _, tr := range scenarios {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		names[tr.Name] = true
+	}
+	for _, want := range []string{"dyn0", "dyn1", "dyn2", "dyn3", "dyn4"} {
+		if !names[want] {
+			t.Fatalf("missing scenario %s (have %v)", want, names)
+		}
+	}
+	// dyn0 is the acceptance scenario: 5 apps, a mid-run arrival and an
+	// early (short-work) departure.
+	dyn0 := scenarios[0]
+	if len(dyn0.Entries) != 5 {
+		t.Fatalf("dyn0 has %d apps, want 5", len(dyn0.Entries))
+	}
+	midRun, shortWork := false, false
+	for _, e := range dyn0.Entries {
+		if e.ArriveAt > 0 {
+			midRun = true
+		}
+		if e.Work > 0 && e.Work < 1 {
+			shortWork = true
+		}
+	}
+	if !midRun || !shortWork {
+		t.Fatalf("dyn0 lacks a mid-run arrival or early departure: %+v", dyn0.Entries)
+	}
+}
+
+func TestRunDynamicScenarioBaselines(t *testing.T) {
+	// dyn0 under Linux and Random (no trained model needed): completes,
+	// with sane open-system metrics.
+	s := NewSuite(fastConfig())
+	dyn0 := DynamicScenarios(s.cfg.Seed, s.cfg.Machine.QuantumCycles)[0]
+	for _, pol := range []PolicyFactory{
+		LinuxFactory(),
+		{Label: "Random", New: func() machine.Policy { return sched.NewRandom(1) }},
+	} {
+		sum, err := s.runDynamic(dyn0, pol)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Label, err)
+		}
+		if !sum.allCompleted || sum.completed != 5 {
+			t.Fatalf("%s: completed %d/5 (allCompleted=%v)", pol.Label, sum.completed, sum.allCompleted)
+		}
+		if sum.antt < 1 {
+			t.Fatalf("%s: ANTT = %v, must be >= 1", pol.Label, sum.antt)
+		}
+		if sum.stp <= 0 || sum.stp > 8 {
+			t.Fatalf("%s: STP = %v", pol.Label, sum.stp)
+		}
+		if sum.occupancy <= 0 || sum.occupancy > 1 {
+			t.Fatalf("%s: occupancy = %v", pol.Label, sum.occupancy)
+		}
+	}
+}
+
+// TestFactoryPlacementsNeverAliasPrev pins the ownership contract for the
+// suite's policy factories: the QuantumState (and its Prev) belong to the
+// runner, so a returned placement must never share backing storage with
+// Prev — the old experiments-local Linux duplicate returned st.Prev
+// unclothed and any machine-side mutation would have corrupted policy
+// history.
+func TestFactoryPlacementsNeverAliasPrev(t *testing.T) {
+	for _, factory := range []PolicyFactory{LinuxFactory()} {
+		pol := factory.New()
+		prev := machine.Placement{0, 1, 2, 3, 0, 1, 2, 3}
+		orig := prev.Clone()
+		st := &machine.QuantumState{Quantum: 1, NumApps: 8, NumCores: 4, Prev: prev}
+		place := pol.Place(st)
+		for i := range place {
+			place[i] = 77
+		}
+		for i := range prev {
+			if prev[i] != orig[i] {
+				t.Fatalf("%s: returned placement aliases st.Prev (corrupted to %v)", factory.Label, prev)
+			}
+		}
+	}
+}

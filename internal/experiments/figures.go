@@ -477,7 +477,11 @@ func (s *Suite) fairnessAndIPC(w workload.Workload, policy PolicyFactory) (fair,
 		if err != nil {
 			return 0, 0, err
 		}
-		fairs = append(fairs, metrics.Fairness(sp))
+		fair, err := metrics.Fairness(sp)
+		if err != nil {
+			return 0, 0, err
+		}
+		fairs = append(fairs, fair)
 		g, err := metrics.GeomeanIPC(res)
 		if err != nil {
 			return 0, 0, err

@@ -20,6 +20,7 @@ import (
 	"synpa/internal/core"
 	"synpa/internal/machine"
 	"synpa/internal/pool"
+	"synpa/internal/sched"
 	"synpa/internal/train"
 	"synpa/internal/workload"
 )
@@ -138,9 +139,10 @@ type PolicyFactory struct {
 	New func() machine.Policy
 }
 
-// LinuxFactory returns the stateless arrival-order baseline.
+// LinuxFactory returns the stateless arrival-order baseline (sched.Linux —
+// the experiments package carries no private duplicate of it).
 func LinuxFactory() PolicyFactory {
-	return PolicyFactory{Label: "Linux", New: func() machine.Policy { return linuxPolicy{} }}
+	return PolicyFactory{Label: "Linux", New: func() machine.Policy { return sched.Linux{} }}
 }
 
 // SYNPAFactory returns a factory for the paper's policy around a model.
@@ -163,22 +165,6 @@ func (s *Suite) policies() (linux PolicyFactory, synpa PolicyFactory, err error)
 		return PolicyFactory{}, PolicyFactory{}, err
 	}
 	return LinuxFactory(), SYNPAFactory(model, core.PolicyOptions{}), nil
-}
-
-// linuxPolicy duplicates sched.Linux locally to keep the experiments
-// package's policy wiring in one place.
-type linuxPolicy struct{}
-
-func (linuxPolicy) Name() string { return "Linux" }
-func (linuxPolicy) Place(st *machine.QuantumState) machine.Placement {
-	if st.Prev != nil {
-		return st.Prev
-	}
-	p := make(machine.Placement, st.NumApps)
-	for i := range p {
-		p[i] = i % st.NumCores
-	}
-	return p
 }
 
 // Run returns the memoised result of one (workload, policy, rep) execution.

@@ -1,0 +1,425 @@
+// Open-system (dynamic) workload execution: applications arrive over time,
+// run to true completion and depart, and the machine operates at partial
+// occupancy in between. This is the regime the closed-system Run cannot
+// express — it pins exactly len(models) applications for the whole
+// experiment and relaunches them forever — and the one a production
+// allocator on a real ThunderX2 faces (paper §V-A's user-level thread
+// manager under job churn).
+//
+// Time advances in policy slices. A slice is normally one scheduling
+// quantum, but an arrival that falls inside a quantum cuts the slice short
+// at the arrival cycle, so admission re-invokes the policy off-quantum
+// instead of leaving the newcomer parked until the next boundary.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"synpa/internal/apps"
+	"synpa/internal/pmu"
+	"synpa/internal/smtcore"
+)
+
+// DynamicApp is one application of an open-system run.
+type DynamicApp struct {
+	// Model is the application model.
+	Model *apps.Model
+	// Target is the retired-instruction work the app performs before
+	// departing. It must be positive: every open-system job is finite.
+	Target uint64
+	// ArriveAt is the cycle at which the application enters the system.
+	ArriveAt uint64
+}
+
+// DynamicOptions tune an open-system run.
+type DynamicOptions struct {
+	// Seed derives every application's private random stream.
+	Seed uint64
+	// MaxCycles bounds the run; zero means DefaultMaxQuanta quanta.
+	MaxCycles uint64
+	// RecordPlacements keeps the per-slice placements (in global app-index
+	// space, Unplaced for apps not live) in the result.
+	RecordPlacements bool
+}
+
+// DynamicAppResult is one application's outcome in an open-system run.
+type DynamicAppResult struct {
+	// Name is the application's benchmark name.
+	Name string
+	// Target is the retired-instruction work.
+	Target uint64
+	// ArriveAt echoes the arrival cycle.
+	ArriveAt uint64
+	// AdmittedAt is the cycle the app first got a hardware thread. It
+	// exceeds ArriveAt when all threads were busy on arrival. Zero-valued
+	// ArriveAt admissions are recorded as AdmittedAt == ArriveAt.
+	AdmittedAt uint64
+	// Admitted reports whether the app ever got a hardware thread.
+	Admitted bool
+	// FinishAt is the cycle the app completed its target; 0 if it never
+	// did within the run bound.
+	FinishAt uint64
+	// ResponseCycles is FinishAt − ArriveAt (queueing + execution), the
+	// open-system response time; 0 if the app never finished.
+	ResponseCycles uint64
+	// Retired is the total instructions retired.
+	Retired uint64
+	// IPC is Target / ResponseCycles; 0 if the app never finished.
+	IPC float64
+}
+
+// DynamicResult is the outcome of one open-system run.
+type DynamicResult struct {
+	// Policy is the allocation policy's name.
+	Policy string
+	// Cycles is the simulated time span (last event's cycle).
+	Cycles uint64
+	// Slices is the number of policy invocations (quantum boundaries plus
+	// off-quantum admissions).
+	Slices int
+	// Apps holds per-application results in trace order.
+	Apps []DynamicAppResult
+	// MeanLiveApps is the time-averaged number of live applications.
+	MeanLiveApps float64
+	// PeakLiveApps is the maximum number of simultaneously live apps.
+	PeakLiveApps int
+	// Deferred counts arrivals that had to queue for a hardware thread.
+	Deferred int
+	// AllCompleted reports whether every application finished in bound.
+	AllCompleted bool
+	// Placements records the per-slice placements in global app-index
+	// space when DynamicOptions.RecordPlacements is set.
+	Placements []Placement
+}
+
+// dynState is the runner's bookkeeping for one admitted application.
+type dynState struct {
+	inst      *apps.Instance
+	bank      *pmu.Bank
+	prevSnap  pmu.Counters
+	lastDelta pmu.Counters // PMU deltas of the app's most recent slice
+}
+
+// RunDynamic executes an open-system workload under a policy: applications
+// are admitted at their arrival cycles (queueing FIFO when all hardware
+// threads are busy), run until they retire their target, and depart for
+// good. The policy is re-invoked every slice over the live set only; its
+// QuantumState carries stable identities in AppIDs and an Unplaced-padded
+// Prev view, so both stateless and stateful policies work across arbitrary
+// occupancy changes, including odd live-app counts.
+func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOptions) (*DynamicResult, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("machine: nil policy")
+	}
+	if len(work) == 0 {
+		return nil, fmt.Errorf("machine: no applications")
+	}
+	for i := range work {
+		if work[i].Model == nil {
+			return nil, fmt.Errorf("machine: app %d has no model", i)
+		}
+		if work[i].Target == 0 {
+			return nil, fmt.Errorf("machine: app %d (%s) has no target; open-system jobs are finite",
+				i, work[i].Model.Name)
+		}
+	}
+	maxCycles := opt.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = uint64(DefaultMaxQuanta) * m.cfg.QuantumCycles
+	}
+	hwThreads := len(m.cores) * smtcore.ThreadsPerCore
+
+	// Arrival order: by cycle, ties by trace position (FIFO).
+	order := make([]int, len(work))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return work[order[a]].ArriveAt < work[order[b]].ArriveAt
+	})
+
+	res := &DynamicResult{Policy: policy.Name(), Apps: make([]DynamicAppResult, len(work))}
+	for i := range work {
+		res.Apps[i] = DynamicAppResult{
+			Name:     work[i].Model.Name,
+			Target:   work[i].Target,
+			ArriveAt: work[i].ArriveAt,
+		}
+	}
+
+	states := make([]*dynState, len(work))
+	coreOf := make([]int, len(work)) // global app index -> core, Unplaced when not live
+	for i := range coreOf {
+		coreOf[i] = Unplaced
+	}
+	var (
+		live     []int // global indices of live apps, admission order
+		nextArr  int   // cursor into order
+		waiting  []int // arrived but deferred for a free hardware thread
+		now      uint64
+		occupied float64 // ∫ len(live) dt
+	)
+	// bound[c][s] is the global index bound to core c's slot s, or -1.
+	bound := make([][smtcore.ThreadsPerCore]int, len(m.cores))
+	for c := range bound {
+		for s := range bound[c] {
+			bound[c][s] = -1
+		}
+	}
+
+	admit := func(gi int) {
+		st := &dynState{
+			inst: apps.NewInstance(work[gi].Model, opt.Seed+uint64(gi)*0x9e3779b97f4a7c15+1),
+			bank: &pmu.Bank{},
+		}
+		st.bank.Enable()
+		states[gi] = st
+		res.Apps[gi].Admitted = true
+		res.Apps[gi].AdmittedAt = now
+		if now > work[gi].ArriveAt {
+			res.Deferred++
+		}
+		live = append(live, gi)
+		if len(live) > res.PeakLiveApps {
+			res.PeakLiveApps = len(live)
+		}
+	}
+
+	// Reusable per-slice views handed to the policy. The samples view is
+	// rebuilt over the *current* live set each slice: an app admitted this
+	// slice contributes a zero Counters value until it has run.
+	st := &QuantumState{NumCores: len(m.cores), DispatchWidth: m.cfg.Core.DispatchWidth}
+	var (
+		ids      []int
+		prevView Placement
+		samples  []pmu.Counters
+		ranAny   bool
+	)
+
+	for now < maxCycles {
+		// Admission: arrivals whose time has come, capacity permitting.
+		for nextArr < len(order) && work[order[nextArr]].ArriveAt <= now {
+			waiting = append(waiting, order[nextArr])
+			nextArr++
+		}
+		for len(waiting) > 0 && len(live) < hwThreads {
+			admit(waiting[0])
+			waiting = waiting[1:]
+		}
+		if len(live) == 0 {
+			if nextArr >= len(order) {
+				break // system drained
+			}
+			// Idle period: fast-forward to the next arrival.
+			next := work[order[nextArr]].ArriveAt
+			if next > maxCycles {
+				break
+			}
+			now = next
+			continue
+		}
+
+		// Build the policy's view over the live set.
+		n := len(live)
+		if cap(ids) < n {
+			ids = make([]int, 0, hwThreads)
+			prevView = make(Placement, 0, hwThreads)
+			samples = make([]pmu.Counters, 0, hwThreads)
+		}
+		ids, prevView, samples = ids[:0], prevView[:0], samples[:0]
+		for _, gi := range live {
+			ids = append(ids, gi)
+			prevView = append(prevView, coreOf[gi])
+			samples = append(samples, states[gi].lastDelta)
+		}
+		st.Quantum = res.Slices
+		st.NumApps = n
+		st.AppIDs = ids
+		st.Prev, st.Samples = nil, nil
+		if ranAny {
+			st.Prev = prevView
+			st.Samples = samples
+		}
+
+		place := policy.Place(st)
+		if len(place) != n {
+			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d live apps",
+				policy.Name(), len(place), n)
+		}
+		if err := place.Validate(len(m.cores)); err != nil {
+			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
+		}
+		for i, gi := range live {
+			coreOf[gi] = place[i]
+		}
+		m.bindLive(states, live, place, bound)
+		if opt.RecordPlacements {
+			global := make(Placement, len(work))
+			for i := range global {
+				global[i] = Unplaced
+			}
+			for i, gi := range live {
+				global[gi] = place[i]
+			}
+			res.Placements = append(res.Placements, global)
+		}
+
+		// Slice length: one quantum, cut short by the next arrival (the
+		// off-quantum admission point) and by the run bound. On a full
+		// machine the cut is skipped: the newcomer could only join the
+		// waiting queue, and departures — the only thing that frees a
+		// thread — are detected at slice ends regardless, so cutting
+		// would just shorten the PMU sample window for no benefit.
+		slice := m.cfg.QuantumCycles
+		if nextArr < len(order) && n < hwThreads {
+			if at := work[order[nextArr]].ArriveAt; at > now && at-now < slice {
+				slice = at - now
+			}
+		}
+		if now+slice > maxCycles {
+			slice = maxCycles - now
+		}
+		if slice == 0 {
+			break
+		}
+
+		m.runQuantumLive(bound, slice)
+		res.Slices++
+		now += slice
+		occupied += float64(n) * float64(slice)
+
+		// Collect each live app's slice deltas for the next Place call.
+		for _, gi := range live {
+			s := states[gi]
+			snap := s.bank.Read()
+			s.lastDelta = snap.Delta(s.prevSnap)
+			s.prevSnap = snap
+		}
+		ranAny = true
+
+		// Departures: true completion, no relaunch.
+		keep := live[:0]
+		for _, gi := range live {
+			s := states[gi]
+			if s.inst.Retired >= work[gi].Target {
+				res.Apps[gi].FinishAt = now
+				res.Apps[gi].ResponseCycles = now - work[gi].ArriveAt
+				res.Apps[gi].Retired = s.inst.Retired
+				if res.Apps[gi].ResponseCycles > 0 {
+					res.Apps[gi].IPC = float64(work[gi].Target) / float64(res.Apps[gi].ResponseCycles)
+				}
+				coreOf[gi] = Unplaced
+				continue
+			}
+			keep = append(keep, gi)
+		}
+		live = keep
+	}
+
+	res.Cycles = now
+	res.AllCompleted = true
+	for gi := range work {
+		if res.Apps[gi].FinishAt == 0 {
+			res.AllCompleted = false
+			if s := states[gi]; s != nil {
+				res.Apps[gi].Retired = s.inst.Retired
+			}
+			// An arrival still waiting when the run ended queued without
+			// ever being admitted; admit() only counts the admitted ones.
+			if !res.Apps[gi].Admitted && work[gi].ArriveAt < now {
+				res.Deferred++
+			}
+		}
+	}
+	if now > 0 {
+		res.MeanLiveApps = occupied / float64(now)
+	}
+	return res, nil
+}
+
+// bindLive rebinds hardware threads to match the live placement, touching
+// only slots whose occupant changes: an application keeps its slot (and its
+// pipeline state) whenever it stays on the same core.
+func (m *Machine) bindLive(states []*dynState, live []int, place Placement, bound [][smtcore.ThreadsPerCore]int) {
+	for c := range bound {
+		// Desired occupants of core c, in live order.
+		var want [smtcore.ThreadsPerCore]int
+		n := 0
+		for i, gi := range live {
+			if place[i] == c && n < smtcore.ThreadsPerCore {
+				want[n] = gi
+				n++
+			}
+		}
+		// Keep apps already bound to this core in their slots.
+		var used [smtcore.ThreadsPerCore]bool
+		for s := 0; s < smtcore.ThreadsPerCore; s++ {
+			cur := bound[c][s]
+			if cur < 0 {
+				continue
+			}
+			stay := false
+			for k := 0; k < n; k++ {
+				if !used[k] && want[k] == cur {
+					used[k] = true
+					stay = true
+					break
+				}
+			}
+			if !stay {
+				m.cores[c].Bind(s, nil, nil)
+				bound[c][s] = -1
+			}
+		}
+		// Place newcomers in the free slots.
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			for s := 0; s < smtcore.ThreadsPerCore; s++ {
+				if bound[c][s] < 0 {
+					m.cores[c].Bind(s, states[want[k]].inst, states[want[k]].bank)
+					bound[c][s] = want[k]
+					break
+				}
+			}
+		}
+	}
+}
+
+// runQuantumLive executes one slice on the cores that have work, honouring
+// the machine's Parallel setting.
+func (m *Machine) runQuantumLive(bound [][smtcore.ThreadsPerCore]int, cycles uint64) {
+	busy := func(c int) bool {
+		for s := 0; s < smtcore.ThreadsPerCore; s++ {
+			if bound[c][s] >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !m.cfg.Parallel {
+		for c := range m.cores {
+			if busy(c) {
+				m.cores[c].Run(cycles)
+			}
+		}
+		return
+	}
+	done := make(chan struct{}, len(m.cores))
+	launched := 0
+	for c := range m.cores {
+		if !busy(c) {
+			continue
+		}
+		launched++
+		go func(core *smtcore.Core) {
+			core.Run(cycles)
+			done <- struct{}{}
+		}(m.cores[c])
+	}
+	for i := 0; i < launched; i++ {
+		<-done
+	}
+}

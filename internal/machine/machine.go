@@ -63,8 +63,14 @@ func (c Config) Validate() error {
 }
 
 // Placement maps each application index to a core index. At most
-// smtcore.ThreadsPerCore applications may share a core.
+// smtcore.ThreadsPerCore applications may share a core. The sentinel
+// Unplaced appears only in the Prev view handed to policies during dynamic
+// runs (an application that has not run yet); placements returned by a
+// policy must assign every application a real core.
 type Placement []int
+
+// Unplaced marks an application without a core in a Prev placement view.
+const Unplaced = -1
 
 // Clone returns a copy of the placement.
 func (p Placement) Clone() Placement { return append(Placement(nil), p...) }
@@ -99,6 +105,9 @@ func (p Placement) PairsOf(numCores int) [][]int {
 // Inside per-quantum or per-app loops prefer CoMates, which computes every
 // pairing in one O(n) pass instead of O(n) per query.
 func (p Placement) CoMate(i int) int {
+	if p[i] < 0 {
+		return -1 // Unplaced apps share nothing
+	}
 	for j, c := range p {
 		if j != i && c == p[i] {
 			return j
@@ -149,13 +158,24 @@ type QuantumState struct {
 	Quantum int
 	// NumCores is the machine size.
 	NumCores int
-	// NumApps is the number of applications in the workload.
+	// NumApps is the number of applications in the workload. In a dynamic
+	// (open-system) run this is the number of *live* applications and may
+	// change between quanta as applications arrive and depart.
 	NumApps int
+	// AppIDs gives each application's stable identity across quanta. In a
+	// closed-system run it is nil, meaning index i is identity i forever.
+	// In a dynamic run indices are compacted over the live set, so
+	// stateful policies must use AppIDs — not positions — to carry
+	// per-application state across quanta. The slice is owned by the
+	// runner and must not be retained past the Place call.
+	AppIDs []int
 	// Prev is the placement executed during the previous quantum; nil
-	// before the first quantum.
+	// before the first quantum. In a dynamic run entries may be
+	// Unplaced (-1) for applications that arrived after that quantum.
 	Prev Placement
 	// Samples holds each application's PMU deltas over the previous
-	// quantum; nil before the first quantum.
+	// quantum; nil before the first quantum. In a dynamic run a zero
+	// Counters value marks an application that has not run yet.
 	Samples []pmu.Counters
 	// DispatchWidth is the core dispatch width (for characterization).
 	DispatchWidth int

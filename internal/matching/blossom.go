@@ -510,6 +510,42 @@ func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err err
 	return mate, total, nil
 }
 
+// MinWeightMatching generalises MinWeightPerfectMatching to odd vertex
+// counts: when len(w) is odd the graph is padded with a single zero-weight
+// phantom vertex, so exactly one real vertex ends up unmatched (mate[i] ==
+// -1) at no cost. The returned total sums real edges only.
+//
+// This is what the dynamic (open-system) SYNPA policy needs: with an odd
+// number of live applications, one of them must run solo on its core, and
+// the phantom pairing selects which one optimally.
+func MinWeightMatching(w [][]float64) (mate []int, total float64, err error) {
+	n := len(w)
+	if n%2 == 0 {
+		return MinWeightPerfectMatching(w)
+	}
+	padded := make([][]float64, n+1)
+	for i := 0; i < n; i++ {
+		if len(w[i]) != n {
+			return nil, 0, ErrNotSquare
+		}
+		padded[i] = make([]float64, n+1)
+		copy(padded[i], w[i])
+		// padded[i][n] stays 0: pairing with the phantom is free.
+	}
+	padded[n] = make([]float64, n+1)
+	mate, total, err = MinWeightPerfectMatching(padded)
+	if err != nil {
+		return nil, 0, err
+	}
+	mate = mate[:n]
+	for i, m := range mate {
+		if m == n {
+			mate[i] = -1
+		}
+	}
+	return mate, total, nil
+}
+
 // Pairs converts a mate array into a list of (i, j) pairs with i < j.
 func Pairs(mate []int) [][2]int {
 	var out [][2]int

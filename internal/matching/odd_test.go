@@ -1,0 +1,132 @@
+package matching
+
+import "testing"
+
+// MinWeightMatching pads odd graphs with a zero-weight phantom vertex so
+// exactly one vertex runs solo — the odd-occupancy case of the dynamic
+// SYNPA policy.
+
+func sym(n int, f func(i, j int) float64) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w[i][j] = f(i, j)
+			w[j][i] = w[i][j]
+		}
+	}
+	return w
+}
+
+func TestMinWeightMatchingEvenDelegates(t *testing.T) {
+	w := sym(4, func(i, j int) float64 { return float64(i + j) })
+	mate, total, err := MinWeightMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMate, wantTotal, err := MinWeightPerfectMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != wantTotal {
+		t.Fatalf("even total = %v, want %v", total, wantTotal)
+	}
+	for i := range mate {
+		if mate[i] != wantMate[i] {
+			t.Fatalf("even mate = %v, want %v", mate, wantMate)
+		}
+	}
+}
+
+func TestMinWeightMatchingSingle(t *testing.T) {
+	mate, total, err := MinWeightMatching([][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mate) != 1 || mate[0] != -1 || total != 0 {
+		t.Fatalf("single vertex: mate=%v total=%v", mate, total)
+	}
+}
+
+func TestMinWeightMatchingOdd(t *testing.T) {
+	// Three vertices: edge (0,1) is cheap, vertex 2 is expensive with
+	// everyone. Optimal: pair (0,1), leave 2 solo.
+	w := sym(3, func(i, j int) float64 {
+		if i == 0 && j == 1 {
+			return 1
+		}
+		return 10
+	})
+	mate, total, err := MinWeightMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mate[0] != 1 || mate[1] != 0 || mate[2] != -1 {
+		t.Fatalf("mate = %v, want [1 0 -1]", mate)
+	}
+	if total != 1 {
+		t.Fatalf("total = %v, want 1", total)
+	}
+}
+
+func TestMinWeightMatchingOddExhaustive(t *testing.T) {
+	// Five vertices: compare against brute force over every choice of the
+	// solo vertex (remove it, perfect-match the remaining four).
+	w := sym(5, func(i, j int) float64 { return float64((i*7+j*13)%11) + 1 })
+	mate, total, err := MinWeightMatching(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := -1
+	for i, m := range mate {
+		if m == -1 {
+			if solo >= 0 {
+				t.Fatalf("two solo vertices in %v", mate)
+			}
+			solo = i
+			continue
+		}
+		if mate[m] != i {
+			t.Fatalf("mate not symmetric: %v", mate)
+		}
+	}
+	if solo < 0 {
+		t.Fatalf("odd matching left no solo vertex: %v", mate)
+	}
+	best := 0.0
+	first := true
+	for skip := 0; skip < 5; skip++ {
+		sub := make([][]float64, 0, 4)
+		idx := make([]int, 0, 4)
+		for i := 0; i < 5; i++ {
+			if i != skip {
+				idx = append(idx, i)
+			}
+		}
+		for _, i := range idx {
+			row := make([]float64, 0, 4)
+			for _, j := range idx {
+				row = append(row, w[i][j])
+			}
+			sub = append(sub, row)
+		}
+		_, subTotal, err := BruteForceMinWeightPerfect(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first || subTotal < best {
+			best, first = subTotal, false
+		}
+	}
+	if total != best {
+		t.Fatalf("odd matching total = %v, brute-force optimum = %v", total, best)
+	}
+}
+
+func TestMinWeightMatchingBadInput(t *testing.T) {
+	if _, _, err := MinWeightMatching([][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}

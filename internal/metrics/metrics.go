@@ -43,20 +43,19 @@ func IndividualSpeedups(r *machine.Result, isolatedIPC []float64) ([]float64, er
 
 // Fairness computes the paper's fairness metric: 1 − σ/µ over the
 // individual speedups. A value of 1 means perfectly uniform progress
-// (§VI-D, [24]).
-func Fairness(speedups []float64) float64 {
+// (§VI-D, [24]); a highly skewed distribution can legitimately push the
+// metric below 0, which is reported as-is rather than clamped. Degenerate
+// inputs — an empty vector or a non-positive mean speedup, which would
+// make σ/µ meaningless — return an error instead of a best-looking 0.
+func Fairness(speedups []float64) (float64, error) {
 	if len(speedups) == 0 {
-		return 0
+		return 0, fmt.Errorf("metrics: fairness of an empty speedup vector")
 	}
 	mu := stats.Mean(speedups)
-	if mu == 0 {
-		return 0
+	if mu <= 0 {
+		return 0, fmt.Errorf("metrics: fairness undefined for non-positive mean speedup %v", mu)
 	}
-	f := 1 - stats.StdDev(speedups)/mu
-	if f < 0 {
-		return 0
-	}
-	return f
+	return 1 - stats.StdDev(speedups)/mu, nil
 }
 
 // GeomeanIPC returns the workload IPC as the geometric mean of the
@@ -73,19 +72,21 @@ func GeomeanIPC(r *machine.Result) (float64, error) {
 }
 
 // ANTT returns the average normalized turnaround time: the arithmetic mean
-// of per-application slowdowns (1/speedup). Lower is better.
-func ANTT(speedups []float64) float64 {
+// of per-application slowdowns (1/speedup). Lower is better. A non-positive
+// speedup has no defined slowdown, so it returns an error rather than 0 —
+// which would read as the best possible score of a lower-is-better metric.
+func ANTT(speedups []float64) (float64, error) {
 	if len(speedups) == 0 {
-		return 0
+		return 0, fmt.Errorf("metrics: ANTT of an empty speedup vector")
 	}
 	s := 0.0
-	for _, v := range speedups {
+	for i, v := range speedups {
 		if v <= 0 {
-			return 0
+			return 0, fmt.Errorf("metrics: ANTT undefined for non-positive speedup %v of app %d", v, i)
 		}
 		s += 1 / v
 	}
-	return s / float64(len(speedups))
+	return s / float64(len(speedups)), nil
 }
 
 // STP returns the system throughput: the sum of individual speedups,

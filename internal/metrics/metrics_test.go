@@ -57,34 +57,57 @@ func TestIndividualSpeedups(t *testing.T) {
 
 func TestFairness(t *testing.T) {
 	// Perfectly uniform progress → fairness 1.
-	if f := Fairness([]float64{0.7, 0.7, 0.7}); math.Abs(f-1) > 1e-12 {
+	f, err := Fairness([]float64{0.7, 0.7, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-12 {
 		t.Fatalf("uniform fairness = %v, want 1", f)
 	}
 	// Known case: σ/µ of {0.4, 0.8} is (0.2)/(0.6).
 	want := 1 - 0.2/0.6
-	if f := Fairness([]float64{0.4, 0.8}); math.Abs(f-want) > 1e-12 {
+	f, err = Fairness([]float64{0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-want) > 1e-12 {
 		t.Fatalf("fairness = %v, want %v", f, want)
 	}
-	if f := Fairness(nil); f != 0 {
-		t.Fatalf("empty fairness = %v", f)
+	// Extreme dispersion (σ > µ) is a legitimate (bad) outcome and is
+	// reported as a negative value, no longer clamped to 0.
+	f, err = Fairness([]float64{0.01, 0.01, 0.01, 10})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Extreme dispersion (σ > µ) clamps at zero rather than going
-	// negative.
-	if f := Fairness([]float64{0.01, 0.01, 0.01, 10}); f != 0 {
-		t.Fatalf("clamped fairness = %v", f)
+	if f >= 0 {
+		t.Fatalf("extreme-dispersion fairness = %v, want negative", f)
+	}
+}
+
+func TestFairnessDegenerate(t *testing.T) {
+	// Degenerate inputs must signal, not silently report a value.
+	if _, err := Fairness(nil); err == nil {
+		t.Fatal("empty speedup vector accepted")
+	}
+	if _, err := Fairness([]float64{0, 0}); err == nil {
+		t.Fatal("zero mean speedup accepted")
+	}
+	if _, err := Fairness([]float64{-1, -2}); err == nil {
+		t.Fatal("negative mean speedup accepted")
 	}
 }
 
 func TestFairnessOrdering(t *testing.T) {
-	// More dispersion → lower fairness, always in [0,1].
+	// More dispersion → lower fairness, never above 1.
 	check := func(seedA, seedB uint8) bool {
 		base := 0.5
 		spreadSmall := float64(seedA%10) / 100
 		spreadBig := spreadSmall + 0.2
 		small := []float64{base - spreadSmall, base + spreadSmall}
 		big := []float64{base - spreadBig, base + spreadBig}
-		fs, fb := Fairness(small), Fairness(big)
-		return fs >= fb && fs <= 1 && fb >= 0
+		fs, errS := Fairness(small)
+		fb, errB := Fairness(big)
+		return errS == nil && errB == nil && fs >= fb && fs <= 1
 	}
 	if err := quick.Check(check, nil); err != nil {
 		t.Fatal(err)
@@ -107,11 +130,26 @@ func TestGeomeanIPC(t *testing.T) {
 
 func TestANTT(t *testing.T) {
 	// Slowdowns 2 and 4 → ANTT = 3.
-	if a := ANTT([]float64{0.5, 0.25}); math.Abs(a-3) > 1e-12 {
+	a, err := ANTT([]float64{0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-12 {
 		t.Fatalf("ANTT = %v, want 3", a)
 	}
-	if ANTT(nil) != 0 || ANTT([]float64{0}) != 0 {
-		t.Fatal("degenerate ANTT should be 0")
+}
+
+func TestANTTDegenerate(t *testing.T) {
+	// A non-positive speedup must error, not return 0 — on a
+	// lower-is-better metric, 0 would read as a perfect score.
+	if _, err := ANTT(nil); err == nil {
+		t.Fatal("empty speedup vector accepted")
+	}
+	if _, err := ANTT([]float64{0.5, 0}); err == nil {
+		t.Fatal("zero speedup accepted")
+	}
+	if _, err := ANTT([]float64{0.5, -0.1}); err == nil {
+		t.Fatal("negative speedup accepted")
 	}
 }
 

@@ -12,6 +12,7 @@ package sched
 
 import (
 	"synpa/internal/machine"
+	"synpa/internal/smtcore"
 	"synpa/internal/xrand"
 )
 
@@ -24,14 +25,56 @@ var _ machine.Policy = Linux{}
 // Name implements machine.Policy.
 func (Linux) Name() string { return "Linux" }
 
-// Place implements machine.Policy: arrival-order pairing, then never move.
+// Place implements machine.Policy: an application keeps whatever core it
+// already has ("remains in the core until its execution finishes", §VI-C)
+// and every newly arrived application takes the least-loaded core with a
+// free hardware thread, lowest index first. On a full machine starting from
+// scratch this reduces to the paper's arrival-order pairing (app k and
+// k+cores share core k); under partial occupancy and churn it fills holes
+// the way the CFS balances runqueues. The returned placement is always a
+// fresh slice — never an alias of st.Prev, which the runner owns.
 func (Linux) Place(st *machine.QuantumState) machine.Placement {
-	if st.Prev != nil {
-		return st.Prev
+	// Steady-state fast path (every closed-system quantum after the
+	// first): Prev already places every app on a valid core, so the
+	// answer is Prev itself — cloned, never aliased, and without the
+	// slow path's load bookkeeping.
+	if st.Prev != nil && len(st.Prev) == st.NumApps {
+		complete := true
+		for _, c := range st.Prev {
+			if c < 0 || c >= st.NumCores {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			return st.Prev.Clone()
+		}
 	}
+
 	p := make(machine.Placement, st.NumApps)
+	load := make([]int, st.NumCores)
 	for i := range p {
-		p[i] = i % st.NumCores
+		p[i] = machine.Unplaced
+		if st.Prev == nil || i >= len(st.Prev) {
+			continue
+		}
+		if c := st.Prev[i]; c >= 0 && c < st.NumCores && load[c] < smtcore.ThreadsPerCore {
+			p[i] = c
+			load[c]++
+		}
+	}
+	for i := range p {
+		if p[i] >= 0 {
+			continue
+		}
+		best := 0
+		for c := 1; c < st.NumCores; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		p[i] = best
+		load[best]++
 	}
 	return p
 }

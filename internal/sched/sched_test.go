@@ -33,6 +33,59 @@ func TestLinuxNeverMigrates(t *testing.T) {
 	}
 }
 
+func TestLinuxNeverAliasesPrev(t *testing.T) {
+	// The QuantumState and its Prev are owned by the runner; mutating the
+	// returned placement must never write through into Prev.
+	p := Linux{}
+	prev := machine.Placement{0, 1, 2, 3}
+	place := p.Place(&machine.QuantumState{Quantum: 1, NumApps: 4, NumCores: 4, Prev: prev})
+	for i := range place {
+		place[i] = 99
+	}
+	for i, c := range prev {
+		if c != i {
+			t.Fatalf("mutating the returned placement corrupted Prev: %v", prev)
+		}
+	}
+}
+
+func TestLinuxPartialOccupancy(t *testing.T) {
+	p := Linux{}
+	// Three fresh apps on four cores: spread one per core, arrival order.
+	place := p.Place(&machine.QuantumState{NumApps: 3, NumCores: 4})
+	want := machine.Placement{0, 1, 2}
+	for i := range want {
+		if place[i] != want[i] {
+			t.Fatalf("fresh partial placement = %v, want %v", place, want)
+		}
+	}
+	// A dynamic Prev view: apps 0/1 keep their cores, the newly arrived
+	// app 2 (Unplaced) takes the least-loaded core.
+	prev := machine.Placement{2, 2, machine.Unplaced}
+	place = p.Place(&machine.QuantumState{Quantum: 3, NumApps: 3, NumCores: 4, Prev: prev})
+	if place[0] != 2 || place[1] != 2 {
+		t.Fatalf("resident apps migrated: %v", place)
+	}
+	if place[2] != 0 {
+		t.Fatalf("arrival placed on %d, want least-loaded core 0 (placement %v)", place[2], place)
+	}
+	if err := place.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Live-set growth beyond the Prev view (two arrivals at once).
+	place = p.Place(&machine.QuantumState{Quantum: 4, NumApps: 5, NumCores: 4,
+		Prev: machine.Placement{0, 0, 1}})
+	if err := place.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if place[0] != 0 || place[1] != 0 || place[2] != 1 {
+		t.Fatalf("resident apps moved: %v", place)
+	}
+	if place[3] == 0 || place[4] == 0 {
+		t.Fatalf("arrivals packed onto the full core 0: %v", place)
+	}
+}
+
 func TestRandomProducesValidPlacements(t *testing.T) {
 	p := NewRandom(7)
 	if p.Name() != "Random" {
@@ -57,6 +110,15 @@ func TestRandomProducesValidPlacements(t *testing.T) {
 	}
 	if !changed {
 		t.Fatal("Random policy never re-paired in 50 quanta")
+	}
+	// Partial and odd occupancy must stay valid too.
+	for _, n := range []int{1, 3, 5, 7} {
+		st := &machine.QuantumState{NumApps: n, NumCores: 4}
+		for q := 0; q < 10; q++ {
+			if err := p.Place(st).Validate(4); err != nil {
+				t.Fatalf("Random with %d apps: %v", n, err)
+			}
+		}
 	}
 }
 

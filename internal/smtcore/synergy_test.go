@@ -51,10 +51,10 @@ func pairSlowdowns(t testing.TB, a, b string, cycles uint64) (float64, float64) 
 // within the plausible SMT2 envelope (individual slowdown roughly 1.0–3.5).
 func TestSMTSlowdownsAreSane(t *testing.T) {
 	cases := [][2]string{
-		{"mcf", "lbm_r"},           // BE + BE
-		{"leela_r", "gobmk"},       // FE + FE
-		{"mcf", "leela_r"},         // BE + FE
-		{"nab_r", "exchange2_r"},   // high-ILP pair
+		{"mcf", "lbm_r"},         // BE + BE
+		{"leela_r", "gobmk"},     // FE + FE
+		{"mcf", "leela_r"},       // BE + FE
+		{"nab_r", "exchange2_r"}, // high-ILP pair
 		{"cactuBSSN_r", "imagick_r"},
 	}
 	for _, c := range cases {

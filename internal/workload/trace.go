@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"synpa/internal/apps"
+	"synpa/internal/machine"
+	"synpa/internal/xrand"
+)
+
+// TraceEntry is one arrival of an open-system (dynamic) workload.
+type TraceEntry struct {
+	// App is the application name (paper Table III catalogue).
+	App string
+	// ArriveAt is the machine cycle at which the application enters the
+	// system and asks for a hardware thread.
+	ArriveAt uint64
+	// Work scales the application's reference instruction target (the
+	// §V-B isolated-run target): 1.0 runs the full reference work, 0.5
+	// half of it. Zero means 1.0.
+	Work float64
+}
+
+// Trace is an open-system arrival schedule: applications arrive at their
+// trace times, execute their (finite) work and depart. It is the dynamic
+// counterpart of the closed Workload.
+type Trace struct {
+	Name    string
+	Entries []TraceEntry
+}
+
+// Names returns the application names in trace order.
+func (t *Trace) Names() []string {
+	out := make([]string, len(t.Entries))
+	for i := range t.Entries {
+		out[i] = t.Entries[i].App
+	}
+	return out
+}
+
+// Validate checks the trace: at least one entry, known applications,
+// non-negative work factors.
+func (t *Trace) Validate() error {
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("workload: trace %q has no arrivals", t.Name)
+	}
+	for i, e := range t.Entries {
+		if _, err := apps.ByName(e.App); err != nil {
+			return fmt.Errorf("workload: trace %q entry %d: %w", t.Name, i, err)
+		}
+		if e.Work < 0 {
+			return fmt.Errorf("workload: trace %q entry %d: negative work factor %v", t.Name, i, e.Work)
+		}
+	}
+	return nil
+}
+
+// Span returns the latest arrival cycle of the trace (entries need not be
+// sorted).
+func (t *Trace) Span() uint64 {
+	var span uint64
+	for i := range t.Entries {
+		if t.Entries[i].ArriveAt > span {
+			span = t.Entries[i].ArriveAt
+		}
+	}
+	return span
+}
+
+// DynamicWork converts a trace into the machine's open-system work list
+// using the cache's §V-B reference measurements: each entry's target is the
+// app's reference instruction target scaled by its Work factor, and
+// isoCycles[i] is the isolated execution time (in cycles) of that same
+// scaled work — the normalization denominator for response times. Both the
+// public System.RunDynamic and the experiment suite build their runs
+// through this single definition.
+func (tc *TargetCache) DynamicWork(t Trace) (work []machine.DynamicApp, isoCycles []float64, err error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	work = make([]machine.DynamicApp, len(t.Entries))
+	isoCycles = make([]float64, len(t.Entries))
+	for i, e := range t.Entries {
+		m, err := apps.ByName(e.App)
+		if err != nil {
+			return nil, nil, err
+		}
+		target, err := tc.Target(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		ipc, err := tc.IsolatedIPC(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		w := e.Work
+		if w == 0 {
+			w = 1
+		}
+		scaled := uint64(float64(target) * w)
+		if scaled == 0 {
+			scaled = 1
+		}
+		work[i] = machine.DynamicApp{Model: m, Target: scaled, ArriveAt: e.ArriveAt}
+		isoCycles[i] = float64(scaled) / ipc
+	}
+	return work, isoCycles, nil
+}
+
+// DynamicStats are the open-system aggregate metrics of one dynamic run.
+type DynamicStats struct {
+	// Completed counts apps that finished within the run bound.
+	Completed int
+	// MeanResponseCycles averages response time over completed apps.
+	MeanResponseCycles float64
+	// ANTT is the mean normalized response time over completed apps:
+	// response / isolated time of the same work (lower is better).
+	ANTT float64
+	// STP is the completed isolated-app work per cycle (higher is
+	// better; bounded by the hardware-thread count).
+	STP float64
+}
+
+// SummarizeDynamic computes the open-system metrics of a dynamic result
+// against the isolated times returned by DynamicWork.
+func SummarizeDynamic(res *machine.DynamicResult, isoCycles []float64) DynamicStats {
+	var st DynamicStats
+	var respSum, normSum, isoDone float64
+	for i := range res.Apps {
+		a := &res.Apps[i]
+		if a.FinishAt == 0 || a.ResponseCycles == 0 {
+			continue
+		}
+		st.Completed++
+		respSum += float64(a.ResponseCycles)
+		normSum += float64(a.ResponseCycles) / isoCycles[i]
+		isoDone += isoCycles[i]
+	}
+	if st.Completed > 0 {
+		st.MeanResponseCycles = respSum / float64(st.Completed)
+		st.ANTT = normSum / float64(st.Completed)
+	}
+	if res.Cycles > 0 {
+		st.STP = isoDone / float64(res.Cycles)
+	}
+	return st
+}
+
+// PoissonTrace generates a deterministic open-system trace with Poisson
+// arrivals: inter-arrival gaps are exponential draws with the given mean
+// (in cycles) and each arrival picks uniformly from pool. The same seed
+// always yields the same trace, so Poisson scenarios are as reproducible
+// as scripted ones.
+func PoissonTrace(name string, seed uint64, pool []string, n int, meanGapCycles float64, work float64) Trace {
+	if len(pool) == 0 || n <= 0 {
+		// An empty trace fails Validate with a usable message instead of
+		// panicking in rng.Intn here.
+		return Trace{Name: name}
+	}
+	rng := xrand.New(seed)
+	t := Trace{Name: name, Entries: make([]TraceEntry, 0, n)}
+	var at float64
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			at += rng.Exp(meanGapCycles)
+		}
+		t.Entries = append(t.Entries, TraceEntry{
+			App:      pool[rng.Intn(len(pool))],
+			ArriveAt: uint64(at),
+			Work:     work,
+		})
+	}
+	return t
+}
+
+// ParseTrace reads a scripted trace. The format is line-oriented:
+//
+//	# comment (also after entries)
+//	<arrive_cycle> <app_name> [work_factor]
+//
+// e.g.
+//
+//	0      mcf
+//	0      leela_r
+//	40000  lbm_r    0.5   # arrives mid-run, does half the reference work
+//
+// Entries need not be sorted; the runner orders arrivals by cycle.
+func ParseTrace(name string, r io.Reader) (Trace, error) {
+	t := Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 || len(fields) > 3 {
+			return Trace{}, fmt.Errorf("workload: trace %q line %d: want \"<cycle> <app> [work]\", got %q",
+				name, lineNo, sc.Text())
+		}
+		at, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("workload: trace %q line %d: bad arrival cycle %q", name, lineNo, fields[0])
+		}
+		e := TraceEntry{App: fields[1], ArriveAt: at}
+		if len(fields) == 3 {
+			// An explicit 0 is rejected rather than silently meaning the
+			// in-memory default of "full reference work" — the one value
+			// whose meaning would invert the author's intent.
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || w <= 0 {
+				return Trace{}, fmt.Errorf("workload: trace %q line %d: work factor %q must be a positive number", name, lineNo, fields[2])
+			}
+			e.Work = w
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("workload: trace %q: %w", name, err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace("demo", strings.NewReader(`
+		# header comment
+		0      mcf
+		0      leela_r   0.5
+		40000  lbm_r     2    # trailing comment
+	`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TraceEntry{
+		{App: "mcf", ArriveAt: 0},
+		{App: "leela_r", ArriveAt: 0, Work: 0.5},
+		{App: "lbm_r", ArriveAt: 40000, Work: 2},
+	}
+	if tr.Name != "demo" || !reflect.DeepEqual(tr.Entries, want) {
+		t.Fatalf("parsed %+v, want %+v", tr.Entries, want)
+	}
+	if !reflect.DeepEqual(tr.Names(), []string{"mcf", "leela_r", "lbm_r"}) {
+		t.Fatalf("Names = %v", tr.Names())
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "# nothing but comments\n",
+		"unknown app":   "0 not_a_benchmark\n",
+		"bad cycle":     "soon mcf\n",
+		"bad work":      "0 mcf lots\n",
+		"negative":      "0 mcf -1\n",
+		"extra fields":  "0 mcf 1 2\n",
+		"missing app":   "5000\n",
+		"comment-eaten": "5000 # mcf\n",
+		"zero work":     "0 mcf 0\n", // explicit 0 would silently mean full work
+	}
+	for name, text := range cases {
+		if _, err := ParseTrace(name, strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestTraceSpanUnsorted(t *testing.T) {
+	tr := Trace{Entries: []TraceEntry{
+		{App: "mcf", ArriveAt: 40_000},
+		{App: "leela_r", ArriveAt: 0},
+		{App: "gobmk", ArriveAt: 10_000},
+	}}
+	if got := tr.Span(); got != 40_000 {
+		t.Fatalf("Span = %d, want 40000 (entries are unsorted)", got)
+	}
+	empty := Trace{}
+	if got := empty.Span(); got != 0 {
+		t.Fatalf("empty Span = %d", got)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{Name: "ok", Entries: []TraceEntry{{App: "mcf"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Trace{Name: "bad", Entries: []TraceEntry{{App: "mcf", Work: -0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative work accepted")
+	}
+}
+
+func TestPoissonTraceDeterministic(t *testing.T) {
+	pool := []string{"mcf", "leela_r", "lbm_r"}
+	a := PoissonTrace("p", 11, pool, 20, 10_000, 0.5)
+	b := PoissonTrace("p", 11, pool, 20, 10_000, 0.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != 20 {
+		t.Fatalf("%d entries, want 20", len(a.Entries))
+	}
+	// Arrivals are non-decreasing, start at 0, and actually spread out.
+	var last uint64
+	for i, e := range a.Entries {
+		if e.ArriveAt < last {
+			t.Fatalf("entry %d arrives at %d before %d", i, e.ArriveAt, last)
+		}
+		last = e.ArriveAt
+	}
+	if a.Entries[0].ArriveAt != 0 {
+		t.Fatalf("first arrival at %d, want 0", a.Entries[0].ArriveAt)
+	}
+	if last == 0 {
+		t.Fatal("all arrivals at 0: no exponential gaps drawn")
+	}
+	c := PoissonTrace("p", 12, pool, 20, 10_000, 0.5)
+	if reflect.DeepEqual(a.Entries, c.Entries) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestPoissonTraceDegenerate(t *testing.T) {
+	// Empty pools and non-positive counts must not panic; the resulting
+	// empty trace fails Validate with a usable message.
+	for _, tr := range []Trace{
+		PoissonTrace("nopool", 1, nil, 4, 10_000, 0.5),
+		PoissonTrace("nojobs", 1, []string{"mcf"}, 0, 10_000, 0.5),
+	} {
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("%s: degenerate trace validated", tr.Name)
+		}
+	}
+}

@@ -24,6 +24,7 @@ package synpa
 
 import (
 	"fmt"
+	"io"
 
 	"synpa/internal/apps"
 	"synpa/internal/core"
@@ -143,19 +144,36 @@ func (s *System) TrainDefaultModel() (*Model, *TrainReport, error) {
 }
 
 // TrainModel trains a model on an explicit application list with custom
-// options. Zero-value fields of opts fall back to defaults.
+// options. Zero-value fields of opts fall back to defaults, field by field:
+// a caller setting only SampleFrac keeps its SampleFrac and inherits
+// default quanta counts, and vice versa. The machine configuration is
+// always the System's.
 func (s *System) TrainModel(appNames []string, opts TrainOptions) (*Model, *TrainReport, error) {
 	models, err := resolve(appNames)
 	if err != nil {
 		return nil, nil, err
 	}
-	if opts.IsolatedQuanta == 0 {
-		def := train.DefaultOptions()
-		def.Machine = s.machCfg
-		opts = def
-	} else {
-		opts.Machine = s.machCfg
+	def := train.DefaultOptions()
+	// A fully zero options value means "use the defaults", including the
+	// parallel fan-out; a false Parallel alongside any customised field is
+	// an explicit request for a serial run and is honoured.
+	if opts.IsolatedQuanta == 0 && opts.PairQuanta == 0 && opts.SampleFrac == 0 &&
+		opts.Seed == 0 && opts.Extract == nil && opts.Categories == nil && !opts.Parallel {
+		opts.Parallel = def.Parallel
 	}
+	if opts.IsolatedQuanta == 0 {
+		opts.IsolatedQuanta = def.IsolatedQuanta
+	}
+	if opts.PairQuanta == 0 {
+		opts.PairQuanta = def.PairQuanta
+	}
+	if opts.SampleFrac == 0 {
+		opts.SampleFrac = def.SampleFrac
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	opts.Machine = s.machCfg
 	return train.Train(models, opts)
 }
 
@@ -255,13 +273,22 @@ func (s *System) Run(appNames []string, policy Policy) (*RunReport, error) {
 		return nil, err
 	}
 
+	fairness, err := metrics.Fairness(speedups)
+	if err != nil {
+		return nil, err
+	}
+	antt, err := metrics.ANTT(speedups)
+	if err != nil {
+		return nil, err
+	}
+
 	rep := &RunReport{
 		Policy:           res.Policy,
 		TurnaroundCycles: tt,
 		Quanta:           res.Quanta,
-		Fairness:         metrics.Fairness(speedups),
+		Fairness:         fairness,
 		IPCGeomean:       ipcGeo,
-		ANTT:             metrics.ANTT(speedups),
+		ANTT:             antt,
 		STP:              metrics.STP(speedups),
 	}
 	for i := range res.Apps {
@@ -271,6 +298,140 @@ func (s *System) Run(appNames []string, policy Policy) (*RunReport, error) {
 			IPC:               res.Apps[i].IPC,
 			IndividualSpeedup: speedups[i],
 		})
+	}
+	return rep, nil
+}
+
+// Trace is an open-system arrival schedule: applications arrive at their
+// trace cycles, run their finite work and depart (contrast with Run, whose
+// closed system keeps every application resident forever).
+type Trace = workload.Trace
+
+// TraceEntry is one arrival of a Trace.
+type TraceEntry = workload.TraceEntry
+
+// ParseTrace reads a scripted trace in the line format
+// "<arrive_cycle> <app_name> [work_factor]" (see workload.ParseTrace).
+func ParseTrace(name string, r io.Reader) (Trace, error) { return workload.ParseTrace(name, r) }
+
+// PoissonTrace generates a deterministic trace with Poisson arrivals drawn
+// from the given application pool; work scales each app's reference target
+// (0 means the full reference work).
+func PoissonTrace(name string, seed uint64, pool []string, n int, meanGapCycles, work float64) Trace {
+	return workload.PoissonTrace(name, seed, pool, n, meanGapCycles, work)
+}
+
+// DynamicAppReport is one application's outcome within a dynamic run.
+type DynamicAppReport struct {
+	// Name is the benchmark name.
+	Name string
+	// ArriveAt and FinishAt bracket the app's life (cycles); FinishAt is 0
+	// if the app did not complete within the run bound.
+	ArriveAt, FinishAt uint64
+	// Admitted reports whether the app ever got a hardware thread; in an
+	// overloaded bounded run an arrival can stay queued to the end.
+	Admitted bool
+	// AdmittedAt is when the app first got a hardware thread (> ArriveAt
+	// when it had to queue behind a full machine). Meaningless when
+	// Admitted is false.
+	AdmittedAt uint64
+	// ResponseCycles is FinishAt − ArriveAt: queueing plus execution.
+	ResponseCycles uint64
+	// NormalizedResponse is ResponseCycles divided by the app's isolated
+	// execution time for the same work (≥ ~1; lower is better). 0 if the
+	// app never finished.
+	NormalizedResponse float64
+	// IPC is target instructions / response cycles.
+	IPC float64
+}
+
+// DynamicReport is the outcome of one open-system trace execution.
+type DynamicReport struct {
+	// Policy is the allocation policy used.
+	Policy string
+	// Trace is the trace name.
+	Trace string
+	// Cycles is the simulated time span; Slices counts policy invocations
+	// (quantum boundaries plus off-quantum admissions).
+	Cycles uint64
+	Slices int
+	// Apps holds per-application results in trace order.
+	Apps []DynamicAppReport
+	// Completed counts apps that finished; Deferred counts arrivals that
+	// queued for a hardware thread.
+	Completed, Deferred int
+	// MeanResponseCycles averages response time over completed apps.
+	MeanResponseCycles float64
+	// ANTT is the mean normalized response time over completed apps — the
+	// open-system analogue of the closed system's ANTT (lower is better).
+	ANTT float64
+	// STP is the completed isolated-app work per cycle: Σ isolated-time of
+	// completed apps / Cycles, in "isolated applications" units (higher is
+	// better; bounded by the hardware-thread count).
+	STP float64
+	// MeanLiveApps is the time-averaged number of live applications;
+	// Occupancy normalises it by the hardware-thread capacity.
+	MeanLiveApps float64
+	Occupancy    float64
+	// AllCompleted reports whether every arrival finished within bound.
+	AllCompleted bool
+}
+
+// RunDynamic executes an open-system trace under the given policy:
+// applications arrive at their trace cycles (queueing when the machine is
+// full), run to true completion — no relaunch — and depart, so cores run
+// partially occupied and the live-application count can be odd. Targets
+// come from the same §V-B isolated-reference methodology as Run, scaled by
+// each entry's Work factor.
+func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("synpa: nil policy")
+	}
+	work, isoCycles, err := s.targets.DynamicWork(trace)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := machine.New(s.machCfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mach.RunDynamic(work, policy, machine.DynamicOptions{Seed: s.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	stats := workload.SummarizeDynamic(res, isoCycles)
+	rep := &DynamicReport{
+		Policy:             res.Policy,
+		Trace:              trace.Name,
+		Cycles:             res.Cycles,
+		Slices:             res.Slices,
+		Deferred:           res.Deferred,
+		MeanLiveApps:       res.MeanLiveApps,
+		AllCompleted:       res.AllCompleted,
+		Completed:          stats.Completed,
+		MeanResponseCycles: stats.MeanResponseCycles,
+		ANTT:               stats.ANTT,
+		STP:                stats.STP,
+	}
+	if hw := float64(s.MaxAppsPerRun()); hw > 0 {
+		rep.Occupancy = res.MeanLiveApps / hw
+	}
+	for i := range res.Apps {
+		a := res.Apps[i]
+		ar := DynamicAppReport{
+			Name:           a.Name,
+			ArriveAt:       a.ArriveAt,
+			Admitted:       a.Admitted,
+			AdmittedAt:     a.AdmittedAt,
+			FinishAt:       a.FinishAt,
+			ResponseCycles: a.ResponseCycles,
+			IPC:            a.IPC,
+		}
+		if a.FinishAt > 0 && a.ResponseCycles > 0 {
+			ar.NormalizedResponse = float64(a.ResponseCycles) / isoCycles[i]
+		}
+		rep.Apps = append(rep.Apps, ar)
 	}
 	return rep, nil
 }

@@ -111,6 +111,48 @@ func TestRunRandomPolicy(t *testing.T) {
 	}
 }
 
+func TestTrainModelKeepsCustomOptions(t *testing.T) {
+	// Regression: TrainModel used to replace the ENTIRE options struct
+	// with defaults whenever IsolatedQuanta was zero, silently discarding
+	// every other customised field. Custom fields must survive, with only
+	// the zero-valued ones defaulted.
+	sys, err := New(Config{Cores: 1, QuantumCycles: 5_000, RefQuanta: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := []string{"cat-a", "cat-b", "cat-c"}
+	model, rep, err := sys.TrainModel([]string{"mcf", "leela_r", "gobmk"}, TrainOptions{
+		// IsolatedQuanta deliberately zero: it must be defaulted...
+		PairQuanta: 12,
+		SampleFrac: 1.0,
+		Seed:       99,
+		Categories: custom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...while the custom categories flow through to the fitted model
+	// (the old code would have dropped them for the paper's three names).
+	if got := model.Categories; !equalStrings(got, custom) {
+		t.Fatalf("custom categories discarded: got %v, want %v", got, custom)
+	}
+	if rep.Apps != 3 || rep.Pairs != 3 || rep.Samples == 0 {
+		t.Fatalf("training report %+v", rep)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRunErrors(t *testing.T) {
 	sys := fastSystem(t)
 	if _, err := sys.Run(nil, sys.LinuxPolicy()); err == nil {
