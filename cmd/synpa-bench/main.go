@@ -7,6 +7,8 @@
 //	synpa-bench -experiment all            # everything (slow)
 //	synpa-bench -experiment fig5           # one experiment
 //	synpa-bench -experiment fig5 -reps 9   # the paper's repetition count
+//	synpa-bench -experiment smt4           # SMT2-vs-SMT4 comparison table
+//	synpa-bench -experiment dynamic -smt 4 # any experiment at another SMT level
 //	synpa-bench -list                      # list experiment names
 //
 // Performance tracking:
@@ -38,6 +40,7 @@ func main() {
 		exp      = flag.String("experiment", "all", "experiment to run (see -list)")
 		list     = flag.Bool("list", false, "list available experiments")
 		reps     = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
+		smt      = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
 		quantum  = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
 		refQ     = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
 		seed     = flag.Uint64("seed", 0, "random seed (default: suite default)")
@@ -51,6 +54,13 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	if *smt > 0 {
+		cfg.Machine.Core.SMTLevel = *smt
+		if err := cfg.Machine.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "synpa-bench: -smt %d: %v\n", *smt, err)
+			os.Exit(2)
+		}
 	}
 	if *quantum > 0 {
 		cfg.Machine.QuantumCycles = *quantum
@@ -93,7 +103,9 @@ func main() {
 		{"ablation-quantum", s.AblationQuantum},
 		{"overhead-model", s.OverheadModelEquations},
 		{"overhead-matching", s.OverheadMatching},
+		{"overhead-grouping", s.OverheadGrouping},
 		{"dynamic", s.DynamicTable},
+		{"smt4", s.SMT4Table},
 	}
 
 	if *list {
@@ -140,7 +152,13 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "synpa-bench: unknown experiment %q (try -list)\n", *exp)
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = e.name
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "synpa-bench: unknown experiment %q\nvalid experiments: all, %s\n",
+			*exp, strings.Join(names, ", "))
 		os.Exit(1)
 	}
 
@@ -156,6 +174,7 @@ func main() {
 		}
 		report := collector.Report(map[string]string{
 			"experiment":  *exp,
+			"smt":         strconv.Itoa(cfg.Machine.ThreadsPerCore()),
 			"reps":        strconv.Itoa(cfg.Reps),
 			"quantum":     strconv.FormatUint(cfg.Machine.QuantumCycles, 10),
 			"ref_quanta":  strconv.Itoa(cfg.RefQuanta),

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"synpa/internal/experiments"
@@ -32,12 +33,14 @@ func main() {
 		appList = flag.String("apps", "", "comma-separated app names (overrides -workload)")
 		trace   = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4) or trace file path (overrides -workload/-apps)")
 		policy  = flag.String("policy", "both", "linux | synpa | random | both")
+		smt     = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
 		quantum = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
 	cfg := synpa.DefaultConfig()
+	cfg.SMTLevel = *smt
 	cfg.QuantumCycles = *quantum
 	cfg.Seed = *seed
 	sys, err := synpa.New(cfg)
@@ -59,7 +62,13 @@ func main() {
 		std := sys.StandardWorkloads()
 		var ok bool
 		if names, ok = std[*wlName]; !ok {
-			fatal(fmt.Errorf("unknown workload %q", *wlName))
+			valid := make([]string, 0, len(std))
+			for name := range std {
+				valid = append(valid, name)
+			}
+			sort.Strings(valid)
+			fatal(fmt.Errorf("unknown workload %q; valid workloads: %s",
+				*wlName, strings.Join(valid, ", ")))
 		}
 	}
 	fmt.Printf("workload: %s\n\n", strings.Join(names, ", "))
@@ -96,7 +105,7 @@ func main() {
 		run(sys.LinuxPolicy())
 		run(sys.SYNPAPolicy(model))
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		fatal(fmt.Errorf("unknown policy %q; valid policies: linux, synpa, random, both", *policy))
 	}
 
 	if len(reports) == 2 {
@@ -145,20 +154,24 @@ func runDynamic(sys *synpa.System, traceArg, policy string, quantum, seed uint64
 		run(sys.LinuxPolicy())
 		run(sys.SYNPAPolicy(model))
 	default:
-		fatal(fmt.Errorf("unknown policy %q", policy))
+		fatal(fmt.Errorf("unknown policy %q; valid policies: linux, synpa, random, both", policy))
 	}
 }
 
 // loadTrace resolves -trace: a built-in dynamic scenario name or a file.
 func loadTrace(arg string, quantum, seed uint64) (synpa.Trace, error) {
-	for _, tr := range experiments.DynamicScenarios(seed, quantum) {
+	scenarios := experiments.DynamicScenarios(seed, quantum)
+	valid := make([]string, len(scenarios))
+	for i, tr := range scenarios {
+		valid[i] = tr.Name
 		if tr.Name == arg {
 			return tr, nil
 		}
 	}
 	f, err := os.Open(arg)
 	if err != nil {
-		return synpa.Trace{}, fmt.Errorf("trace %q is neither a built-in scenario (dyn0-dyn4) nor a readable file: %w", arg, err)
+		return synpa.Trace{}, fmt.Errorf("trace %q is neither a built-in scenario nor a readable file (%v); valid scenarios: %s",
+			arg, err, strings.Join(valid, ", "))
 	}
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))

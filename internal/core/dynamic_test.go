@@ -32,7 +32,7 @@ func TestPlaceWithUnplacedArrival(t *testing.T) {
 		Samples:       samples,
 	}
 	place := p.Place(st)
-	if err := place.Validate(4); err != nil {
+	if err := place.Validate(4, 2); err != nil {
 		t.Fatal(err)
 	}
 	if len(place) != 5 {
@@ -59,7 +59,7 @@ func TestSmoothingFollowsIdentitiesAcrossRemap(t *testing.T) {
 		Prev:    machine.Placement{0, 0, 1},
 		Samples: []pmu.Counters{be, fe, md},
 	}
-	if err := p.Place(st).Validate(2); err != nil {
+	if err := p.Place(st).Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	est1 := p.LastSTEstimates()
@@ -79,7 +79,7 @@ func TestSmoothingFollowsIdentitiesAcrossRemap(t *testing.T) {
 		Prev:    machine.Placement{0, 1},
 		Samples: []pmu.Counters{fe, md},
 	}
-	if err := p.Place(st2).Validate(2); err != nil {
+	if err := p.Place(st2).Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	est2 := p.LastSTEstimates()

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"synpa/internal/machine"
+	"synpa/internal/pmu"
+	"synpa/internal/xrand"
+)
+
+// randSamples builds one quantum's synthetic PMU deltas with random
+// frontend/backend stall splits.
+func randSamples(rng *xrand.RNG, n int) []pmu.Counters {
+	out := make([]pmu.Counters, n)
+	for i := range out {
+		cycles := uint64(10_000)
+		insts := 2_000 + uint64(rng.Intn(6_000))
+		stalls := 1_000 + uint64(rng.Intn(8_000))
+		fe := uint64(float64(stalls) * rng.Float64())
+		out[i] = sampleWith(cycles, insts, fe, stalls-fe)
+	}
+	return out
+}
+
+// TestForceGroupingMatchesPairwise is the SMT2 regression differential of
+// the grouping subsystem: across multi-quantum sequences of random samples,
+// the policy routed through grouping.Partition (ForceGrouping) must produce
+// exactly the placements of the classic blossom-matching path, quantum for
+// quantum — grouping at L = 2 reproduces blossom placements.
+func TestForceGroupingMatchesPairwise(t *testing.T) {
+	for _, n := range []int{5, 7, 8} { // odd counts exercise solo groups
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("n=%d/seed=%d", n, seed), func(t *testing.T) {
+				pair := MustPolicy(PaperCoefficients(), PolicyOptions{})
+				grp := MustPolicy(PaperCoefficients(), PolicyOptions{ForceGrouping: true})
+				rng := xrand.New(seed)
+				var prevPair, prevGrp machine.Placement
+				var samples []pmu.Counters
+				for q := 0; q < 25; q++ {
+					stPair := &machine.QuantumState{
+						Quantum: q, NumApps: n, NumCores: 4, DispatchWidth: 4,
+						Prev: prevPair, Samples: samples,
+					}
+					stGrp := &machine.QuantumState{
+						Quantum: q, NumApps: n, NumCores: 4, DispatchWidth: 4,
+						Prev: prevGrp, Samples: samples,
+					}
+					pp := pair.Place(stPair)
+					gp := grp.Place(stGrp)
+					if !reflect.DeepEqual(pp, gp) {
+						t.Fatalf("quantum %d: pairwise %v != grouped %v", q, pp, gp)
+					}
+					if err := pp.Validate(4, 2); err != nil {
+						t.Fatalf("quantum %d: %v", q, err)
+					}
+					prevPair, prevGrp = pp, gp
+					samples = randSamples(rng, n)
+				}
+			})
+		}
+	}
+}
+
+// TestPlaceGroupedSMT4 drives the grouped path directly: 8 applications on
+// 2 SMT4 cores must fill both cores with quads, deterministically.
+func TestPlaceGroupedSMT4(t *testing.T) {
+	mk := func() (*Policy, *machine.QuantumState) {
+		p := MustPolicy(PaperCoefficients(), PolicyOptions{})
+		st := &machine.QuantumState{
+			Quantum: 1, NumApps: 8, NumCores: 2, DispatchWidth: 4, SMTLevel: 4,
+			Prev: machine.Placement{0, 0, 0, 0, 1, 1, 1, 1},
+		}
+		rng := xrand.New(11)
+		st.Samples = randSamples(rng, 8)
+		return p, st
+	}
+	p1, st1 := mk()
+	place := p1.Place(st1)
+	if err := place.Validate(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]int{}
+	for _, c := range place {
+		load[c]++
+	}
+	if load[0] != 4 || load[1] != 4 {
+		t.Fatalf("8 apps on 2x4 threads must form two quads, got %v", place)
+	}
+	p2, st2 := mk()
+	if again := p2.Place(st2); !reflect.DeepEqual(place, again) {
+		t.Fatalf("grouped placement nondeterministic: %v vs %v", place, again)
+	}
+}
+
+// TestPlaceGroupedPartialOccupancy covers the dynamic-run shape: a live set
+// smaller than the machine with Unplaced Prev entries (a fresh arrival).
+func TestPlaceGroupedPartialOccupancy(t *testing.T) {
+	p := MustPolicy(PaperCoefficients(), PolicyOptions{})
+	rng := xrand.New(3)
+	st := &machine.QuantumState{
+		Quantum: 2, NumApps: 5, NumCores: 2, DispatchWidth: 4, SMTLevel: 4,
+		AppIDs:  []int{0, 1, 2, 3, 9},
+		Prev:    machine.Placement{0, 0, 1, 1, machine.Unplaced},
+		Samples: randSamples(rng, 5),
+	}
+	place := p.Place(st)
+	if err := place.Validate(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(place) != 5 {
+		t.Fatalf("placement %v has wrong length", place)
+	}
+}
+
+// TestPlaceSMT1Singletons pins the SMT1 routing: the policy must never
+// co-locate two applications on a one-thread core, whatever the model
+// predicts, so level 1 runs the grouping path's forced singletons.
+func TestPlaceSMT1Singletons(t *testing.T) {
+	p := MustPolicy(PaperCoefficients(), PolicyOptions{})
+	rng := xrand.New(17)
+	var prev machine.Placement
+	var samples []pmu.Counters
+	for q := 0; q < 10; q++ {
+		st := &machine.QuantumState{
+			Quantum: q, NumApps: 4, NumCores: 4, DispatchWidth: 4, SMTLevel: 1,
+			Prev: prev, Samples: samples,
+		}
+		place := p.Place(st)
+		if err := place.Validate(4, 1); err != nil {
+			t.Fatalf("quantum %d: %v (placement %v)", q, err, place)
+		}
+		prev = place
+		samples = randSamples(rng, 4)
+	}
+}
+
+// TestPlaceGroupedHysteresisSoloCost pins the solo-cost scale of the
+// grouped hysteresis: with a custom Grouping.SoloCost, the previous
+// placement's cost must be priced on the same scale as the fresh
+// partition's, or hysteresis pins the policy to Prev forever.
+func TestPlaceGroupedHysteresisSoloCost(t *testing.T) {
+	// Two cores at SMT4, three apps, previous placement all solo-ish:
+	// {0,1} paired and {2} solo. With SoloCost 3 the solo group is
+	// expensive, so merging everyone should clear any small hysteresis.
+	opts := PolicyOptions{Hysteresis: 0.01}
+	opts.Grouping.SoloCost = 3
+	p := MustPolicy(PaperCoefficients(), opts)
+	rng := xrand.New(23)
+	st := &machine.QuantumState{
+		Quantum: 1, NumApps: 3, NumCores: 3, DispatchWidth: 4, SMTLevel: 4,
+		Prev:    machine.Placement{0, 1, 2}, // three expensive solos under SoloCost 3
+		Samples: randSamples(rng, 3),
+	}
+	place := p.Place(st)
+	if err := place.Validate(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Under SoloCost 3 the previous all-solo grouping costs 9 while any
+	// pairing costs ~2+3 < 9; a correctly scaled hysteresis must migrate.
+	if reflect.DeepEqual(place, st.Prev) {
+		t.Fatalf("hysteresis kept the all-solo placement despite SoloCost 3: %v", place)
+	}
+}
+
+// TestPlaceGroupsKeepsUnchangedGroups pins the migration-minimising
+// core assignment: a partition identical to the previous grouping must not
+// move anyone.
+func TestPlaceGroupsKeepsUnchangedGroups(t *testing.T) {
+	prev := machine.Placement{0, 0, 0, 0, 1, 1, 1, 1}
+	groups := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	place := placeGroups(groups, 8, 2, prev)
+	for i := range prev {
+		if place[i] != prev[i] {
+			t.Fatalf("unnecessary migration: %v -> %v", prev, place)
+		}
+	}
+	// Swapped groups across cores still land on a core a member held.
+	swapped := [][]int{{0, 1, 6, 7}, {2, 3, 4, 5}}
+	place = placeGroups(swapped, 8, 2, prev)
+	if err := place.Validate(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if place[0] != place[1] || place[0] != place[6] || place[0] != place[7] {
+		t.Fatalf("group split across cores: %v", place)
+	}
+	if place[2] != place[3] || place[2] != place[4] || place[2] != place[5] {
+		t.Fatalf("group split across cores: %v", place)
+	}
+	if place[0] == place[2] {
+		t.Fatalf("both groups on one core: %v", place)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"synpa/internal/grouping"
 	"synpa/internal/machine"
 	"synpa/internal/matching"
 )
@@ -64,6 +65,17 @@ type PolicyOptions struct {
 	Hysteresis float64
 	// Inversion tunes the inversion solver; zero value uses defaults.
 	Inversion InversionOptions
+	// Grouping tunes the set-partition solver used when the machine runs
+	// more than two threads per core (internal/grouping); the zero value
+	// gives the production defaults (exact for small live sets, greedy +
+	// local search beyond).
+	Grouping grouping.Options
+	// ForceGrouping routes Step 3 through the grouping subsystem even at
+	// SMT2, where the policy normally keeps its original blossom-matching
+	// path. The two agree by construction (grouping delegates to the same
+	// matcher at level 2); the option exists for differential tests and
+	// solver ablations.
+	ForceGrouping bool
 	// Name overrides the policy name in experiment output.
 	Name string
 }
@@ -154,8 +166,18 @@ func (p *Policy) Model() *Model { return p.model }
 // recent placement decision (per application), or nil before any.
 func (p *Policy) LastSTEstimates() [][]float64 { return p.lastST }
 
-// Place implements machine.Policy.
+// Place implements machine.Policy. At SMT2 it runs the paper's pipeline —
+// pairwise inversion, pair-degradation prediction, blossom matching; above
+// SMT2 (or under ForceGrouping) Step 3 becomes the weighted set-partition of
+// the follow-up policies, solved by internal/grouping over the same pairwise
+// degradation matrix.
 func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
+	// Any level other than 2 routes through grouping: above 2 it solves
+	// the set partition, and at 1 it degenerates to forced singletons
+	// (the pairwise matcher could illegally co-locate two apps there).
+	if level := st.ThreadsPerCore(); level != 2 || p.opt.ForceGrouping {
+		return p.placeGrouped(st, level)
+	}
 	if st.Samples == nil || st.Prev == nil {
 		return arrivalOrderPlacement(st.NumApps, st.NumCores)
 	}
@@ -188,22 +210,7 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 		est[i] = ci
 		est[mate] = cj
 	}
-	if s := p.opt.Smoothing; s > 0 && p.lastST != nil {
-		for i := range est {
-			prev := p.prevEstimate(appID(st, i))
-			if prev == nil || len(prev) != len(est[i]) {
-				continue
-			}
-			for k := range est[i] {
-				est[i][k] = (1-s)*est[i][k] + s*prev[k]
-			}
-		}
-	}
-	p.lastST = est
-	p.lastIDs = p.lastIDs[:0]
-	for i := 0; i < n; i++ {
-		p.lastIDs = append(p.lastIDs, appID(st, i))
-	}
+	p.smoothAndRemember(st, est)
 
 	// Step 2: predict the degradation of every candidate pair; pad with
 	// virtual idle applications so the matching is always perfect. A real
@@ -261,6 +268,28 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	}
 
 	return placePairs(mate, n, st.NumCores, st.Prev)
+}
+
+// smoothAndRemember applies the identity-aware exponential smoothing to the
+// fresh ST estimates and records them (with their stable identities) for the
+// next quantum. Shared by the pairwise and grouped paths.
+func (p *Policy) smoothAndRemember(st *machine.QuantumState, est [][]float64) {
+	if s := p.opt.Smoothing; s > 0 && p.lastST != nil {
+		for i := range est {
+			prev := p.prevEstimate(appID(st, i))
+			if prev == nil || len(prev) != len(est[i]) {
+				continue
+			}
+			for k := range est[i] {
+				est[i][k] = (1-s)*est[i][k] + s*prev[k]
+			}
+		}
+	}
+	p.lastST = est
+	p.lastIDs = p.lastIDs[:0]
+	for i := range est {
+		p.lastIDs = append(p.lastIDs, appID(st, i))
+	}
 }
 
 // appID resolves application i's stable identity (dynamic runs hand the

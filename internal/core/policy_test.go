@@ -79,7 +79,7 @@ func TestPlacePairsComplementaryApps(t *testing.T) {
 		Samples:       samples,
 	}
 	place := p.Place(st)
-	if err := place.Validate(2); err != nil {
+	if err := place.Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Apps 0,2 are backend; 1,3 frontend. Complementary pairing means 0
@@ -114,7 +114,7 @@ func TestPlacePairsReassignsChangedPairs(t *testing.T) {
 	prev := machine.Placement{0, 0, 1, 1}
 	mate := []int{3, 2, 1, 0} // pairs (0,3), (1,2)
 	place := placePairs(mate, 4, 2, prev)
-	if err := place.Validate(2); err != nil {
+	if err := place.Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	if place[0] != place[3] || place[1] != place[2] || place[0] == place[1] {
@@ -128,7 +128,7 @@ func TestPlacePairsHandlesSoloAndEmpty(t *testing.T) {
 	prev := machine.Placement{0, 0, 1}
 	mate := []int{1, 0, 3, 2} // (0,1) real pair; app 2 with virtual 3
 	place := placePairs(mate, 3, 2, prev)
-	if err := place.Validate(2); err != nil {
+	if err := place.Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	if place[0] != place[1] || place[2] == place[0] {
@@ -149,7 +149,7 @@ func TestPlaceOddAppsUsesIdleSlots(t *testing.T) {
 		Prev: machine.Placement{0, 0, 1}, Samples: samples,
 	}
 	place := p.Place(st)
-	if err := place.Validate(2); err != nil {
+	if err := place.Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
 	if len(place) != 3 {
@@ -179,7 +179,7 @@ func TestMatchersAgreeOnOptimum(t *testing.T) {
 	for _, matcher := range []Matcher{MatcherBlossom, MatcherBruteForce, MatcherGreedy} {
 		p := MustPolicy(PaperCoefficients(), PolicyOptions{Matcher: matcher})
 		place := p.Place(st)
-		if err := place.Validate(4); err != nil {
+		if err := place.Validate(4, 2); err != nil {
 			t.Fatalf("%v: %v", matcher, err)
 		}
 		placements = append(placements, place)

@@ -13,7 +13,6 @@ import (
 	"synpa/internal/machine"
 	"synpa/internal/pool"
 	"synpa/internal/sched"
-	"synpa/internal/smtcore"
 	"synpa/internal/workload"
 )
 
@@ -106,7 +105,7 @@ func (s *Suite) runDynamic(tr workload.Trace, factory PolicyFactory) (*dynSummar
 		antt:         stats.ANTT,
 		stp:          stats.STP,
 		meanLive:     res.MeanLiveApps,
-		occupancy:    res.MeanLiveApps / float64(cfg.Cores*smtcore.ThreadsPerCore),
+		occupancy:    res.MeanLiveApps / float64(cfg.HWThreads()),
 		allCompleted: res.AllCompleted,
 	}, nil
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestOverheadGroupingTable pins the grouping-overhead bench shape: both
+// solvers produce partitions at every size and the greedy cost ratio stays
+// near the exact optimum.
+func TestOverheadGroupingTable(t *testing.T) {
+	s := NewSuite(fastConfig())
+	tab, err := s.OverheadGrouping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 1.0-1e-9 {
+			t.Fatalf("greedy cost ratio %v below exact optimum (row %v)", ratio, row)
+		}
+		if ratio > 1.2 {
+			t.Fatalf("greedy cost ratio %v far from optimum (row %v)", ratio, row)
+		}
+	}
+}
+
+// TestSMT4TableEndToEnd runs the SMT2-vs-SMT4 comparison on the scaled-down
+// test configuration: six rows (2 configs × 3 policies), all complete, with
+// finite metrics.
+func TestSMT4TableEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	s := NewSuite(fastConfig())
+	tab, err := s.SMT4Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		tt, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt <= 0 {
+			t.Fatalf("degenerate turnaround in row %v", row)
+		}
+		stp, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 8 hardware threads bound the throughput in isolated-app units.
+		if stp <= 0 || stp > 8 {
+			t.Fatalf("STP %v out of range in row %v", stp, row)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package grouping
+
+// The greedy solver: a cheapest-marginal-cost seeding pass followed by
+// steepest-descent local search over single-application moves and pairwise
+// swaps. Deterministic (fixed scan order, strict improvement) and always
+// feasible — the seeding fills maxGroups capacity-level bins, which exist
+// because Partition has already checked n <= maxGroups·level. The property
+// tests bound its cost from below by the exact DP's optimum.
+
+// localSearchRounds caps the improvement loop; every applied move strictly
+// decreases the partition cost, so the cap is a safety net, not a tuning
+// knob.
+const localSearchRounds = 1000
+
+func solveGreedy(w [][]float64, maxGroups, level int, solo float64) *Result {
+	n := len(w)
+	bins := make([][]int, maxGroups)
+
+	// --- seeding: apps in index order, cheapest marginal bin first ------
+	for i := 0; i < n; i++ {
+		best, bestBin := 0.0, -1
+		for b := range bins {
+			if len(bins[b]) >= level {
+				continue
+			}
+			d := addDelta(w, bins[b], i, solo)
+			if bestBin < 0 || d < best {
+				best, bestBin = d, b
+			}
+		}
+		bins[bestBin] = append(bins[bestBin], i)
+	}
+
+	// --- steepest-descent local search ----------------------------------
+	const eps = 1e-12
+	for round := 0; round < localSearchRounds; round++ {
+		bestDelta := -eps
+		kind := 0 // 1 = move, 2 = swap
+		var mA, mFrom, mB, mTo int
+		// Single-app moves (including into empty bins: the app goes solo).
+		for fb := range bins {
+			for ai := range bins[fb] {
+				a := bins[fb][ai]
+				rem := removeDelta(w, bins[fb], ai, solo)
+				for tb := range bins {
+					if tb == fb || len(bins[tb]) >= level {
+						continue
+					}
+					if d := rem + addDelta(w, bins[tb], a, solo); d < bestDelta {
+						bestDelta, kind = d, 1
+						mA, mFrom, mTo = ai, fb, tb
+					}
+				}
+			}
+		}
+		// Pairwise swaps.
+		for fb := range bins {
+			for tb := fb + 1; tb < len(bins); tb++ {
+				for ai := range bins[fb] {
+					for bi := range bins[tb] {
+						if d := swapDelta(w, bins[fb], ai, bins[tb], bi); d < bestDelta {
+							bestDelta, kind = d, 2
+							mA, mFrom, mB, mTo = ai, fb, bi, tb
+						}
+					}
+				}
+			}
+		}
+		switch kind {
+		case 1:
+			a := bins[mFrom][mA]
+			bins[mFrom] = append(bins[mFrom][:mA], bins[mFrom][mA+1:]...)
+			bins[mTo] = append(bins[mTo], a)
+		case 2:
+			bins[mFrom][mA], bins[mTo][mB] = bins[mTo][mB], bins[mFrom][mA]
+		default:
+			return finish(w, bins, solo, "greedy")
+		}
+	}
+	return finish(w, bins, solo, "greedy")
+}
+
+// addDelta is the cost increase of adding app i to bin.
+func addDelta(w [][]float64, bin []int, i int, solo float64) float64 {
+	switch len(bin) {
+	case 0:
+		return solo
+	case 1:
+		return w[bin[0]][i] - solo
+	}
+	d := 0.0
+	for _, x := range bin {
+		d += w[x][i]
+	}
+	return d
+}
+
+// removeDelta is the cost change of removing bin[ai] from bin.
+func removeDelta(w [][]float64, bin []int, ai int, solo float64) float64 {
+	a := bin[ai]
+	switch len(bin) {
+	case 1:
+		return -solo
+	case 2:
+		return solo - w[bin[0]][bin[1]]
+	}
+	d := 0.0
+	for xi, x := range bin {
+		if xi != ai {
+			d -= w[x][a]
+		}
+	}
+	return d
+}
+
+// swapDelta is the cost change of exchanging ga[ai] and gb[bi] between
+// groups ga and gb (group sizes are preserved, so solo terms cancel).
+func swapDelta(w [][]float64, ga []int, ai int, gb []int, bi int) float64 {
+	a, b := ga[ai], gb[bi]
+	d := 0.0
+	for xi, x := range ga {
+		if xi != ai {
+			d += w[x][b] - w[x][a]
+		}
+	}
+	for xi, x := range gb {
+		if xi != bi {
+			d += w[x][a] - w[x][b]
+		}
+	}
+	return d
+}

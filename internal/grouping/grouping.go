@@ -1,0 +1,290 @@
+// Package grouping solves the thread-grouping step that SMT levels above 2
+// require: partition n applications into at most maxGroups groups (cores) of
+// size at most L (the SMT level), minimising the summed intra-group
+// interference cost.
+//
+// At SMT2 the per-quantum allocation step is a minimum-weight perfect
+// matching (paper §IV-B Step 3, internal/matching); at SMT3/SMT4 it becomes
+// a weighted set-partition problem, the formulation of the paper's follow-up
+// ("A New Family of Thread to Core Allocation Policies for an SMT ARM
+// Processor", arXiv:2507.00855): a group's cost is the sum of the pairwise
+// predicted degradations of its members, so the pairwise interference model
+// keeps driving the decision while co-schedules grow beyond pairs.
+//
+// Cost model. For a symmetric n×n matrix w of pairwise costs, a group g
+// costs
+//
+//	cost(g) = SoloCost            if |g| == 1  (an app alone runs at ST speed)
+//	cost(g) = Σ_{i<j ∈ g} w[i][j] otherwise
+//
+// and a partition costs the sum over its groups. With L = 2 this is exactly
+// the objective of the blossom matcher on the idle-padded graph the SYNPA
+// policy builds, so Partition delegates to it there and the two agree by
+// construction (and by the differential tests).
+//
+// Solvers. Two deterministic solvers sit behind Partition:
+//
+//   - an exact subset dynamic program over group bitmasks, O(n · 2ⁿ ·
+//     C(n, L−1)) time — practical to n ≈ 16 and the cross-validation
+//     oracle for the tests;
+//   - a greedy seeding plus steepest-descent local search (single-app moves
+//     and pairwise swaps) for larger n, whose cost the property tests bound
+//     from below by the exact optimum.
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"synpa/internal/matching"
+)
+
+// DefaultSoloCost is the cost of a single-application group: the app runs at
+// its single-threaded speed, normalised degradation 1 — the same constant
+// the SYNPA policy assigns to a real-app/idle-slot pairing.
+const DefaultSoloCost = 1.0
+
+// DefaultMaxExactN is the largest n SolverAuto hands to the exact subset DP.
+const DefaultMaxExactN = 12
+
+// maxExactHard bounds the exact DP outright: beyond 16 vertices the mask
+// tables stop fitting in reasonable memory.
+const maxExactHard = 16
+
+// Errors returned by Partition.
+var (
+	// ErrInfeasible marks an instance with more applications than
+	// maxGroups·level hardware threads.
+	ErrInfeasible = errors.New("grouping: more applications than hardware threads")
+	// ErrTooLarge marks an instance explicitly requesting the exact solver
+	// beyond its hard size limit.
+	ErrTooLarge = fmt.Errorf("grouping: exact solver limited to %d applications", maxExactHard)
+)
+
+// Solver selects the partition algorithm.
+type Solver int
+
+const (
+	// SolverAuto uses the exact DP up to Options.MaxExactN applications
+	// and the greedy + local-search solver beyond.
+	SolverAuto Solver = iota
+	// SolverExact forces the exact subset DP.
+	SolverExact
+	// SolverGreedy forces the greedy + local-search solver.
+	SolverGreedy
+)
+
+// String names the solver for experiment output.
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverExact:
+		return "exact"
+	case SolverGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// Options tune Partition; the zero value gives the production defaults.
+type Options struct {
+	// Solver selects the algorithm (default SolverAuto).
+	Solver Solver
+	// MaxExactN is the auto-solver's exact-DP size ceiling (default
+	// DefaultMaxExactN).
+	MaxExactN int
+	// SoloCost is the cost of a one-application group; zero selects
+	// DefaultSoloCost.
+	SoloCost float64
+}
+
+// ResolvedSoloCost returns the solo cost Partition will charge under these
+// options (SoloCost with the zero-value default applied). Callers comparing
+// external partitions against a Result's Cost — e.g. the policy's
+// hysteresis — must price solo groups with this same value.
+func (o Options) ResolvedSoloCost() float64 {
+	if o.SoloCost == 0 {
+		return DefaultSoloCost
+	}
+	return o.SoloCost
+}
+
+// Result is one partition.
+type Result struct {
+	// Groups holds the partition in canonical form: members ascending
+	// within each group, groups ordered by their smallest member.
+	Groups [][]int
+	// Cost is the partition cost under the canonical summation order
+	// (PartitionCost), independent of the solver that produced it.
+	Cost float64
+	// Solver names the algorithm that produced the partition: "blossom"
+	// (the L = 2 delegation), "exact" or "greedy".
+	Solver string
+}
+
+// Partition computes a minimum-cost partition of the n applications behind
+// the symmetric cost matrix w into at most maxGroups groups of at most
+// level members each. It is deterministic: equal inputs give equal outputs.
+func Partition(w [][]float64, maxGroups, level int, opt Options) (*Result, error) {
+	n := len(w)
+	if err := checkMatrix(w); err != nil {
+		return nil, err
+	}
+	if maxGroups < 1 || level < 1 {
+		return nil, fmt.Errorf("grouping: need maxGroups >= 1 and level >= 1 (got %d, %d)", maxGroups, level)
+	}
+	if n > maxGroups*level {
+		return nil, fmt.Errorf("%w: %d applications, %d groups of <= %d", ErrInfeasible, n, maxGroups, level)
+	}
+	solo := opt.ResolvedSoloCost()
+	if n == 0 {
+		return &Result{Groups: nil, Cost: 0, Solver: "exact"}, nil
+	}
+
+	switch {
+	case level == 1:
+		// Only singletons are feasible; the partition is forced.
+		groups := make([][]int, n)
+		for i := range groups {
+			groups[i] = []int{i}
+		}
+		return finish(w, groups, solo, "exact"), nil
+	case level == 2:
+		// Delegate to the blossom matcher the SYNPA policy already uses:
+		// minimum-weight perfect matching on the idle-padded graph is
+		// exactly this objective (see the package comment).
+		return solveBlossom(w, maxGroups, solo)
+	}
+
+	maxExact := opt.MaxExactN
+	if maxExact <= 0 {
+		maxExact = DefaultMaxExactN
+	}
+	switch opt.Solver {
+	case SolverExact:
+		if n > maxExactHard {
+			return nil, ErrTooLarge
+		}
+		return solveExact(w, maxGroups, level, solo), nil
+	case SolverGreedy:
+		return solveGreedy(w, maxGroups, level, solo), nil
+	default:
+		if n <= maxExact && n <= maxExactHard {
+			return solveExact(w, maxGroups, level, solo), nil
+		}
+		return solveGreedy(w, maxGroups, level, solo), nil
+	}
+}
+
+// CostOf returns one group's cost under w: soloCost for a singleton, the
+// sum of intra-group pairwise costs (members visited in ascending index
+// order) otherwise. An empty group costs nothing.
+func CostOf(w [][]float64, group []int, soloCost float64) float64 {
+	switch len(group) {
+	case 0:
+		return 0
+	case 1:
+		return soloCost
+	}
+	cost := 0.0
+	for a := 0; a < len(group); a++ {
+		for b := a + 1; b < len(group); b++ {
+			cost += w[group[a]][group[b]]
+		}
+	}
+	return cost
+}
+
+// PartitionCost sums CostOf over the groups in order — the canonical cost
+// every solver reports, so costs from different solvers compare bit-exactly.
+func PartitionCost(w [][]float64, groups [][]int, soloCost float64) float64 {
+	cost := 0.0
+	for _, g := range groups {
+		cost += CostOf(w, g, soloCost)
+	}
+	return cost
+}
+
+// checkMatrix validates that w is square, symmetric and finite.
+func checkMatrix(w [][]float64) error {
+	n := len(w)
+	for i := range w {
+		if len(w[i]) != n {
+			return fmt.Errorf("grouping: weight matrix row %d has %d entries for %d vertices", i, len(w[i]), n)
+		}
+		for j, v := range w[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("grouping: weight w[%d][%d] = %v is not finite", i, j, v)
+			}
+			if w[j][i] != v {
+				return fmt.Errorf("grouping: weight matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalize sorts members within groups and groups by smallest member,
+// dropping empties.
+func canonicalize(groups [][]int) [][]int {
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// finish canonicalizes a partition and wraps it in a Result with the
+// canonical cost.
+func finish(w [][]float64, groups [][]int, soloCost float64, solver string) *Result {
+	groups = canonicalize(groups)
+	return &Result{Groups: groups, Cost: PartitionCost(w, groups, soloCost), Solver: solver}
+}
+
+// solveBlossom handles level == 2 by minimum-weight perfect matching on the
+// idle-padded graph: 2·maxGroups vertices, real-real edges cost w, a real
+// app paired with an idle slot costs soloCost, idle-idle pairs cost 0 —
+// the construction of core.Policy's Step 2, so the two agree edge for edge.
+func solveBlossom(w [][]float64, maxGroups int, soloCost float64) (*Result, error) {
+	n := len(w)
+	total := 2 * maxGroups
+	p := make([][]float64, total)
+	for i := range p {
+		p[i] = make([]float64, total)
+	}
+	for i := 0; i < total; i++ {
+		for j := i + 1; j < total; j++ {
+			var cost float64
+			switch {
+			case i < n && j < n:
+				cost = w[i][j]
+			case i < n || j < n:
+				cost = soloCost
+			}
+			p[i][j], p[j][i] = cost, cost
+		}
+	}
+	mate, _, err := matching.MinWeightPerfectMatching(p)
+	if err != nil {
+		return nil, err
+	}
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		m := mate[i]
+		switch {
+		case m < 0 || m >= n:
+			groups = append(groups, []int{i})
+		case m > i:
+			groups = append(groups, []int{i, m})
+		}
+	}
+	return finish(w, groups, soloCost, "blossom"), nil
+}

@@ -128,7 +128,8 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 	if maxCycles == 0 {
 		maxCycles = uint64(DefaultMaxQuanta) * m.cfg.QuantumCycles
 	}
-	hwThreads := len(m.cores) * smtcore.ThreadsPerCore
+	level := m.cfg.Core.Level()
+	hwThreads := len(m.cores) * level
 
 	// Arrival order: by cycle, ties by trace position (FIFO).
 	order := make([]int, len(work))
@@ -161,8 +162,9 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		occupied float64 // ∫ len(live) dt
 	)
 	// bound[c][s] is the global index bound to core c's slot s, or -1.
-	bound := make([][smtcore.ThreadsPerCore]int, len(m.cores))
+	bound := make([][]int, len(m.cores))
 	for c := range bound {
+		bound[c] = make([]int, level)
 		for s := range bound[c] {
 			bound[c][s] = -1
 		}
@@ -189,7 +191,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 	// Reusable per-slice views handed to the policy. The samples view is
 	// rebuilt over the *current* live set each slice: an app admitted this
 	// slice contributes a zero Counters value until it has run.
-	st := &QuantumState{NumCores: len(m.cores), DispatchWidth: m.cfg.Core.DispatchWidth}
+	st := &QuantumState{NumCores: len(m.cores), DispatchWidth: m.cfg.Core.DispatchWidth, SMTLevel: level}
 	var (
 		ids      []int
 		prevView Placement
@@ -247,7 +249,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d live apps",
 				policy.Name(), len(place), n)
 		}
-		if err := place.Validate(len(m.cores)); err != nil {
+		if err := place.Validate(len(m.cores), level); err != nil {
 			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
 		}
 		for i, gi := range live {
@@ -341,20 +343,24 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 // bindLive rebinds hardware threads to match the live placement, touching
 // only slots whose occupant changes: an application keeps its slot (and its
 // pipeline state) whenever it stays on the same core.
-func (m *Machine) bindLive(states []*dynState, live []int, place Placement, bound [][smtcore.ThreadsPerCore]int) {
+func (m *Machine) bindLive(states []*dynState, live []int, place Placement, bound [][]int) {
+	level := m.cfg.Core.Level()
+	want := make([]int, level)
+	used := make([]bool, level)
 	for c := range bound {
 		// Desired occupants of core c, in live order.
-		var want [smtcore.ThreadsPerCore]int
 		n := 0
 		for i, gi := range live {
-			if place[i] == c && n < smtcore.ThreadsPerCore {
+			if place[i] == c && n < level {
 				want[n] = gi
 				n++
 			}
 		}
 		// Keep apps already bound to this core in their slots.
-		var used [smtcore.ThreadsPerCore]bool
-		for s := 0; s < smtcore.ThreadsPerCore; s++ {
+		for k := range used {
+			used[k] = false
+		}
+		for s := 0; s < level; s++ {
 			cur := bound[c][s]
 			if cur < 0 {
 				continue
@@ -377,7 +383,7 @@ func (m *Machine) bindLive(states []*dynState, live []int, place Placement, boun
 			if used[k] {
 				continue
 			}
-			for s := 0; s < smtcore.ThreadsPerCore; s++ {
+			for s := 0; s < level; s++ {
 				if bound[c][s] < 0 {
 					m.cores[c].Bind(s, states[want[k]].inst, states[want[k]].bank)
 					bound[c][s] = want[k]
@@ -390,10 +396,10 @@ func (m *Machine) bindLive(states []*dynState, live []int, place Placement, boun
 
 // runQuantumLive executes one slice on the cores that have work, honouring
 // the machine's Parallel setting.
-func (m *Machine) runQuantumLive(bound [][smtcore.ThreadsPerCore]int, cycles uint64) {
+func (m *Machine) runQuantumLive(bound [][]int, cycles uint64) {
 	busy := func(c int) bool {
-		for s := 0; s < smtcore.ThreadsPerCore; s++ {
-			if bound[c][s] >= 0 {
+		for _, gi := range bound[c] {
+			if gi >= 0 {
 				return true
 			}
 		}

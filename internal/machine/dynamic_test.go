@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"synpa/internal/apps"
-	"synpa/internal/smtcore"
 )
 
 // spreadPolicy places live apps two per core in index order, like the
@@ -18,7 +17,7 @@ func (spreadPolicy) Name() string { return "spread" }
 func (spreadPolicy) Place(st *QuantumState) Placement {
 	p := make(Placement, st.NumApps)
 	for i := range p {
-		p[i] = (i / smtcore.ThreadsPerCore) % st.NumCores
+		p[i] = (i / st.ThreadsPerCore()) % st.NumCores
 	}
 	return p
 }

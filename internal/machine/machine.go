@@ -1,4 +1,4 @@
-// Package machine assembles SMT2 cores into the simulated multi-core system
+// Package machine assembles SMT cores into the simulated multi-core system
 // the experiments run on, and implements the user-level thread manager of
 // paper §V-A: every quantum it asks an allocation policy where each
 // application should run, applies the placement (the simulated equivalent of
@@ -6,9 +6,11 @@
 // collects per-application PMU samples.
 //
 // The paper's manager runs on a 28-core ThunderX2; its 8-application
-// workloads occupy four SMT2 cores. The machine size and quantum length are
-// configurable; the quantum defaults to a scaled-down cycle count because
-// every quantity SYNPA consumes is a per-cycle fraction (DESIGN.md §2).
+// workloads occupy four SMT2 cores. The machine size, SMT level
+// (Config.Core.SMTLevel — the BIOS knob of §V-A, up to the hardware's SMT4)
+// and quantum length are configurable; the quantum defaults to a scaled-down
+// cycle count because every quantity SYNPA consumes is a per-cycle fraction
+// (DESIGN.md §2).
 package machine
 
 import (
@@ -22,7 +24,8 @@ import (
 
 // Config describes the simulated system.
 type Config struct {
-	// Cores is the number of SMT2 cores.
+	// Cores is the number of SMT cores (each with Core.SMTLevel hardware
+	// threads).
 	Cores int
 	// QuantumCycles is the length of one scheduling quantum in core
 	// cycles (the paper uses 100 ms of wall time; see DESIGN.md for the
@@ -62,11 +65,18 @@ func (c Config) Validate() error {
 	return c.Core.Validate()
 }
 
+// ThreadsPerCore returns the machine's SMT level: the number of hardware
+// threads each core exposes.
+func (c Config) ThreadsPerCore() int { return c.Core.Level() }
+
+// HWThreads returns the machine's hardware-thread capacity.
+func (c Config) HWThreads() int { return c.Cores * c.Core.Level() }
+
 // Placement maps each application index to a core index. At most
-// smtcore.ThreadsPerCore applications may share a core. The sentinel
-// Unplaced appears only in the Prev view handed to policies during dynamic
-// runs (an application that has not run yet); placements returned by a
-// policy must assign every application a real core.
+// threadsPerCore (the machine's SMT level) applications may share a core.
+// The sentinel Unplaced appears only in the Prev view handed to policies
+// during dynamic runs (an application that has not run yet); placements
+// returned by a policy must assign every application a real core.
 type Placement []int
 
 // Unplaced marks an application without a core in a Prev placement view.
@@ -75,22 +85,24 @@ const Unplaced = -1
 // Clone returns a copy of the placement.
 func (p Placement) Clone() Placement { return append(Placement(nil), p...) }
 
-// Validate checks that the placement is feasible on numCores cores.
-func (p Placement) Validate(numCores int) error {
+// Validate checks that the placement is feasible on numCores cores of
+// threadsPerCore hardware threads each.
+func (p Placement) Validate(numCores, threadsPerCore int) error {
 	load := make([]int, numCores)
 	for app, core := range p {
 		if core < 0 || core >= numCores {
 			return fmt.Errorf("machine: app %d placed on invalid core %d", app, core)
 		}
 		load[core]++
-		if load[core] > smtcore.ThreadsPerCore {
-			return fmt.Errorf("machine: core %d assigned more than %d apps", core, smtcore.ThreadsPerCore)
+		if load[core] > threadsPerCore {
+			return fmt.Errorf("machine: core %d assigned more than %d apps", core, threadsPerCore)
 		}
 	}
 	return nil
 }
 
-// PairsOf returns, for each core, the app indices placed on it.
+// PairsOf returns, for each core, the app indices placed on it — pairs at
+// SMT2, groups of up to the SMT level in general.
 func (p Placement) PairsOf(numCores int) [][]int {
 	out := make([][]int, numCores)
 	for app, core := range p {
@@ -102,8 +114,10 @@ func (p Placement) PairsOf(numCores int) [][]int {
 }
 
 // CoMate returns the index of the app sharing a core with app i, or -1.
-// Inside per-quantum or per-app loops prefer CoMates, which computes every
-// pairing in one O(n) pass instead of O(n) per query.
+// It is the SMT2 pairwise view — above two threads per core use PairsOf,
+// which returns whole co-resident groups. Inside per-quantum or per-app
+// loops prefer CoMates, which computes every pairing in one O(n) pass
+// instead of O(n) per query.
 func (p Placement) CoMate(i int) int {
 	if p[i] < 0 {
 		return -1 // Unplaced apps share nothing
@@ -179,6 +193,19 @@ type QuantumState struct {
 	Samples []pmu.Counters
 	// DispatchWidth is the core dispatch width (for characterization).
 	DispatchWidth int
+	// SMTLevel is the machine's hardware threads per core; a placement
+	// must not assign more than SMTLevel applications to one core. Zero
+	// (a hand-built state) means the default SMT2.
+	SMTLevel int
+}
+
+// ThreadsPerCore returns the state's SMT level, substituting the SMT2
+// default for a zero value.
+func (st *QuantumState) ThreadsPerCore() int {
+	if st.SMTLevel > 0 {
+		return st.SMTLevel
+	}
+	return smtcore.DefaultSMTLevel
 }
 
 // Policy decides the thread-to-core allocation each quantum. The Linux
@@ -330,7 +357,8 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 	if len(targets) != len(models) {
 		return nil, fmt.Errorf("machine: %d targets for %d applications", len(targets), len(models))
 	}
-	if hwThreads := len(m.cores) * smtcore.ThreadsPerCore; len(models) > hwThreads {
+	level := m.cfg.Core.Level()
+	if hwThreads := len(m.cores) * level; len(models) > hwThreads {
 		return nil, fmt.Errorf("machine: %d applications exceed %d hardware threads", len(models), hwThreads)
 	}
 	maxQuanta := opt.MaxQuanta
@@ -383,6 +411,7 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 		NumCores:      len(m.cores),
 		NumApps:       len(models),
 		DispatchWidth: m.cfg.Core.DispatchWidth,
+		SMTLevel:      level,
 	}
 
 	// Placement clones are carved from chunked backing arrays instead of
@@ -401,7 +430,7 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d apps",
 				policy.Name(), len(place), len(models))
 		}
-		if err := place.Validate(len(m.cores)); err != nil {
+		if err := place.Validate(len(m.cores), level); err != nil {
 			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
 		}
 		m.applyPlacement(states, place, prev)
@@ -476,19 +505,20 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 // preserving pipeline state on unchanged cores (migrations flush state, a
 // stable pairing does not).
 func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
+	level := m.cfg.Core.Level()
+	cur := make([]int, level)
 	for core := 0; core < len(m.cores); core++ {
 		if prev != nil && sameSet(core, place, prev) {
 			continue
 		}
-		var cur [smtcore.ThreadsPerCore]int
 		n := 0
 		for app, c := range place {
-			if c == core && n < smtcore.ThreadsPerCore {
+			if c == core && n < level {
 				cur[n] = app
 				n++
 			}
 		}
-		for slot := 0; slot < smtcore.ThreadsPerCore; slot++ {
+		for slot := 0; slot < level; slot++ {
 			if slot < n {
 				m.cores[core].Bind(slot, states[cur[slot]].inst, states[cur[slot]].bank)
 			} else {
@@ -541,10 +571,15 @@ func RunIsolated(model *apps.Model, seed uint64, quanta int, cfg Config) ([]pmu.
 
 // RunPairSMT executes two applications together on one core for the given
 // number of quanta, returning each one's per-quantum samples. It is the
-// training pipeline's SMT data collector (§IV-C).
+// training pipeline's SMT data collector (§IV-C). Pair collection needs two
+// thread slots by definition, so a machine configured below SMT2 (the SMT1
+// isolated baseline) is raised to SMT2 for the private training core.
 func RunPairSMT(a, b *apps.Model, seedA, seedB uint64, quanta int, cfg Config) (sa, sb []pmu.Counters, err error) {
 	cfg.Cores = 1
 	cfg.Parallel = false
+	if cfg.Core.Level() < 2 {
+		cfg.Core.SMTLevel = 2
+	}
 	m, err := New(cfg)
 	if err != nil {
 		return nil, nil, err

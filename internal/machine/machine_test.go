@@ -73,16 +73,16 @@ func TestNewRejectsBadConfig(t *testing.T) {
 }
 
 func TestPlacementValidate(t *testing.T) {
-	if err := (Placement{0, 0, 1, 1}).Validate(2); err != nil {
+	if err := (Placement{0, 0, 1, 1}).Validate(2, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := (Placement{0, 0, 0}).Validate(2); err == nil {
+	if err := (Placement{0, 0, 0}).Validate(2, 2); err == nil {
 		t.Fatal("3 apps on one core accepted")
 	}
-	if err := (Placement{0, 2}).Validate(2); err == nil {
+	if err := (Placement{0, 2}).Validate(2, 2); err == nil {
 		t.Fatal("out-of-range core accepted")
 	}
-	if err := (Placement{-1}).Validate(2); err == nil {
+	if err := (Placement{-1}).Validate(2, 2); err == nil {
 		t.Fatal("negative core accepted")
 	}
 }
@@ -357,5 +357,5 @@ func TestStablePairingPreservesPipelineState(t *testing.T) {
 			t.Fatalf("core %d lost its bindings", c)
 		}
 	}
-	_ = smtcore.ThreadsPerCore
+	_ = smtcore.DefaultSMTLevel
 }

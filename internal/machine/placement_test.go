@@ -26,10 +26,18 @@ func TestPlacementValidatePartialOccupancy(t *testing.T) {
 		{"three apps one core", Placement{1, 1, 1}, 4, false},
 	}
 	for _, c := range cases {
-		err := c.p.Validate(c.cores)
+		err := c.p.Validate(c.cores, 2)
 		if (err == nil) != c.ok {
-			t.Errorf("%s: Validate(%d) = %v, want ok=%v", c.name, c.cores, err, c.ok)
+			t.Errorf("%s: Validate(%d, 2) = %v, want ok=%v", c.name, c.cores, err, c.ok)
 		}
+	}
+	// At SMT4 the same triple-on-one-core placement is legal, and a quint
+	// is not.
+	if err := (Placement{1, 1, 1}).Validate(4, 4); err != nil {
+		t.Errorf("SMT4 triple rejected: %v", err)
+	}
+	if err := (Placement{1, 1, 1, 1, 1}).Validate(4, 4); err == nil {
+		t.Errorf("five apps on one SMT4 core accepted")
 	}
 }
 

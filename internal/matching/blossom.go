@@ -7,6 +7,13 @@
 // predicted slowdown sums. The paper solves it with Edmonds' Blossom
 // algorithm [21]; so does this package.
 //
+// Vertex counts need not be even: MinWeightPerfectMatching requires an even
+// count (a perfect matching cannot exist otherwise and it returns
+// ErrOddVertices), while MinWeightMatching accepts odd counts by padding the
+// graph with a single zero-weight phantom vertex, leaving exactly one real
+// vertex optimally unmatched — the shape dynamic (open-system) runs produce
+// when an odd number of applications is live.
+//
 // The core is an O(n³) maximum-weight general matching with dual variables
 // and blossom shrinking (the classic primal-dual formulation of Edmonds'
 // algorithm). Minimum-weight perfect matching is obtained by the usual
@@ -16,6 +23,9 @@
 //
 // A brute-force exact matcher (subset dynamic program, O(2ⁿ·n)) is provided
 // for cross-validation in tests and for the matcher-overhead ablation bench.
+// Above SMT2, where co-schedules grow beyond pairs, the matching step
+// generalises to the weighted set-partition problem of internal/grouping,
+// which delegates back to this package at level 2.
 package matching
 
 import (
@@ -26,7 +36,11 @@ import (
 
 // Errors returned by the matchers.
 var (
-	ErrOddVertices  = errors.New("matching: perfect matching requires an even vertex count")
+	// ErrOddVertices is returned by the perfect-matching entry points
+	// (MinWeightPerfectMatching, BruteForceMinWeightPerfect), which cannot
+	// match an odd vertex count; MinWeightMatching handles odd counts via
+	// a zero-weight phantom vertex instead of erroring.
+	ErrOddVertices  = errors.New("matching: perfect matching requires an even vertex count (use MinWeightMatching for odd counts)")
 	ErrNotSquare    = errors.New("matching: weight matrix must be square")
 	ErrNotSymmetric = errors.New("matching: weight matrix must be symmetric")
 	ErrBadWeight    = errors.New("matching: weights must be finite")

@@ -12,7 +12,6 @@ package sched
 
 import (
 	"synpa/internal/machine"
-	"synpa/internal/smtcore"
 	"synpa/internal/xrand"
 )
 
@@ -51,6 +50,7 @@ func (Linux) Place(st *machine.QuantumState) machine.Placement {
 		}
 	}
 
+	level := st.ThreadsPerCore()
 	p := make(machine.Placement, st.NumApps)
 	load := make([]int, st.NumCores)
 	for i := range p {
@@ -58,7 +58,7 @@ func (Linux) Place(st *machine.QuantumState) machine.Placement {
 		if st.Prev == nil || i >= len(st.Prev) {
 			continue
 		}
-		if c := st.Prev[i]; c >= 0 && c < st.NumCores && load[c] < smtcore.ThreadsPerCore {
+		if c := st.Prev[i]; c >= 0 && c < st.NumCores && load[c] < level {
 			p[i] = c
 			load[c]++
 		}
@@ -92,12 +92,14 @@ func NewRandom(seed uint64) *Random { return &Random{rng: xrand.New(seed)} }
 // Name implements machine.Policy.
 func (*Random) Name() string { return "Random" }
 
-// Place implements machine.Policy.
+// Place implements machine.Policy: consecutive entries of a fresh random
+// permutation share a core, filling each core up to the SMT level.
 func (r *Random) Place(st *machine.QuantumState) machine.Placement {
+	level := st.ThreadsPerCore()
 	perm := r.rng.Perm(st.NumApps)
 	p := make(machine.Placement, st.NumApps)
 	for idx, app := range perm {
-		p[app] = (idx / 2) % st.NumCores
+		p[app] = (idx / level) % st.NumCores
 	}
 	return p
 }

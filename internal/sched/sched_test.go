@@ -69,13 +69,13 @@ func TestLinuxPartialOccupancy(t *testing.T) {
 	if place[2] != 0 {
 		t.Fatalf("arrival placed on %d, want least-loaded core 0 (placement %v)", place[2], place)
 	}
-	if err := place.Validate(4); err != nil {
+	if err := place.Validate(4, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Live-set growth beyond the Prev view (two arrivals at once).
 	place = p.Place(&machine.QuantumState{Quantum: 4, NumApps: 5, NumCores: 4,
 		Prev: machine.Placement{0, 0, 1}})
-	if err := place.Validate(4); err != nil {
+	if err := place.Validate(4, 2); err != nil {
 		t.Fatal(err)
 	}
 	if place[0] != 0 || place[1] != 0 || place[2] != 1 {
@@ -83,6 +83,49 @@ func TestLinuxPartialOccupancy(t *testing.T) {
 	}
 	if place[3] == 0 || place[4] == 0 {
 		t.Fatalf("arrivals packed onto the full core 0: %v", place)
+	}
+}
+
+func TestLinuxSMT4Fill(t *testing.T) {
+	p := Linux{}
+	// Eight fresh apps on two SMT4 cores: least-loaded fill at level 4.
+	place := p.Place(&machine.QuantumState{NumApps: 8, NumCores: 2, SMTLevel: 4})
+	if err := place.Validate(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]int{}
+	for _, c := range place {
+		load[c]++
+	}
+	if load[0] != 4 || load[1] != 4 {
+		t.Fatalf("SMT4 fill unbalanced: %v", place)
+	}
+	// A full SMT4 core must not take an arrival: apps 0-3 hold core 0,
+	// the newcomer goes to core 1.
+	prev := machine.Placement{0, 0, 0, 0, machine.Unplaced}
+	place = p.Place(&machine.QuantumState{Quantum: 2, NumApps: 5, NumCores: 2, SMTLevel: 4, Prev: prev})
+	if err := place.Validate(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if place[i] != 0 {
+			t.Fatalf("resident apps migrated: %v", place)
+		}
+	}
+	if place[4] != 1 {
+		t.Fatalf("arrival packed onto the full core: %v", place)
+	}
+}
+
+func TestRandomSMT4ProducesValidPlacements(t *testing.T) {
+	p := NewRandom(5)
+	for _, n := range []int{1, 3, 5, 8} {
+		st := &machine.QuantumState{NumApps: n, NumCores: 2, SMTLevel: 4}
+		for q := 0; q < 10; q++ {
+			if err := p.Place(st).Validate(2, 4); err != nil {
+				t.Fatalf("Random SMT4 with %d apps: %v", n, err)
+			}
+		}
 	}
 }
 
@@ -96,7 +139,7 @@ func TestRandomProducesValidPlacements(t *testing.T) {
 	var prev machine.Placement
 	for q := 0; q < 50; q++ {
 		place := p.Place(st)
-		if err := place.Validate(4); err != nil {
+		if err := place.Validate(4, 2); err != nil {
 			t.Fatal(err)
 		}
 		if prev != nil {
@@ -115,7 +158,7 @@ func TestRandomProducesValidPlacements(t *testing.T) {
 	for _, n := range []int{1, 3, 5, 7} {
 		st := &machine.QuantumState{NumApps: n, NumCores: 4}
 		for q := 0; q < 10; q++ {
-			if err := p.Place(st).Validate(4); err != nil {
+			if err := p.Place(st).Validate(4, 2); err != nil {
 				t.Fatalf("Random with %d apps: %v", n, err)
 			}
 		}

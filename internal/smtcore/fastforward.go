@@ -39,14 +39,20 @@ const (
 // is dormant and none retires, which makes a single evaluation valid for
 // the whole bulk window.
 func (c *Core) dispatchBlocked(t *thread) bool {
-	robUsed := c.threads[0].robHeld + c.threads[1].robHeld
+	robUsed := 0
+	for s := range c.threads {
+		robUsed += c.threads[s].robHeld
+	}
 	if c.cfg.ROBSize-robUsed <= 0 {
 		return true
 	}
 	if c.robCap-t.robHeld <= 0 {
 		return true
 	}
-	iqFree := float64(c.cfg.IQSize) - c.threads[0].iqHeld - c.threads[1].iqHeld
+	iqFree := float64(c.cfg.IQSize)
+	for s := range c.threads {
+		iqFree -= c.threads[s].iqHeld
+	}
 	if own := c.iqCap - t.iqHeld; own < iqFree {
 		iqFree = own
 	}
@@ -61,7 +67,10 @@ func (c *Core) dispatchBlocked(t *thread) bool {
 	// these conditions (which cannot hold in the reference execution)
 	// rather than evaluate them on stale state.
 	if !c.ldqDead && t.loadRatio > 0 {
-		ldqFree := float64(c.cfg.LDQSize) - c.threads[0].ldqHeld - c.threads[1].ldqHeld
+		ldqFree := float64(c.cfg.LDQSize)
+		for s := range c.threads {
+			ldqFree -= c.threads[s].ldqHeld
+		}
 		if own := c.ldqCap - t.ldqHeld; own < ldqFree {
 			ldqFree = own
 		}
@@ -70,7 +79,10 @@ func (c *Core) dispatchBlocked(t *thread) bool {
 		}
 	}
 	if !c.stqDead && t.storeRatio > 0 {
-		stqFree := float64(c.cfg.STQSize) - c.threads[0].stqHeld - c.threads[1].stqHeld
+		stqFree := float64(c.cfg.STQSize)
+		for s := range c.threads {
+			stqFree -= c.threads[s].stqHeld
+		}
 		if own := c.stqCap - t.stqHeld; own < stqFree {
 			stqFree = own
 		}
@@ -153,61 +165,58 @@ func (c *Core) fastForward(limit uint64) uint64 {
 	if limit == 0 {
 		return 0
 	}
-	k0, h0 := c.preClassify(&c.threads[0])
-	if k0 == notDormant {
-		return 0
-	}
-	k1, h1 := c.preClassify(&c.threads[1])
-	if k1 == notDormant {
-		return 0
+	var kinds [MaxSMTLevel]int
+	m := limit
+	drainers, drainIdx := 0, -1
+	for s := range c.threads {
+		k, h := c.preClassify(&c.threads[s])
+		if k == notDormant {
+			return 0
+		}
+		kinds[s] = k
+		if h < m {
+			m = h
+		}
+		if k == dormantDrain {
+			drainers++
+			drainIdx = s
+		}
 	}
 	// Only now pay for the clamp-cascade predicate on miss-blocked
 	// candidates: a thread still filling the backend during its miss is
 	// not dormant.
-	if k0 == dormantBE && !c.dispatchBlocked(&c.threads[0]) {
-		return 0
-	}
-	if k1 == dormantBE && !c.dispatchBlocked(&c.threads[1]) {
-		return 0
-	}
-
-	// Retirement shares the retire width under alternating priority; with
-	// two draining threads the per-cycle split depends on the priority bit,
-	// so only a lone drainer is bulk-advanced. Its retirement releases
-	// shared ROB/LDQ/STQ entries, which could unblock a miss-blocked
-	// co-runner mid-window: require the co-runner to be blocked by its own
-	// partition caps alone.
-	if k0 == dormantDrain || k1 == dormantDrain {
-		if k0 == dormantDrain && k1 == dormantDrain {
-			return 0
-		}
-		other := &c.threads[1]
-		otherKind := k1
-		if k1 == dormantDrain {
-			other = &c.threads[0]
-			otherKind = k0
-		}
-		if otherKind == dormantBE && !c.dispatchBlockedOwn(other) {
+	for s := range c.threads {
+		if kinds[s] == dormantBE && !c.dispatchBlocked(&c.threads[s]) {
 			return 0
 		}
 	}
 
-	m := limit
-	if h0 < m {
-		m = h0
+	// Retirement shares the retire width under rotating priority; with
+	// several draining threads the per-cycle split depends on the priority
+	// state, so only a lone drainer is bulk-advanced. Its retirement
+	// releases shared ROB/LDQ/STQ entries, which could unblock a
+	// miss-blocked co-runner mid-window: require every such co-runner to
+	// be blocked by its own partition caps alone.
+	if drainers > 0 {
+		if drainers > 1 {
+			return 0
+		}
+		for s := range c.threads {
+			if s == drainIdx {
+				continue
+			}
+			if kinds[s] == dormantBE && !c.dispatchBlockedOwn(&c.threads[s]) {
+				return 0
+			}
+		}
 	}
-	if h1 < m {
-		m = h1
-	}
+
 	if m == 0 {
 		return 0
 	}
 
 	c.cycle += m
-	if m&1 == 1 {
-		c.prio = 1 - c.prio
-	}
-	kinds := [ThreadsPerCore]int{k0, k1}
+	c.prio = int((uint64(c.prio) + m) % uint64(len(c.threads)))
 	for i := range c.threads {
 		c.bulkAdvance(&c.threads[i], kinds[i], m)
 	}

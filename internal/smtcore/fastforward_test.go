@@ -18,7 +18,12 @@ type enginePair struct {
 // newDiffCores builds a reference core and a fast-forward core with the
 // given applications bound to matching slots and identical private streams.
 func newDiffCores(names []string, seed uint64) (ref, fast *Core, slots []enginePair, err error) {
-	cfg := DefaultConfig()
+	return newDiffCoresCfg(DefaultConfig(), names, seed)
+}
+
+// newDiffCoresCfg is newDiffCores with an explicit core configuration (the
+// SMT-level differential tests vary Config.SMTLevel).
+func newDiffCoresCfg(cfg Config, names []string, seed uint64) (ref, fast *Core, slots []enginePair, err error) {
 	ref = New(0, cfg)
 	fast = New(0, cfg)
 	fast.SetFastForward(true)

@@ -1,9 +1,10 @@
-// Package smtcore simulates one SMT2 core of the Cavium ThunderX2 (Vulcan
+// Package smtcore simulates one SMT core of the Cavium ThunderX2 (Vulcan
 // microarchitecture, paper Table II) at cycle granularity, focused on the
 // dispatch stage — the pipeline point where the paper measures performance
-// (§III).
+// (§III). The SMT level is configurable: the hardware supports SMT4, and
+// the paper's BIOS configuration of SMT2 (§V-A) is the default.
 //
-// Two hardware threads share:
+// The resident hardware threads share:
 //
 //   - the 4-wide dispatch stage (cycle-alternating priority, so a thread can
 //     receive zero slots in a busy cycle — horizontal waste);
@@ -32,6 +33,12 @@ import (
 
 // Config collects the core's microarchitectural and contention parameters.
 type Config struct {
+	// SMTLevel is the number of hardware threads the core exposes — the
+	// BIOS SMT configuration of paper §V-A. The ThunderX2 hardware
+	// supports up to SMT4; the paper runs it as SMT2, which is the
+	// default a zero value selects.
+	SMTLevel int
+
 	DispatchWidth int // dispatch slots per cycle (Table II: 4)
 	RetireWidth   int // commit slots per cycle
 	ROBSize       int // shared reorder buffer entries (Table II: 128)
@@ -63,6 +70,12 @@ type Config struct {
 	// runs two threads. Real SMT cores impose such caps to stop one
 	// stalled thread from starving its co-runner outright; a thread
 	// running alone gets the whole structure. Must be in (0.5, 1].
+	//
+	// Above two resident threads the cap generalises: each co-runner
+	// keeps a guaranteed (1 − SMTPartitionFrac) share, floored at an even
+	// split, so the per-thread cap with k active threads is
+	// max(1 − (k−1)·(1 − SMTPartitionFrac), 1/k). With k = 2 this is
+	// SMTPartitionFrac itself (see refreshCaps).
 	SMTPartitionFrac float64
 }
 
@@ -99,12 +112,28 @@ func (c Config) Validate() error {
 	if c.SMTPartitionFrac <= 0.5 || c.SMTPartitionFrac > 1 {
 		return fmt.Errorf("smtcore: SMTPartitionFrac %v outside (0.5, 1]", c.SMTPartitionFrac)
 	}
+	if lvl := c.Level(); lvl < 1 || lvl > MaxSMTLevel {
+		return fmt.Errorf("smtcore: SMT level %d outside [1, %d]", lvl, MaxSMTLevel)
+	}
 	return nil
 }
 
-// ThreadsPerCore is the SMT level the paper configures in the BIOS (§V-A):
-// the ThunderX2 supports SMT4 but is run as SMT2.
-const ThreadsPerCore = 2
+// SMT levels. The paper configures the ThunderX2 as SMT2 in the BIOS (§V-A)
+// even though the hardware supports SMT4; DefaultSMTLevel mirrors that BIOS
+// default and MaxSMTLevel the hardware ceiling.
+const (
+	DefaultSMTLevel = 2
+	MaxSMTLevel     = 4
+)
+
+// Level returns the configured SMT level, substituting the paper's SMT2
+// default for a zero value so pre-existing Config literals keep working.
+func (c Config) Level() int {
+	if c.SMTLevel == 0 {
+		return DefaultSMTLevel
+	}
+	return c.SMTLevel
+}
 
 // stall-event kinds drawn by the application models.
 const (
@@ -151,14 +180,14 @@ type thread struct {
 	stqHeld float64 // store-queue entries held
 }
 
-// Core simulates one SMT2 core.
+// Core simulates one SMT core at the configured SMT level.
 type Core struct {
 	cfg     Config
 	id      int
 	cycle   uint64
-	prio    int  // which thread dispatches/retires first this cycle
-	ff      bool // event-driven fast-forward engine enabled
-	threads [ThreadsPerCore]thread
+	prio    int      // which thread dispatches/retires first this cycle
+	ff      bool     // event-driven fast-forward engine enabled
+	threads []thread // one context per hardware thread (Config.SMTLevel)
 
 	// Per-thread occupancy caps, refreshed on Bind: the full structure in
 	// ST mode, SMTPartitionFrac of it when both threads are active.
@@ -194,11 +223,15 @@ func New(id int, cfg Config) *Core {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Core{cfg: cfg, id: id}
+	cfg.SMTLevel = cfg.Level()
+	return &Core{cfg: cfg, id: id, threads: make([]thread, cfg.SMTLevel)}
 }
 
 // ID returns the core's identifier.
 func (c *Core) ID() int { return c.id }
+
+// Level returns the core's SMT level: the number of hardware thread slots.
+func (c *Core) Level() int { return len(c.threads) }
 
 // Cycle returns the core's current cycle count.
 func (c *Core) Cycle() uint64 { return c.cycle }
@@ -231,12 +264,12 @@ func (c *Core) FastForward() bool { return c.ff }
 func (c *Core) Instance(slot int) *apps.Instance { return c.threads[slot].inst }
 
 // Bind attaches an application instance and its counter bank to hardware
-// thread slot (0 or 1). Passing a nil instance idles the slot. Binding
-// flushes the thread's pipeline microstate — the architectural cost of a
-// context switch, negligible at quantum scale — and refreshes both threads'
-// contention-adjusted event rates.
+// thread slot (0 .. Level()-1). Passing a nil instance idles the slot.
+// Binding flushes the thread's pipeline microstate — the architectural cost
+// of a context switch, negligible at quantum scale — and refreshes every
+// resident thread's contention-adjusted event rates.
 func (c *Core) Bind(slot int, inst *apps.Instance, bank *pmu.Bank) {
-	if slot < 0 || slot >= ThreadsPerCore {
+	if slot < 0 || slot >= len(c.threads) {
 		panic(fmt.Sprintf("smtcore: bad thread slot %d", slot))
 	}
 	t := &c.threads[slot]
@@ -258,29 +291,40 @@ func (c *Core) Bind(slot int, inst *apps.Instance, bank *pmu.Bank) {
 	}
 }
 
-// refreshRates recomputes both threads' contention-adjusted event
+// refreshRates recomputes every resident thread's contention-adjusted event
 // parameters from the current phases. Called on bind and on phase change of
-// either thread (the co-runner's phase shift changes *my* interference).
+// any thread (a co-runner's phase shift changes *my* interference).
 func (c *Core) refreshRates() {
-	for s := 0; s < ThreadsPerCore; s++ {
+	for s := range c.threads {
 		t := &c.threads[s]
 		if t.inst == nil {
 			continue
 		}
 		p := t.inst.Profile()
-		var co *apps.Profile
-		if other := &c.threads[1-s]; other.inst != nil {
-			co = other.inst.Profile()
+		// Every interference term is linear in the co-runner pressure, so
+		// multiple co-runners aggregate by summing their footprints; with a
+		// single co-runner this reduces to the pairwise SMT2 form exactly.
+		var coI, coD, coBW float64
+		hasCo := false
+		for o := range c.threads {
+			if o == s || c.threads[o].inst == nil {
+				continue
+			}
+			co := c.threads[o].inst.Profile()
+			coI += co.IFootprint
+			coD += co.DFootprint
+			coBW += co.MemBW
+			hasCo = true
 		}
 
 		icRate := p.ICacheMPKI / 1000
 		memRate := p.MemMPKI / 1000
 		memLat := p.MemLat
-		if co != nil {
-			icRate *= 1 + c.cfg.ICacheContention*co.IFootprint
-			memRate *= 1 + c.cfg.DCacheContention*co.DFootprint
-			memRate += c.cfg.DCacheThrashMPKI / 1000 * co.DFootprint * p.DFootprint
-			memLat *= 1 + c.cfg.MemBWContention*co.MemBW
+		if hasCo {
+			icRate *= 1 + c.cfg.ICacheContention*coI
+			memRate *= 1 + c.cfg.DCacheContention*coD
+			memRate += c.cfg.DCacheThrashMPKI / 1000 * coD * p.DFootprint
+			memLat *= 1 + c.cfg.MemBWContention*coBW
 		}
 		brRate := p.BranchMPKI / 1000
 
@@ -314,11 +358,28 @@ func (c *Core) refreshRates() {
 const wrongPathResolveCycles = 8.0
 
 // refreshCaps recomputes the per-thread occupancy caps for the current SMT
-// occupancy (one or two active threads).
+// occupancy (the number of active threads).
 func (c *Core) refreshCaps() {
+	active := 0
+	for s := range c.threads {
+		if c.threads[s].inst != nil {
+			active++
+		}
+	}
 	frac := 1.0
-	if c.threads[0].inst != nil && c.threads[1].inst != nil {
+	switch {
+	case active <= 1:
+		// A lone thread owns the whole structure.
+	case active == 2:
 		frac = c.cfg.SMTPartitionFrac
+	default:
+		// Each of the active−1 co-runners keeps its guaranteed
+		// (1 − SMTPartitionFrac) share, floored at an even split so the
+		// cap never drops below what round-robin arbitration would give.
+		frac = 1 - float64(active-1)*(1-c.cfg.SMTPartitionFrac)
+		if even := 1 / float64(active); frac < even {
+			frac = even
+		}
 	}
 	c.robCap = int(frac * float64(c.cfg.ROBSize))
 	c.iqCap = frac * float64(c.cfg.IQSize)
@@ -336,7 +397,7 @@ func (c *Core) refreshCaps() {
 	// margin covers one dispatch group per clamp use plus rounding.
 	maxL, maxS := 0.0, 0.0
 	constL, constS := true, true
-	for s := 0; s < ThreadsPerCore; s++ {
+	for s := range c.threads {
 		inst := c.threads[s].inst
 		if inst == nil {
 			continue
@@ -479,13 +540,16 @@ const ffBurst = 1
 // step simulates one cycle.
 func (c *Core) step() {
 	c.cycle++
+	level := len(c.threads)
 	first := c.prio
-	c.prio = 1 - c.prio
+	if c.prio++; c.prio == level {
+		c.prio = 0
+	}
 
-	// --- retire stage (shared width, alternating priority) -------------
+	// --- retire stage (shared width, rotating priority) -----------------
 	retireLeft := c.cfg.RetireWidth
-	for i := 0; i < ThreadsPerCore && retireLeft > 0; i++ {
-		t := &c.threads[(first+i)%ThreadsPerCore]
+	for i := 0; i < level && retireLeft > 0; i++ {
+		t := &c.threads[(first+i)%level]
 		if t.inst == nil || t.missLeft > 0 || t.robHeld == 0 {
 			continue
 		}
@@ -528,13 +592,16 @@ func (c *Core) step() {
 		}
 	}
 
-	// --- dispatch stage (shared slots, alternating priority) ------------
+	// --- dispatch stage (shared slots, rotating priority) ---------------
 	slots := c.cfg.DispatchWidth
-	robUsed := c.threads[0].robHeld + c.threads[1].robHeld
+	robUsed := 0
+	for i := range c.threads {
+		robUsed += c.threads[i].robHeld
+	}
 	phaseChanged := false
 
-	for i := 0; i < ThreadsPerCore; i++ {
-		t := &c.threads[(first+i)%ThreadsPerCore]
+	for i := 0; i < level; i++ {
+		t := &c.threads[(first+i)%level]
 		if t.inst == nil {
 			continue
 		}
@@ -589,7 +656,10 @@ func (c *Core) step() {
 				cause = pmu.StallBEROB
 			}
 		}
-		iqFree := float64(c.cfg.IQSize) - c.threads[0].iqHeld - c.threads[1].iqHeld
+		iqFree := float64(c.cfg.IQSize)
+		for s := range c.threads {
+			iqFree -= c.threads[s].iqHeld
+		}
 		if own := c.iqCap - t.iqHeld; own < iqFree {
 			iqFree = own
 		}
@@ -610,7 +680,10 @@ func (c *Core) step() {
 		// applications; their float bookkeeping is then not maintained
 		// anywhere, so evaluating them here would read stale state.
 		if !c.ldqDead && t.loadRatio > 0 && k > 0 {
-			ldqFree := float64(c.cfg.LDQSize) - c.threads[0].ldqHeld - c.threads[1].ldqHeld
+			ldqFree := float64(c.cfg.LDQSize)
+			for s := range c.threads {
+				ldqFree -= c.threads[s].ldqHeld
+			}
 			if own := c.ldqCap - t.ldqHeld; own < ldqFree {
 				ldqFree = own
 			}
@@ -623,7 +696,10 @@ func (c *Core) step() {
 			}
 		}
 		if !c.stqDead && t.storeRatio > 0 && k > 0 {
-			stqFree := float64(c.cfg.STQSize) - c.threads[0].stqHeld - c.threads[1].stqHeld
+			stqFree := float64(c.cfg.STQSize)
+			for s := range c.threads {
+				stqFree -= c.threads[s].stqHeld
+			}
 			if own := c.stqCap - t.stqHeld; own < stqFree {
 				stqFree = own
 			}

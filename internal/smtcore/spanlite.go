@@ -45,8 +45,19 @@ type liteCounters struct {
 }
 
 // runSpanLite executes up to limit event-free cycles, returning the number
-// executed (0 when no worthwhile span exists).
+// executed (0 when no worthwhile span exists). The SMT2 configuration runs
+// the scalarised parity-unrolled tier below; other levels run the generic
+// slice-based variant in spanliten.go.
 func (c *Core) runSpanLite(limit uint64) uint64 {
+	if len(c.threads) == 2 {
+		return c.runSpanLite2(limit)
+	}
+	return c.runSpanLiteN(limit)
+}
+
+// runSpanLite2 is the SMT2 span tier: every per-thread quantity lives in a
+// scalar local and the two dispatch-priority parities are unrolled.
+func (c *Core) runSpanLite2(limit uint64) uint64 {
 	t0, t1 := &c.threads[0], &c.threads[1]
 	active0, active1 := t0.inst != nil, t1.inst != nil
 	if !active0 && !active1 {
@@ -56,7 +67,7 @@ func (c *Core) runSpanLite(limit uint64) uint64 {
 	var supMax0, supMax1 int
 	var pb0, pb1 uint64 // dispatched instructions left before a phase boundary
 	n := limit
-	for s := 0; s < ThreadsPerCore; s++ {
+	for s := 0; s < 2; s++ {
 		t := &c.threads[s]
 		if t.inst == nil {
 			continue

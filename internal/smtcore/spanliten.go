@@ -1,0 +1,354 @@
+// Generic event-free span tier for SMT levels other than 2.
+//
+// This is the slice-based counterpart of the scalarised SMT2 tier in
+// spanlite.go: it executes runs of cycles in which no stall event can fire,
+// no outstanding miss can expire, no frontend stall can end and no phase
+// boundary can be crossed, transcribing step()'s per-cycle arithmetic
+// operation for operation (same expressions, same float evaluation order,
+// threads visited in the same rotating-priority order) while skipping the
+// RNG and rate-refresh paths that the span preconditions prove unreachable.
+// PMU counters accumulate in per-thread liteCounters and flush once per
+// span, exactly as in the SMT2 tier.
+//
+// The differential tests in fastforward_test.go pin this tier to the
+// reference loop bit-for-bit at SMT levels 1, 3 and 4.
+package smtcore
+
+// liteState is one thread's span-local microstate.
+type liteState struct {
+	t       *thread
+	active  bool // an application is bound to the slot
+	frozen  bool // miss-blocked for the whole span (fixed zero-dispatch signature)
+	hasMiss bool // an own miss is outstanding throughout the span
+
+	rob, win, fe int
+	iq, ldq, stq float64
+	acc          float64
+	supMax       int
+	pb           uint64 // dispatched instructions left before a phase boundary
+	cnt          liteCounters
+}
+
+// runSpanLiteN executes up to limit event-free cycles on a core of any SMT
+// level, returning the number executed (0 when no worthwhile span exists).
+func (c *Core) runSpanLiteN(limit uint64) uint64 {
+	level := len(c.threads)
+	var sts [MaxSMTLevel]liteState
+	n := limit
+	anyActive, liveAny := false, false
+	for s := 0; s < level; s++ {
+		t := &c.threads[s]
+		st := &sts[s]
+		st.t = t
+		if t.inst == nil {
+			continue
+		}
+		st.active = true
+		anyActive = true
+		if t.missLeft > 0 {
+			// The expiry cycle drains iqHeld; stop one cycle short of it
+			// so "a miss is outstanding" is a span-constant fact.
+			if t.missLeft < 2 {
+				return 0
+			}
+			if m := uint64(t.missLeft - 1); m < n {
+				n = m
+			}
+			st.hasMiss = true
+		}
+		if t.feLeft > 0 {
+			// Frontend-starved: cannot dispatch; the span ends with the
+			// stall so resumption runs in step().
+			if m := uint64(t.feLeft); m < n {
+				n = m
+			}
+			continue
+		}
+		if t.missLeft > 0 {
+			// A blocked thread freezes when the blocked-ness is stable for
+			// the whole span. Shared frees only shrink while co-runners
+			// dispatch, so the current clamp outcome suffices unless some
+			// co-runner can retire (missLeft == 0): retirement grows the
+			// shared frees, and blocked-ness must then hold at maximum
+			// free, from the thread's own partition caps alone.
+			coRetires := false
+			for o := 0; o < level; o++ {
+				if o != s && c.threads[o].inst != nil && c.threads[o].missLeft == 0 {
+					coRetires = true
+					break
+				}
+			}
+			var blocked bool
+			if coRetires {
+				blocked = c.dispatchBlockedOwn(t)
+			} else {
+				blocked = c.dispatchBlocked(t)
+			}
+			if blocked {
+				st.frozen = true
+				continue
+			}
+		}
+		liveAny = true
+		supplyMax := t.ilpBase
+		if t.ilpFrac > 0 {
+			supplyMax++
+		}
+		if supplyMax < 1 {
+			return 0
+		}
+		// The first cycle must be event-free; later cycles are guarded
+		// dynamically inside the loop.
+		if t.window <= supplyMax {
+			return 0
+		}
+		toBoundary := t.inst.InstsToPhaseBoundary()
+		if toBoundary-1 < uint64(supplyMax) {
+			return 0
+		}
+		st.supMax = supplyMax
+		st.pb = toBoundary - 1
+	}
+	if !anyActive || !liveAny || n < minSpan {
+		// With no live dispatcher every thread is dormant — the bulk tier
+		// advances that regime in O(1) per window instead of O(n).
+		return 0
+	}
+
+	// --- hoist state into span locals ----------------------------------
+	dispW, retireW := c.cfg.DispatchWidth, c.cfg.RetireWidth
+	robSize := c.cfg.ROBSize
+	robCap := c.robCap
+	iqSizeF := float64(c.cfg.IQSize)
+	ldqSizeF := float64(c.cfg.LDQSize)
+	stqSizeF := float64(c.cfg.STQSize)
+	iqCap := c.iqCap
+	ldqCap, stqCap := c.ldqCap, c.stqCap
+	ldqDead, stqDead := c.ldqDead, c.stqDead
+	for s := 0; s < level; s++ {
+		st := &sts[s]
+		if !st.active {
+			continue
+		}
+		t := st.t
+		st.rob, st.win, st.fe = t.robHeld, t.window, t.feLeft
+		st.iq, st.ldq, st.stq = t.iqHeld, t.ldqHeld, t.stqHeld
+		st.acc = t.ilpAcc
+	}
+
+	i := uint64(0)
+	stop := false
+	stallStreak := 0
+	prio := c.prio
+
+	for i < n && !stop {
+		i++
+		first := prio
+		if prio++; prio == level {
+			prio = 0
+		}
+
+		// --- retire stage (mirrors step) -------------------------------
+		retireLeft := retireW
+		for o := 0; o < level && retireLeft > 0; o++ {
+			st := &sts[(first+o)%level]
+			if !st.active || st.hasMiss || st.rob == 0 {
+				continue
+			}
+			k := st.rob
+			if k > retireLeft {
+				k = retireLeft
+			}
+			retireLeft -= k
+			st.rob -= k
+			t := st.t
+			if !ldqDead {
+				st.ldq -= t.loadRatio * float64(k)
+				if st.ldq < 0 {
+					st.ldq = 0
+				}
+			}
+			if !stqDead {
+				st.stq -= t.storeRatio * float64(k)
+				if st.stq < 0 {
+					st.stq = 0
+				}
+			}
+			if st.rob == 0 {
+				st.ldq, st.stq = 0, 0
+			}
+			st.cnt.ret += uint64(k)
+		}
+
+		// --- dispatch stage (mirrors step) ------------------------------
+		slots := dispW
+		robUsed := 0
+		for o := 0; o < level; o++ {
+			robUsed += sts[o].rob
+		}
+		dispatched := false
+		for o := 0; o < level; o++ {
+			st := &sts[(first+o)%level]
+			if !st.active {
+				continue
+			}
+			t := st.t
+			if st.frozen {
+				// Blocked on its miss for the whole span: the supply
+				// dither still advances before the cascade discards it,
+				// exactly as in step().
+				st.acc += t.ilpFrac
+				if st.acc >= 1 {
+					st.acc--
+				}
+				st.cnt.memLatCnt++
+				continue
+			}
+			if st.fe > 0 {
+				st.fe--
+				st.cnt.feCnt++
+				continue
+			}
+			supply := t.ilpBase
+			st.acc += t.ilpFrac
+			if st.acc >= 1 {
+				supply++
+				st.acc--
+			}
+			k := supply
+			cause := 0
+			if st.win < k {
+				k = st.win
+			}
+			if slots < k {
+				k = slots
+				if slots == 0 {
+					cause = 1
+				}
+			}
+			if free := robSize - robUsed; free < k {
+				k = free
+				if free <= 0 {
+					k = 0
+					cause = 2
+				}
+			}
+			if free := robCap - st.rob; free < k {
+				k = free
+				if free <= 0 {
+					k = 0
+					cause = 2
+				}
+			}
+			iqFree := iqSizeF
+			for q := 0; q < level; q++ {
+				iqFree -= sts[q].iq
+			}
+			if own := iqCap - st.iq; own < iqFree {
+				iqFree = own
+			}
+			if iqFree < 1 {
+				k = 0
+				cause = 5
+			} else if st.hasMiss && t.depFrac > 0 {
+				if lim := int(iqFree * t.invDepFrac); lim < k {
+					k = lim
+					if lim <= 0 {
+						k = 0
+						cause = 5
+					}
+				}
+			}
+			if !ldqDead && t.loadRatio > 0 && k > 0 {
+				ldqFree := ldqSizeF
+				for q := 0; q < level; q++ {
+					ldqFree -= sts[q].ldq
+				}
+				if own := ldqCap - st.ldq; own < ldqFree {
+					ldqFree = own
+				}
+				if lim := int(ldqFree * t.invLoadRatio); lim < k {
+					k = lim
+					if lim <= 0 {
+						k = 0
+						cause = 3
+					}
+				}
+			}
+			if !stqDead && t.storeRatio > 0 && k > 0 {
+				stqFree := stqSizeF
+				for q := 0; q < level; q++ {
+					stqFree -= sts[q].stq
+				}
+				if own := stqCap - st.stq; own < stqFree {
+					stqFree = own
+				}
+				if lim := int(stqFree * t.invStoreRatio); lim < k {
+					k = lim
+					if lim <= 0 {
+						k = 0
+						cause = 4
+					}
+				}
+			}
+			if k <= 0 {
+				if st.hasMiss {
+					st.cnt.memLatCnt++
+				} else {
+					st.cnt.countStall(cause)
+				}
+				continue
+			}
+			dispatched = true
+			slots -= k
+			robUsed += k
+			st.rob += k
+			if st.hasMiss {
+				st.iq += t.depFrac * float64(k)
+			}
+			if !ldqDead {
+				st.ldq += t.loadRatio * float64(k)
+			}
+			if !stqDead {
+				st.stq += t.storeRatio * float64(k)
+			}
+			st.cnt.spec += uint64(k)
+			st.win -= k
+			st.pb -= uint64(k)
+			if st.win <= st.supMax || st.pb < uint64(st.supMax) {
+				stop = true
+			}
+		}
+		if dispatched {
+			stallStreak = 0
+		} else {
+			// Dispatch has gone quiescent: a live thread has blocked
+			// mid-span. Hand the window back so the bulk tier can skip it
+			// in O(1) instead of this loop grinding it out.
+			stallStreak++
+			if stallStreak >= 8 {
+				stop = true
+			}
+		}
+	}
+
+	// --- flush (i, not n: the dynamic window/phase guards may have ended
+	// the span early) ---------------------------------------------------
+	c.cycle += i
+	c.prio = prio
+	for s := 0; s < level; s++ {
+		st := &sts[s]
+		if !st.active {
+			continue
+		}
+		t := st.t
+		t.robHeld, t.window, t.feLeft = st.rob, st.win, st.fe
+		t.iqHeld, t.ldqHeld, t.stqHeld = st.iq, st.ldq, st.stq
+		t.ilpAcc = st.acc
+		if st.hasMiss {
+			t.missLeft -= int(i)
+		}
+		flushLite(t, i, &st.cnt)
+	}
+	return i
+}

@@ -1,0 +1,92 @@
+package synpa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fastSMT4System returns a scaled-down 2-core SMT4 System.
+func fastSMT4System(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Config{Cores: 2, SMTLevel: 4, QuantumCycles: 6_000, RefQuanta: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSMTLevelConfig(t *testing.T) {
+	sys := fastSMT4System(t)
+	if sys.SMTLevel() != 4 {
+		t.Fatalf("SMTLevel = %d, want 4", sys.SMTLevel())
+	}
+	if sys.MaxAppsPerRun() != 8 {
+		t.Fatalf("2xSMT4 capacity = %d, want 8", sys.MaxAppsPerRun())
+	}
+	if _, err := New(Config{Cores: 2, SMTLevel: 5}); err == nil {
+		t.Fatal("SMT5 accepted")
+	}
+	// Zero keeps the paper's SMT2 default.
+	sys2, err := New(Config{Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.SMTLevel() != 2 {
+		t.Fatalf("default SMTLevel = %d, want 2", sys2.SMTLevel())
+	}
+}
+
+// TestRunSMT4ViaPublicAPI is the public-API SMT4 end-to-end: 8 applications
+// on 2 SMT4 cores under the Linux baseline and the paper-model SYNPA policy
+// (which routes through the grouping subsystem at level 4), deterministic
+// across repeat runs.
+func TestRunSMT4ViaPublicAPI(t *testing.T) {
+	apps8 := []string{"mcf", "leela_r", "lbm_r", "gobmk", "cactuBSSN_r", "povray_r", "milc", "perlbench"}
+	run := func() (*RunReport, *RunReport) {
+		sys := fastSMT4System(t)
+		lin, err := sys.Run(apps8, sys.LinuxPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		syn, err := sys.Run(apps8, sys.SYNPAPolicy(PaperModel()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lin, syn
+	}
+	lin, syn := run()
+	for _, rep := range []*RunReport{lin, syn} {
+		if rep.TurnaroundCycles == 0 {
+			t.Fatalf("%s: no turnaround", rep.Policy)
+		}
+		if len(rep.Apps) != 8 {
+			t.Fatalf("%s: %d app reports", rep.Policy, len(rep.Apps))
+		}
+		for _, a := range rep.Apps {
+			if a.IPC <= 0 || a.IndividualSpeedup <= 0 {
+				t.Fatalf("%s: degenerate app report %+v", rep.Policy, a)
+			}
+			// Four-way sharing cannot run an app above isolated speed.
+			if a.IndividualSpeedup > 1.05 {
+				t.Fatalf("%s: speedup %v above isolated", rep.Policy, a.IndividualSpeedup)
+			}
+		}
+	}
+	lin2, syn2 := run()
+	if !reflect.DeepEqual(lin, lin2) || !reflect.DeepEqual(syn, syn2) {
+		t.Fatal("SMT4 public-API runs are not deterministic")
+	}
+}
+
+// TestRunSMT4RejectsOverCapacity pins capacity accounting through the
+// public API.
+func TestRunSMT4RejectsOverCapacity(t *testing.T) {
+	sys := fastSMT4System(t)
+	names := make([]string, 9)
+	for i := range names {
+		names[i] = "mcf"
+	}
+	if _, err := sys.Run(names, sys.LinuxPolicy()); err == nil {
+		t.Fatal("9 apps on 8 hardware threads accepted")
+	}
+}

@@ -83,9 +83,14 @@ func PaperModel() *Model { return core.PaperCoefficients() }
 
 // Config describes the simulated system a System runs on.
 type Config struct {
-	// Cores is the number of SMT2 cores (default 4, enough for the
-	// paper's 8-application workloads).
+	// Cores is the number of SMT cores (default 4, enough for the
+	// paper's 8-application workloads at SMT2).
 	Cores int
+	// SMTLevel is the number of hardware threads per core — the BIOS knob
+	// of §V-A. The ThunderX2 hardware supports up to SMT4; the paper (and
+	// a zero value) selects SMT2. Above SMT2 the SYNPA policy solves a
+	// grouping problem instead of a pairwise matching (internal/grouping).
+	SMTLevel int
 	// QuantumCycles is the scheduling quantum length in cycles.
 	QuantumCycles uint64
 	// RefQuanta is the isolated reference interval used to derive each
@@ -97,10 +102,10 @@ type Config struct {
 
 // DefaultConfig returns the paper-equivalent defaults.
 func DefaultConfig() Config {
-	return Config{Cores: 4, QuantumCycles: 20_000, RefQuanta: 100, Seed: 1}
+	return Config{Cores: 4, SMTLevel: smtcore.DefaultSMTLevel, QuantumCycles: 20_000, RefQuanta: 100, Seed: 1}
 }
 
-// System is a simulated ARM SMT2 machine plus the measurement methodology
+// System is a simulated ARM SMT machine plus the measurement methodology
 // needed to run multi-program workloads and report the paper's metrics.
 type System struct {
 	cfg     Config
@@ -121,6 +126,7 @@ func New(cfg Config) (*System, error) {
 	}
 	mc := machine.DefaultConfig()
 	mc.Cores = cfg.Cores
+	mc.Core.SMTLevel = cfg.SMTLevel
 	mc.QuantumCycles = cfg.QuantumCycles
 	if err := mc.Validate(); err != nil {
 		return nil, err
@@ -229,8 +235,8 @@ type RunReport struct {
 	STP float64
 }
 
-// Run executes the named applications (up to 2 per core) under the given
-// policy, using the paper's §V-B methodology: per-application instruction
+// Run executes the named applications (up to SMTLevel per core) under the
+// given policy, using the paper's §V-B methodology: per-application instruction
 // targets from isolated reference runs, relaunch-on-completion to keep the
 // machine loaded, and completion of the slowest application as the workload
 // turnaround time.
@@ -446,8 +452,12 @@ func (s *System) StandardWorkloads() map[string][]string {
 	return out
 }
 
-// MaxAppsPerRun returns the hardware-thread capacity of the system.
-func (s *System) MaxAppsPerRun() int { return s.cfg.Cores * smtcore.ThreadsPerCore }
+// MaxAppsPerRun returns the hardware-thread capacity of the system:
+// Cores × SMTLevel.
+func (s *System) MaxAppsPerRun() int { return s.machCfg.HWThreads() }
+
+// SMTLevel returns the configured hardware threads per core.
+func (s *System) SMTLevel() int { return s.machCfg.ThreadsPerCore() }
 
 // resolve maps names to application models.
 func resolve(names []string) ([]*apps.Model, error) {
