@@ -26,14 +26,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"synpa/internal/experiments"
+	"synpa/internal/machine"
 	"synpa/internal/perfstat"
 )
+
+// runMachineCfg mirrors the suite's per-run machine derivation: when the
+// suite fans runs out across CPUs itself, every run's machine is forced
+// serial (experiments.Suite.Run), so that is the configuration whose
+// effective worker count the BENCH metadata must report.
+func runMachineCfg(cfg experiments.Config) machine.Config {
+	mc := cfg.Machine
+	if cfg.Parallel {
+		mc.Parallel = false
+	}
+	return mc
+}
 
 func main() {
 	var (
@@ -45,6 +59,7 @@ func main() {
 		refQ     = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
 		seed     = flag.Uint64("seed", 0, "random seed (default: suite default)")
 		parallel = flag.Bool("parallel", true, "fan runs out over CPUs")
+		workers  = flag.Int("workers", 0, "worker goroutines stepping cores within each run's quanta (0 = GOMAXPROCS, 1 = serial; bit-identical at any count; effective when per-run parallelism is active, e.g. -parallel=false; SYNPA_WORKERS overrides)")
 		format   = flag.String("format", "text", "output format: text | json | csv")
 		ff       = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
 		perfOut  = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
@@ -72,7 +87,11 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallel = *parallel
+	cfg.Machine.Workers = *workers
 	cfg.Machine.FastForward = *ff
+	if *perfOut != "" {
+		perfstat.EnablePhases(true)
+	}
 	// cfg.Train.Machine needs no mirroring: Suite.Model always trains on
 	// cfg.Machine.
 	s := experiments.NewSuite(cfg)
@@ -173,12 +192,20 @@ func main() {
 			}
 		}
 		report := collector.Report(map[string]string{
-			"experiment":  *exp,
-			"smt":         strconv.Itoa(cfg.Machine.ThreadsPerCore()),
-			"reps":        strconv.Itoa(cfg.Reps),
-			"quantum":     strconv.FormatUint(cfg.Machine.QuantumCycles, 10),
-			"ref_quanta":  strconv.Itoa(cfg.RefQuanta),
-			"seed":        strconv.FormatUint(cfg.Seed, 10),
+			"experiment": *exp,
+			"smt":        strconv.Itoa(cfg.Machine.ThreadsPerCore()),
+			"reps":       strconv.Itoa(cfg.Reps),
+			"quantum":    strconv.FormatUint(cfg.Machine.QuantumCycles, 10),
+			"ref_quanta": strconv.Itoa(cfg.RefQuanta),
+			"seed":       strconv.FormatUint(cfg.Seed, 10),
+			// The effective parallelism of this run, so committed
+			// BENCH_*.json trajectories stay interpretable: the GOMAXPROCS
+			// the process actually had and the worker count the per-run
+			// machines actually resolved (the suite forces per-run
+			// serialism while it fans runs out itself, exactly as
+			// experiments.Suite.Run does).
+			"gomaxprocs":  strconv.Itoa(runtime.GOMAXPROCS(0)),
+			"workers":     strconv.Itoa(runMachineCfg(cfg).EffectiveWorkers()),
 			"fastforward": strconv.FormatBool(*ff),
 			"parallel":    strconv.FormatBool(*parallel),
 		})
@@ -188,5 +215,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "synpa-bench: perfstat written to %s (total %.1fs)\n",
 			path, report.TotalWallSeconds)
+		for _, name := range []string{"policy", "simulation", "matching"} {
+			if s, ok := report.Phases[name]; ok {
+				fmt.Fprintf(os.Stderr, "synpa-bench: phase %-10s %8.2fs\n", name, s)
+			}
+		}
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 		smt     = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
 		quantum = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	cfg.SMTLevel = *smt
 	cfg.QuantumCycles = *quantum
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	sys, err := synpa.New(cfg)
 	if err != nil {
 		fatal(err)

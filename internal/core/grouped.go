@@ -16,6 +16,7 @@ import (
 
 	"synpa/internal/grouping"
 	"synpa/internal/machine"
+	"synpa/internal/perfstat"
 )
 
 // placeGrouped is Place for machines running level (> 2, or 2 under
@@ -30,13 +31,22 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 	// the model against its co-runner set. The set is summarised by the
 	// mean co-runner fraction vector — the pairwise model's first-order
 	// aggregate, which with a single co-runner reduces to the exact
-	// pairwise inversion of the classic path.
+	// pairwise inversion of the classic path. The estimate matrix is
+	// double-buffered and inversions are memoized, exactly as in the
+	// pairwise path.
 	groups := st.Prev.PairsOf(st.NumCores)
 	frac := make([][]float64, n)
 	for i := 0; i < n; i++ {
 		frac[i] = p.opt.Extract(st.Samples[i], st.DispatchWidth)
 	}
-	est := make([][]float64, n)
+	est := p.newEstMatrix(n, p.model.K())
+	if cap(p.filled) < n {
+		p.filled = make([]bool, n)
+	}
+	filled := p.filled[:n]
+	for i := range filled {
+		filled[i] = false
+	}
 	if !p.opt.DisableInversion {
 		for _, g := range groups {
 			for _, i := range g {
@@ -47,7 +57,13 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 						continue
 					}
 					if mean == nil {
-						mean = make([]float64, len(frac[j]))
+						if cap(p.meanBuf) < len(frac[j]) {
+							p.meanBuf = make([]float64, len(frac[j]))
+						}
+						mean = p.meanBuf[:len(frac[j])]
+						for k := range mean {
+							mean[k] = 0
+						}
 					}
 					for k := range frac[j] {
 						mean[k] += frac[j][k]
@@ -62,30 +78,28 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 						mean[k] /= float64(others)
 					}
 				}
-				ci, _, _ := p.model.Invert(frac[i], mean, p.opt.Inversion)
-				est[i] = ci
+				ci, _, _ := p.invCache.Get(frac[i], mean, p.invertFn)
+				copy(est[i], ci)
+				filled[i] = true
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
-		if est[i] == nil {
+		if !filled[i] {
 			// Running alone (its measurements are ST already), not in any
 			// Prev group, or the inversion ablation is active.
-			ci := append([]float64(nil), frac[i]...)
-			normalize(ci)
-			est[i] = ci
+			copy(est[i], frac[i])
+			normalize(est[i])
 		}
 	}
 	p.smoothAndRemember(st, est)
 
-	// Step 2: the pairwise degradation matrix over the live applications.
-	w := make([][]float64, n)
-	for i := range w {
-		w[i] = make([]float64, n)
-	}
+	// Step 2: the pairwise degradation matrix over the live applications,
+	// reused across quanta with memoized predictions.
+	w := p.wMatrix(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			cost := p.model.PairDegradation(est[i], est[j])
+			cost := p.pairCache.Get(est[i], est[j], p.pairFn)
 			if math.IsNaN(cost) || math.IsInf(cost, 0) {
 				cost = 1e6
 			}
@@ -95,7 +109,9 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 
 	// Step 3: minimum-cost partition into at most NumCores groups of at
 	// most level members.
+	t0 := perfstat.PhaseClock()
 	res, err := grouping.Partition(w, st.NumCores, level, p.opt.Grouping)
+	perfstat.PhaseAdd(perfstat.PhaseMatching, t0)
 	if err != nil {
 		// Partitioning cannot fail on a validated live set; if it somehow
 		// does, keep the previous placement rather than crash the manager

@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"synpa/internal/grouping"
 	"synpa/internal/machine"
 	"synpa/internal/matching"
+	"synpa/internal/perfstat"
+	"synpa/internal/predcache"
 )
 
 // Matcher selects how the policy turns the pairwise degradation matrix into
@@ -76,6 +79,13 @@ type PolicyOptions struct {
 	// matcher at level 2); the option exists for differential tests and
 	// solver ablations.
 	ForceGrouping bool
+	// Cache configures the interference-prediction memo layer
+	// (internal/predcache) behind the policy's Invert and PairDegradation
+	// evaluations. The zero value enables exact-key caching, which is
+	// bit-identical to uncached evaluation by construction; set
+	// Cache.Disabled — or the SYNPA_PREDCACHE=0 environment variable — to
+	// evaluate the model directly every quantum.
+	Cache predcache.Options
 	// Name overrides the policy name in experiment output.
 	Name string
 }
@@ -100,6 +110,29 @@ type Policy struct {
 	lastIDs []int
 	// mates is the reusable pairing view of the previous placement.
 	mates []int
+
+	// The estimate matrices double-buffer across quanta: the fresh
+	// estimates are built in the buffer lastST does not occupy, smoothed
+	// against lastST, and then become lastST themselves — no per-quantum
+	// matrix allocation in steady state.
+	estRows [2][][]float64
+	estBack [2][]float64
+	estCur  int
+	// wRows/wBack back the reusable pair-cost matrix. Only off-diagonal
+	// entries are ever written or read, and the backing array is zeroed at
+	// allocation, so the diagonal stays zero across reuses.
+	wRows [][]float64
+	wBack []float64
+	// meanBuf is the grouped path's reusable co-runner mean vector, and
+	// filled its reusable row-completion scratch.
+	meanBuf []float64
+	filled  []bool
+
+	// The interference-prediction memo layer (internal/predcache).
+	invCache  *predcache.InvertCache
+	pairCache *predcache.PairCache
+	invertFn  predcache.InvertFn
+	pairFn    predcache.PairFn
 }
 
 var _ machine.Policy = (*Policy)(nil)
@@ -138,7 +171,17 @@ func NewPolicy(m *Model, opt PolicyOptions) (*Policy, error) {
 	case opt.Hysteresis >= 1:
 		return nil, fmt.Errorf("core: hysteresis %v must be below 1", opt.Hysteresis)
 	}
-	return &Policy{model: m, opt: opt}, nil
+	if os.Getenv("SYNPA_PREDCACHE") == "0" {
+		opt.Cache.Disabled = true
+	}
+	p := &Policy{model: m, opt: opt}
+	p.invCache = predcache.NewInvert(opt.Cache)
+	p.pairCache = predcache.NewPair(opt.Cache)
+	p.invertFn = func(a, b []float64) ([]float64, []float64, bool) {
+		return p.model.Invert(a, b, p.opt.Inversion)
+	}
+	p.pairFn = p.model.PairDegradation
+	return p, nil
 }
 
 // MustPolicy is NewPolicy that panics on error, for experiment wiring where
@@ -163,8 +206,50 @@ func (p *Policy) Name() string {
 func (p *Policy) Model() *Model { return p.model }
 
 // LastSTEstimates returns the ST category estimates computed for the most
-// recent placement decision (per application), or nil before any.
+// recent placement decision (per application), or nil before any. The rows
+// are backed by a double buffer the policy reuses: they stay valid until
+// the next Place call; copy them to retain longer.
 func (p *Policy) LastSTEstimates() [][]float64 { return p.lastST }
+
+// CacheStats returns the interference-prediction memo layer's traffic
+// counters for the inversion and pair-degradation caches.
+func (p *Policy) CacheStats() (invert, pair predcache.Stats) {
+	return p.invCache.Stats(), p.pairCache.Stats()
+}
+
+// newEstMatrix returns an n×k estimate matrix backed by the double buffer
+// lastST does not currently occupy; smoothAndRemember flips the buffers
+// when the matrix becomes lastST.
+func (p *Policy) newEstMatrix(n, k int) [][]float64 {
+	idx := 1 - p.estCur
+	if cap(p.estBack[idx]) < n*k || cap(p.estRows[idx]) < n {
+		p.estBack[idx] = make([]float64, n*k)
+		p.estRows[idx] = make([][]float64, n)
+	}
+	back := p.estBack[idx][:n*k]
+	rows := p.estRows[idx][:n]
+	for i := range rows {
+		rows[i] = back[i*k : (i+1)*k : (i+1)*k]
+	}
+	p.estRows[idx] = rows
+	return rows
+}
+
+// wMatrix returns the policy's reusable total×total pair-cost matrix with a
+// zeroed diagonal; callers overwrite every off-diagonal entry.
+func (p *Policy) wMatrix(total int) [][]float64 {
+	if cap(p.wBack) < total*total || cap(p.wRows) < total {
+		p.wBack = make([]float64, total*total)
+		p.wRows = make([][]float64, total)
+	}
+	back := p.wBack[:total*total]
+	rows := p.wRows[:total]
+	for i := 0; i < total; i++ {
+		rows[i] = back[i*total : (i+1)*total : (i+1)*total]
+		rows[i][i] = 0
+	}
+	return rows
+}
 
 // Place implements machine.Policy. At SMT2 it runs the paper's pipeline —
 // pairwise inversion, pair-degradation prediction, blossom matching; above
@@ -185,47 +270,47 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	n := st.NumApps
 	// Step 1: estimate each application's ST category vector. The pairing
 	// view is precomputed once per quantum instead of an O(n) CoMate scan
-	// per application.
+	// per application, the estimate matrix is double-buffered across
+	// quanta, and inversions are memoized (internal/predcache): a cache
+	// hit implies bit-identical inputs, so the copied result is
+	// bit-identical to a fresh inversion.
 	p.mates = st.Prev.CoMates(p.mates)
-	est := make([][]float64, n)
+	est := p.newEstMatrix(n, p.model.K())
 	for i := 0; i < n; i++ {
-		if est[i] != nil {
-			continue
-		}
-		fi := p.opt.Extract(st.Samples[i], st.DispatchWidth)
 		mate := -1
 		if i < len(p.mates) {
 			mate = p.mates[i]
 		}
+		if !p.opt.DisableInversion && mate >= 0 && mate < i {
+			continue // filled as the co-runner of an earlier index
+		}
+		fi := p.opt.Extract(st.Samples[i], st.DispatchWidth)
 		if mate < 0 || p.opt.DisableInversion {
 			// Running alone, its measurements are ST already; or the
 			// inversion ablation is active.
-			ci := append([]float64(nil), fi...)
-			normalize(ci)
-			est[i] = ci
+			copy(est[i], fi)
+			normalize(est[i])
 			continue
 		}
 		fj := p.opt.Extract(st.Samples[mate], st.DispatchWidth)
-		ci, cj, _ := p.model.Invert(fi, fj, p.opt.Inversion)
-		est[i] = ci
-		est[mate] = cj
+		ci, cj, _ := p.invCache.Get(fi, fj, p.invertFn)
+		copy(est[i], ci)
+		copy(est[mate], cj)
 	}
 	p.smoothAndRemember(st, est)
 
 	// Step 2: predict the degradation of every candidate pair; pad with
 	// virtual idle applications so the matching is always perfect. A real
-	// application paired with an idle slot runs at ST speed (cost 1).
+	// application paired with an idle slot runs at ST speed (cost 1). The
+	// matrix is reused across quanta and predictions are memoized.
 	total := st.NumCores * 2
-	w := make([][]float64, total)
-	for i := range w {
-		w[i] = make([]float64, total)
-	}
+	w := p.wMatrix(total)
 	for i := 0; i < total; i++ {
 		for j := i + 1; j < total; j++ {
 			var cost float64
 			switch {
 			case i < n && j < n:
-				cost = p.model.PairDegradation(est[i], est[j])
+				cost = p.pairCache.Get(est[i], est[j], p.pairFn)
 			case i < n || j < n:
 				cost = 1 // real app running alone
 			default:
@@ -286,6 +371,7 @@ func (p *Policy) smoothAndRemember(st *machine.QuantumState, est [][]float64) {
 		}
 	}
 	p.lastST = est
+	p.estCur = 1 - p.estCur // est came from the other half of the double buffer
 	p.lastIDs = p.lastIDs[:0]
 	for i := range est {
 		p.lastIDs = append(p.lastIDs, appID(st, i))
@@ -346,8 +432,11 @@ func pairingCost(w [][]float64, mates []int, n int) (float64, bool) {
 	return cost, true
 }
 
-// match dispatches to the configured matcher.
+// match dispatches to the configured matcher, accruing the solver time to
+// the perfstat matching phase when collection is on.
 func (p *Policy) match(w [][]float64) ([]int, error) {
+	t0 := perfstat.PhaseClock()
+	defer perfstat.PhaseAdd(perfstat.PhaseMatching, t0)
 	switch p.opt.Matcher {
 	case MatcherBruteForce:
 		mate, _, err := matching.BruteForceMinWeightPerfect(w)

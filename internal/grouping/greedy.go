@@ -6,6 +6,16 @@ package grouping
 // feasible — the seeding fills maxGroups capacity-level bins, which exist
 // because Partition has already checked n <= maxGroups·level. The property
 // tests bound its cost from below by the exact DP's optimum.
+//
+// The local search evaluates move candidates incrementally: sumTo caches
+// each application's attachment cost to each bin, so a candidate move costs
+// O(1) instead of O(level), and an *applied* move or swap recomputes only
+// the two bins it touched instead of re-summing any full group cost. The
+// cached evaluations are bit-identical to the direct addDelta/removeDelta
+// sums — the cache accumulates the same weights in the same order (see
+// the equivalence notes on refresh) — so the incremental solver applies
+// exactly the moves the direct one would (differential test in
+// greedy_test.go).
 
 // localSearchRounds caps the improvement loop; every applied move strictly
 // decreases the partition cost, so the cap is a safety net, not a tuning
@@ -31,6 +41,49 @@ func solveGreedy(w [][]float64, maxGroups, level int, solo float64) *Result {
 		bins[bestBin] = append(bins[bestBin], i)
 	}
 
+	// sumTo[a*maxGroups+b] caches Σ_{x ∈ bins[b], x ≠ a} w[x][a], summed in
+	// bin storage order. Equivalence with the direct deltas is exact:
+	// addDelta's loop visits the same members in the same order (a is never
+	// in the target bin, so the x ≠ a skip never fires there), and
+	// removeDelta's negated skip-one sum equals -sumTo because IEEE
+	// negation commutes with round-to-nearest ((0-w₁)-w₂-… ≡ -((w₁+w₂)+…)).
+	// The len-2 removeDelta case solo - w[p][q] matches solo - sumTo by the
+	// matrix symmetry checkMatrix enforces.
+	sumTo := make([]float64, n*maxGroups)
+	refresh := func(b int) {
+		bin := bins[b]
+		for a := 0; a < n; a++ {
+			s := 0.0
+			for _, x := range bin {
+				if x != a {
+					s += w[x][a]
+				}
+			}
+			sumTo[a*maxGroups+b] = s
+		}
+	}
+	for b := range bins {
+		refresh(b)
+	}
+	addD := func(b, i int) float64 {
+		switch len(bins[b]) {
+		case 0:
+			return solo
+		case 1:
+			return sumTo[i*maxGroups+b] - solo
+		}
+		return sumTo[i*maxGroups+b]
+	}
+	remD := func(b, a int) float64 {
+		switch len(bins[b]) {
+		case 1:
+			return -solo
+		case 2:
+			return solo - sumTo[a*maxGroups+b]
+		}
+		return -sumTo[a*maxGroups+b]
+	}
+
 	// --- steepest-descent local search ----------------------------------
 	const eps = 1e-12
 	for round := 0; round < localSearchRounds; round++ {
@@ -41,19 +94,22 @@ func solveGreedy(w [][]float64, maxGroups, level int, solo float64) *Result {
 		for fb := range bins {
 			for ai := range bins[fb] {
 				a := bins[fb][ai]
-				rem := removeDelta(w, bins[fb], ai, solo)
+				rem := remD(fb, a)
 				for tb := range bins {
 					if tb == fb || len(bins[tb]) >= level {
 						continue
 					}
-					if d := rem + addDelta(w, bins[tb], a, solo); d < bestDelta {
+					if d := rem + addD(tb, a); d < bestDelta {
 						bestDelta, kind = d, 1
 						mA, mFrom, mTo = ai, fb, tb
 					}
 				}
 			}
 		}
-		// Pairwise swaps.
+		// Pairwise swaps. A candidate swap already touches only the two
+		// groups involved (≤ 2(level−1) weights); its interleaved
+		// difference sum has no order-preserving O(1) decomposition, so it
+		// stays direct.
 		for fb := range bins {
 			for tb := fb + 1; tb < len(bins); tb++ {
 				for ai := range bins[fb] {
@@ -71,8 +127,12 @@ func solveGreedy(w [][]float64, maxGroups, level int, solo float64) *Result {
 			a := bins[mFrom][mA]
 			bins[mFrom] = append(bins[mFrom][:mA], bins[mFrom][mA+1:]...)
 			bins[mTo] = append(bins[mTo], a)
+			refresh(mFrom)
+			refresh(mTo)
 		case 2:
 			bins[mFrom][mA], bins[mTo][mB] = bins[mTo][mB], bins[mFrom][mA]
+			refresh(mFrom)
+			refresh(mTo)
 		default:
 			return finish(w, bins, solo, "greedy")
 		}

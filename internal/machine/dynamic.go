@@ -17,8 +17,8 @@ import (
 	"sort"
 
 	"synpa/internal/apps"
+	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
-	"synpa/internal/smtcore"
 )
 
 // DynamicApp is one application of an open-system run.
@@ -198,6 +198,11 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		samples  []pmu.Counters
 		ranAny   bool
 	)
+	busy := make([]bool, len(m.cores))
+
+	// The intra-run worker pool lives for exactly this run.
+	stopPool := m.startPool()
+	defer stopPool()
 
 	for now < maxCycles {
 		// Admission: arrivals whose time has come, capacity permitting.
@@ -244,7 +249,9 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			st.Samples = samples
 		}
 
+		t0 := perfstat.PhaseClock()
 		place := policy.Place(st)
+		perfstat.PhaseAdd(perfstat.PhasePolicy, t0)
 		if len(place) != n {
 			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d live apps",
 				policy.Name(), len(place), n)
@@ -286,7 +293,9 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			break
 		}
 
-		m.runQuantumLive(bound, slice)
+		t0 = perfstat.PhaseClock()
+		m.runQuantumLive(bound, busy, slice)
+		perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
 		res.Slices++
 		now += slice
 		occupied += float64(n) * float64(slice)
@@ -394,38 +403,18 @@ func (m *Machine) bindLive(states []*dynState, live []int, place Placement, boun
 	}
 }
 
-// runQuantumLive executes one slice on the cores that have work, honouring
-// the machine's Parallel setting.
-func (m *Machine) runQuantumLive(bound [][]int, cycles uint64) {
-	busy := func(c int) bool {
+// runQuantumLive executes one slice on the cores that have work, sharded
+// across the run-scoped worker pool when one is active. busy is the
+// caller's reusable scratch.
+func (m *Machine) runQuantumLive(bound [][]int, busy []bool, cycles uint64) {
+	for c := range bound {
+		busy[c] = false
 		for _, gi := range bound[c] {
 			if gi >= 0 {
-				return true
+				busy[c] = true
+				break
 			}
 		}
-		return false
 	}
-	if !m.cfg.Parallel {
-		for c := range m.cores {
-			if busy(c) {
-				m.cores[c].Run(cycles)
-			}
-		}
-		return
-	}
-	done := make(chan struct{}, len(m.cores))
-	launched := 0
-	for c := range m.cores {
-		if !busy(c) {
-			continue
-		}
-		launched++
-		go func(core *smtcore.Core) {
-			core.Run(cycles)
-			done <- struct{}{}
-		}(m.cores[c])
-	}
-	for i := 0; i < launched; i++ {
-		<-done
-	}
+	m.stepCores(cycles, busy)
 }

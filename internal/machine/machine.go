@@ -15,9 +15,9 @@ package machine
 
 import (
 	"fmt"
-	"sync"
 
 	"synpa/internal/apps"
+	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
 	"synpa/internal/smtcore"
 )
@@ -33,8 +33,17 @@ type Config struct {
 	QuantumCycles uint64
 	// Core is the per-core microarchitecture configuration.
 	Core smtcore.Config
-	// Parallel runs the cores of a quantum on separate goroutines.
+	// Parallel enables intra-run parallel quantum execution. Callers that
+	// fan independent runs out across CPUs themselves (the experiment
+	// suite) set it false to serialise each run.
 	Parallel bool
+	// Workers bounds the worker goroutines that shard the per-core
+	// stepping within one quantum (workers.go). Zero selects GOMAXPROCS;
+	// one disables sharding. The SYNPA_WORKERS environment variable
+	// overrides it (SYNPA_WORKERS=1 disables). Results are bit-identical
+	// at every worker count: cores are state-isolated within a quantum and
+	// the merge order is fixed (see workers.go).
+	Workers int
 	// FastForward enables the event-driven fast-forward engine in every
 	// core (internal/smtcore/DESIGN.md). The engine is observationally
 	// equivalent to the per-cycle reference loop, so this only trades
@@ -275,8 +284,10 @@ func (r *Result) TurnaroundCycles() (uint64, bool) {
 
 // Machine is the simulated multi-core system.
 type Machine struct {
-	cfg   Config
-	cores []*smtcore.Core
+	cfg     Config
+	cores   []*smtcore.Core
+	workers int       // resolved intra-run worker count (>= 1)
+	pool    *corePool // run-scoped worker pool, nil outside parallel runs
 }
 
 // New builds a machine. It returns an error for invalid configurations.
@@ -284,7 +295,7 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg}
+	m := &Machine{cfg: cfg, workers: cfg.EffectiveWorkers()}
 	for i := 0; i < cfg.Cores; i++ {
 		core := smtcore.New(i, cfg.Core)
 		core.SetFastForward(cfg.FastForward)
@@ -293,29 +304,19 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// Workers returns the resolved intra-run worker count.
+func (m *Machine) Workers() int { return m.workers }
+
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
 // NumCores returns the core count.
 func (m *Machine) NumCores() int { return len(m.cores) }
 
-// runQuantum executes one quantum on every core, optionally in parallel.
+// runQuantum executes one quantum on every core, sharded across the
+// run-scoped worker pool when one is active.
 func (m *Machine) runQuantum() {
-	if !m.cfg.Parallel {
-		for _, c := range m.cores {
-			c.Run(m.cfg.QuantumCycles)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for _, c := range m.cores {
-		wg.Add(1)
-		go func(core *smtcore.Core) {
-			defer wg.Done()
-			core.Run(m.cfg.QuantumCycles)
-		}(c)
-	}
-	wg.Wait()
+	m.stepCores(m.cfg.QuantumCycles, nil)
 }
 
 // RunnerOptions tune a workload run.
@@ -414,6 +415,10 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 		SMTLevel:      level,
 	}
 
+	// The intra-run worker pool lives for exactly this run.
+	stopPool := m.startPool()
+	defer stopPool()
+
 	// Placement clones are carved from chunked backing arrays instead of
 	// one small allocation per quantum.
 	var cloneArena []int
@@ -425,7 +430,9 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 			st.Prev = prev
 			st.Samples = samples
 		}
+		t0 := perfstat.PhaseClock()
 		place := policy.Place(st)
+		perfstat.PhaseAdd(perfstat.PhasePolicy, t0)
 		if len(place) != len(models) {
 			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d apps",
 				policy.Name(), len(place), len(models))
@@ -442,7 +449,9 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 		copy(clone, place)
 		res.Placements = append(res.Placements, clone)
 
+		t0 = perfstat.PhaseClock()
 		m.runQuantum()
+		perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
 		res.Quanta++
 
 		nowCycle := uint64(res.Quanta) * m.cfg.QuantumCycles
@@ -560,12 +569,14 @@ func RunIsolated(model *apps.Model, seed uint64, quanta int, cfg Config) ([]pmu.
 
 	out := make([]pmu.Counters, 0, quanta)
 	var prevSnap pmu.Counters
+	t0 := perfstat.PhaseClock()
 	for q := 0; q < quanta; q++ {
 		m.cores[0].Run(cfg.QuantumCycles)
 		snap := bank.Read()
 		out = append(out, snap.Delta(prevSnap))
 		prevSnap = snap
 	}
+	perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
 	return out, nil
 }
 
@@ -592,7 +603,10 @@ func RunPairSMT(a, b *apps.Model, seedA, seedB uint64, quanta int, cfg Config) (
 	m.cores[0].Bind(0, ia, ba)
 	m.cores[0].Bind(1, ib, bb)
 
+	sa = make([]pmu.Counters, 0, quanta)
+	sb = make([]pmu.Counters, 0, quanta)
 	var prevA, prevB pmu.Counters
+	t0 := perfstat.PhaseClock()
 	for q := 0; q < quanta; q++ {
 		m.cores[0].Run(cfg.QuantumCycles)
 		snapA, snapB := ba.Read(), bb.Read()
@@ -600,5 +614,6 @@ func RunPairSMT(a, b *apps.Model, seedA, seedB uint64, quanta int, cfg Config) (
 		sb = append(sb, snapB.Delta(prevB))
 		prevA, prevB = snapA, snapB
 	}
+	perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
 	return sa, sb, nil
 }

@@ -1,0 +1,127 @@
+// Intra-run parallel quantum execution: within one scheduling quantum the
+// cores are fully independent — each core's step touches only its own
+// thread contexts, its bound applications' private RNG streams and their
+// PMU banks — so the per-core stepping can be sharded across a pool of
+// worker goroutines without any synchronisation beyond the quantum barrier.
+//
+// Determinism: core i is always stepped by shard i mod width, each core's
+// execution is a pure function of its own pre-quantum state, and the runner
+// reads results (PMU banks, retired counts) only after the barrier, in app
+// order on the calling goroutine. The merge order is therefore fixed
+// regardless of worker scheduling, and a run with Workers=N is bit-identical
+// to Workers=1 (differential-tested in workers_test.go and synpa's
+// parallel_test.go).
+//
+// The pool is run-scoped: Run/RunDynamic start it, every quantum dispatches
+// one shard per worker plus the shard the calling goroutine executes
+// itself, and the pool shuts down when the run returns — no goroutines
+// outlive a run.
+package machine
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// WorkersEnv is the environment variable that overrides Config.Workers:
+// SYNPA_WORKERS=1 disables intra-run parallelism, higher values cap the
+// worker count.
+const WorkersEnv = "SYNPA_WORKERS"
+
+// EffectiveWorkers resolves the worker count a machine built from this
+// configuration will step cores with: the SYNPA_WORKERS environment
+// variable when set, else Config.Workers, else GOMAXPROCS — all capped at
+// the core count, and forced to 1 when Parallel is false (the knob callers
+// already use to serialise runs they fan out themselves).
+func (c Config) EffectiveWorkers() int {
+	w := c.Workers
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			w = v
+		}
+	}
+	if w <= 0 {
+		if !c.Parallel {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Cores {
+		w = c.Cores
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardJob is one worker's slice of a quantum: step the busy cores of shard
+// `shard` (stride `width`) for `cycles` cycles, then signal the barrier.
+type shardJob struct {
+	shard  int
+	cycles uint64
+	busy   []bool // nil means every core runs
+	wg     *sync.WaitGroup
+}
+
+// corePool is the run-scoped worker pool.
+type corePool struct {
+	jobs  chan shardJob
+	width int
+}
+
+// startPool launches the run-scoped worker pool and returns its stop
+// function (always non-nil; a no-op for serial machines). The calling
+// goroutine acts as shard 0, so width-1 workers are spawned.
+func (m *Machine) startPool() func() {
+	if m.workers <= 1 {
+		return func() {}
+	}
+	p := &corePool{jobs: make(chan shardJob), width: m.workers}
+	for w := 1; w < p.width; w++ {
+		go func() {
+			for job := range p.jobs {
+				m.runShard(job.shard, p.width, job.cycles, job.busy)
+				job.wg.Done()
+			}
+		}()
+	}
+	m.pool = p
+	return func() {
+		close(p.jobs)
+		m.pool = nil
+	}
+}
+
+// runShard steps every busy core of one shard for the given cycle count.
+func (m *Machine) runShard(shard, width int, cycles uint64, busy []bool) {
+	for i := shard; i < len(m.cores); i += width {
+		if busy == nil || busy[i] {
+			m.cores[i].Run(cycles)
+		}
+	}
+}
+
+// stepCores executes one quantum slice on the cores — those marked in busy,
+// or all of them when busy is nil — sharded across the run's worker pool
+// (serially on the calling goroutine when the pool is off).
+func (m *Machine) stepCores(cycles uint64, busy []bool) {
+	p := m.pool
+	if p == nil {
+		for i := range m.cores {
+			if busy == nil || busy[i] {
+				m.cores[i].Run(cycles)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.width - 1)
+	for s := 1; s < p.width; s++ {
+		p.jobs <- shardJob{shard: s, cycles: cycles, busy: busy, wg: &wg}
+	}
+	m.runShard(0, p.width, cycles, busy)
+	wg.Wait()
+}

@@ -35,6 +35,12 @@ type Report struct {
 	GoMaxProcs int `json:"gomaxprocs"`
 	// Meta carries run configuration (seed, quantum, fast-forward, ...).
 	Meta map[string]string `json:"meta,omitempty"`
+	// Phases splits the run's wall time across instrumented layers
+	// (policy / simulation / matching, see phases.go) when phase
+	// collection was enabled. The matching bucket is a refinement of the
+	// policy bucket, and phases measure only instrumented code, so they
+	// neither sum to nor bound TotalWallSeconds.
+	Phases map[string]float64 `json:"phases,omitempty"`
 	// Records holds the per-region measurements in execution order.
 	Records []Record `json:"records"`
 	// TotalWallSeconds sums the records' wall times.
@@ -74,6 +80,7 @@ func (c *Collector) Report(meta map[string]string) *Report {
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Meta:       meta,
+		Phases:     PhaseSeconds(),
 		Records:    c.records,
 	}
 	for _, rec := range c.records {

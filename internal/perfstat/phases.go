@@ -1,0 +1,87 @@
+// Per-phase wall-time attribution: a process-global, concurrency-safe set
+// of nanosecond accumulators that split an experiment's wall time into the
+// layers a perf PR would target — allocation-policy time, core-simulation
+// time, and matching/grouping solver time. Collection is off by default
+// and enabled by the bench harness (synpa-bench -perfstat); when disabled,
+// an instrumentation site costs one atomic load.
+package perfstat
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies one instrumented layer.
+type Phase int32
+
+const (
+	// PhasePolicy covers Policy.Place invocations (which include the
+	// matching/grouping time below — PhaseMatching is a refinement, not a
+	// disjoint bucket).
+	PhasePolicy Phase = iota
+	// PhaseSimulation covers core stepping: quantum execution in machine
+	// runs and the isolated/pair collection runs of training.
+	PhaseSimulation
+	// PhaseMatching covers the Step-3 solvers (blossom/brute-force/greedy
+	// matching and the grouping partition), a subset of PhasePolicy.
+	PhaseMatching
+	numPhases
+)
+
+// phaseNames index by Phase in report output.
+var phaseNames = [numPhases]string{"policy", "simulation", "matching"}
+
+var (
+	phasesOn   atomic.Bool
+	phaseNanos [numPhases]atomic.Int64
+)
+
+// EnablePhases switches phase collection on or off and resets the
+// accumulators when switching on.
+func EnablePhases(on bool) {
+	if on {
+		ResetPhases()
+	}
+	phasesOn.Store(on)
+}
+
+// ResetPhases zeroes the accumulators.
+func ResetPhases() {
+	for i := range phaseNanos {
+		phaseNanos[i].Store(0)
+	}
+}
+
+// PhaseClock returns the start time for an instrumented region, or a zero
+// time when collection is off (PhaseAdd then no-ops). Call sites pay one
+// atomic load when disabled.
+func PhaseClock() time.Time {
+	if !phasesOn.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// PhaseAdd accrues the elapsed time since start (a PhaseClock result) to
+// the phase. A zero start — collection disabled — is ignored.
+func PhaseAdd(p Phase, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	phaseNanos[p].Add(int64(time.Since(start)))
+}
+
+// PhaseSeconds returns the per-phase accumulated wall seconds, keyed by
+// phase name, or nil when no phase has accrued time.
+func PhaseSeconds() map[string]float64 {
+	var out map[string]float64
+	for i := Phase(0); i < numPhases; i++ {
+		if ns := phaseNanos[i].Load(); ns > 0 {
+			if out == nil {
+				out = make(map[string]float64, int(numPhases))
+			}
+			out[phaseNames[i]] = time.Duration(ns).Seconds()
+		}
+	}
+	return out
+}

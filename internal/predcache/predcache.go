@@ -1,0 +1,201 @@
+// Package predcache memoizes the SYNPA policy's per-quantum model
+// evaluations — ST-vector inversions (core.Model.Invert) and pairwise
+// degradation predictions (core.Model.PairDegradation) — behind keys built
+// from the bit patterns of the input vectors.
+//
+// # Why a memo layer
+//
+// The policy re-runs the inversion and the full pairwise prediction matrix
+// every scheduling quantum even though application behaviour barely moves
+// between quanta: dynamic runs re-invoke the policy off-quantum with the
+// same samples, hysteresis holds placements (and therefore co-runner sets)
+// stable for long stretches, and the grouping cost matrix prices the same
+// pairs across consecutive quanta. The caches turn each repeated
+// evaluation into a hash lookup.
+//
+// # Bit-identity
+//
+// With the default Quantum of 0, a key is the exact 64-bit IEEE pattern of
+// every input component: a cache hit therefore implies the inputs are
+// bit-identical to an earlier call, and because Invert and PairDegradation
+// are pure deterministic functions, the memoized result is bit-identical
+// to what a fresh evaluation would return. Cached runs are bit-identical
+// to uncached runs *by construction* — no tolerance argument is needed.
+// A positive Quantum rounds each component to a multiple of the step
+// before keying, trading exactness for hit rate: runs remain deterministic
+// (the first evaluation in each bucket wins, and evaluation order is
+// deterministic), but are no longer guaranteed bit-identical to an
+// uncached run. Production keeps Quantum = 0.
+//
+// # Ownership
+//
+// Result slices returned by InvertCache.Get are owned by the cache and
+// shared between hits: callers must copy before mutating (the SYNPA policy
+// copies into its reusable estimate matrix before smoothing).
+package predcache
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// DefaultMaxEntries bounds each cache's entry count; on overflow the cache
+// resets with a deterministic full clear (no LRU bookkeeping on the hot
+// path, and a reset changes only speed, never results).
+const DefaultMaxEntries = 1 << 15
+
+// Options tune a cache; the zero value gives the production defaults.
+type Options struct {
+	// Disabled turns the cache into a pass-through.
+	Disabled bool
+	// Quantum is the key quantization step. 0 (the default) keys on the
+	// full 64-bit pattern of every component, which keeps memoized runs
+	// bit-identical to uncached runs (see the package comment). Positive
+	// values round components to multiples of Quantum before keying.
+	Quantum float64
+	// MaxEntries bounds the cache; zero selects DefaultMaxEntries.
+	MaxEntries int
+}
+
+func (o Options) maxEntries() int {
+	if o.MaxEntries <= 0 {
+		return DefaultMaxEntries
+	}
+	return o.MaxEntries
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits, Misses uint64
+	// Resets counts deterministic full clears on MaxEntries overflow.
+	Resets uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// appendKey appends the (possibly quantized) bit signature of v to key.
+func appendKey(key []byte, v []float64, quantum float64) []byte {
+	var buf [8]byte
+	for _, x := range v {
+		if quantum > 0 {
+			x = math.Round(x/quantum) * quantum
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		key = append(key, buf[:]...)
+	}
+	return key
+}
+
+// pairKey builds the key for an ordered vector pair into dst. The length
+// prefix separates (a, b) splits unambiguously.
+func pairKey(dst []byte, a, b []float64, quantum float64) []byte {
+	dst = dst[:0]
+	dst = append(dst, byte(len(a)))
+	dst = appendKey(dst, a, quantum)
+	dst = appendKey(dst, b, quantum)
+	return dst
+}
+
+// PairFn evaluates the pair function being memoized.
+type PairFn func(a, b []float64) float64
+
+// PairCache memoizes a scalar function of an ordered vector pair — the
+// policy's PairDegradation lookups. Not safe for concurrent use; each
+// policy instance owns one.
+type PairCache struct {
+	opt   Options
+	m     map[string]float64
+	key   []byte
+	stats Stats
+}
+
+// NewPair builds a PairCache.
+func NewPair(opt Options) *PairCache {
+	c := &PairCache{opt: opt}
+	if !opt.Disabled {
+		c.m = make(map[string]float64)
+		c.key = make([]byte, 0, 64)
+	}
+	return c
+}
+
+// Get returns fn(a, b), memoized.
+func (c *PairCache) Get(a, b []float64, fn PairFn) float64 {
+	if c.opt.Disabled {
+		return fn(a, b)
+	}
+	c.key = pairKey(c.key, a, b, c.opt.Quantum)
+	if v, ok := c.m[string(c.key)]; ok {
+		c.stats.Hits++
+		return v
+	}
+	c.stats.Misses++
+	v := fn(a, b)
+	if len(c.m) >= c.opt.maxEntries() {
+		c.m = make(map[string]float64)
+		c.stats.Resets++
+	}
+	c.m[string(c.key)] = v
+	return v
+}
+
+// Stats returns the traffic counters.
+func (c *PairCache) Stats() Stats { return c.stats }
+
+// InvertFn evaluates the inversion being memoized.
+type InvertFn func(a, b []float64) (ca, cb []float64, converged bool)
+
+type invertEntry struct {
+	a, b      []float64
+	converged bool
+}
+
+// InvertCache memoizes a two-vector function of an ordered vector pair —
+// the policy's model inversions. Returned slices are owned by the cache;
+// callers must copy before mutating. Not safe for concurrent use.
+type InvertCache struct {
+	opt   Options
+	m     map[string]invertEntry
+	key   []byte
+	stats Stats
+}
+
+// NewInvert builds an InvertCache.
+func NewInvert(opt Options) *InvertCache {
+	c := &InvertCache{opt: opt}
+	if !opt.Disabled {
+		c.m = make(map[string]invertEntry)
+		c.key = make([]byte, 0, 64)
+	}
+	return c
+}
+
+// Get returns fn(a, b), memoized. The returned slices are shared across
+// hits and must not be mutated.
+func (c *InvertCache) Get(a, b []float64, fn InvertFn) ([]float64, []float64, bool) {
+	if c.opt.Disabled {
+		return fn(a, b)
+	}
+	c.key = pairKey(c.key, a, b, c.opt.Quantum)
+	if e, ok := c.m[string(c.key)]; ok {
+		c.stats.Hits++
+		return e.a, e.b, e.converged
+	}
+	c.stats.Misses++
+	ca, cb, conv := fn(a, b)
+	if len(c.m) >= c.opt.maxEntries() {
+		c.m = make(map[string]invertEntry)
+		c.stats.Resets++
+	}
+	c.m[string(c.key)] = invertEntry{a: ca, b: cb, converged: conv}
+	return ca, cb, conv
+}
+
+// Stats returns the traffic counters.
+func (c *InvertCache) Stats() Stats { return c.stats }

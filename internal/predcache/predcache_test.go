@@ -1,0 +1,132 @@
+package predcache
+
+import (
+	"math"
+	"testing"
+)
+
+func evalPair(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestPairCacheHitsAndValues(t *testing.T) {
+	c := NewPair(Options{})
+	a := []float64{0.3, 0.5, 0.2}
+	b := []float64{0.1, 0.1, 0.8}
+	calls := 0
+	fn := func(x, y []float64) float64 { calls++; return evalPair(x, y) }
+
+	v1 := c.Get(a, b, fn)
+	v2 := c.Get(a, b, fn)
+	if v1 != v2 {
+		t.Fatalf("cached value %v != fresh %v", v2, v1)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times for two identical lookups", calls)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit 1 miss", s)
+	}
+	// Order matters: (b, a) is a distinct key.
+	c.Get(b, a, fn)
+	if calls != 2 {
+		t.Fatalf("swapped arguments did not miss (calls=%d)", calls)
+	}
+	// A one-ulp perturbation must miss at exact precision.
+	a2 := append([]float64(nil), a...)
+	a2[0] = math.Nextafter(a2[0], 1)
+	c.Get(a2, b, fn)
+	if calls != 3 {
+		t.Fatal("one-ulp perturbation hit the exact-key cache")
+	}
+}
+
+func TestPairCacheDisabled(t *testing.T) {
+	c := NewPair(Options{Disabled: true})
+	calls := 0
+	fn := func(x, y []float64) float64 { calls++; return 1 }
+	c.Get([]float64{1}, []float64{2}, fn)
+	c.Get([]float64{1}, []float64{2}, fn)
+	if calls != 2 {
+		t.Fatalf("disabled cache memoized (calls=%d)", calls)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", s)
+	}
+}
+
+func TestPairCacheQuantization(t *testing.T) {
+	c := NewPair(Options{Quantum: 0.01})
+	calls := 0
+	fn := func(x, y []float64) float64 { calls++; return evalPair(x, y) }
+	b := []float64{0.5}
+	c.Get([]float64{0.1001}, b, fn)
+	c.Get([]float64{0.1002}, b, fn) // same 0.01 bucket -> hit
+	if calls != 1 {
+		t.Fatalf("quantized keys missed (calls=%d)", calls)
+	}
+	c.Get([]float64{0.12}, b, fn) // different bucket
+	if calls != 2 {
+		t.Fatal("distinct bucket hit")
+	}
+}
+
+func TestPairCacheReset(t *testing.T) {
+	c := NewPair(Options{MaxEntries: 4})
+	fn := func(x, y []float64) float64 { return x[0] + y[0] }
+	for i := 0; i < 10; i++ {
+		c.Get([]float64{float64(i)}, []float64{1}, fn)
+	}
+	s := c.Stats()
+	if s.Resets == 0 {
+		t.Fatalf("no reset after overflowing MaxEntries: %+v", s)
+	}
+	// Values stay correct across resets.
+	if v := c.Get([]float64{3}, []float64{1}, fn); v != 4 {
+		t.Fatalf("post-reset value %v", v)
+	}
+}
+
+func TestInvertCacheSharesResults(t *testing.T) {
+	c := NewInvert(Options{})
+	calls := 0
+	fn := func(a, b []float64) ([]float64, []float64, bool) {
+		calls++
+		return []float64{a[0] * 2}, []float64{b[0] * 2}, true
+	}
+	a, b := []float64{1.5}, []float64{2.5}
+	ca1, cb1, conv1 := c.Get(a, b, fn)
+	ca2, cb2, conv2 := c.Get(a, b, fn)
+	if calls != 1 {
+		t.Fatalf("fn called %d times", calls)
+	}
+	if !conv1 || !conv2 {
+		t.Fatal("converged flag lost")
+	}
+	if &ca1[0] != &ca2[0] || &cb1[0] != &cb2[0] {
+		t.Fatal("hit did not return the shared cached slices")
+	}
+	if ca1[0] != 3 || cb1[0] != 5 {
+		t.Fatalf("cached values %v %v", ca1, cb1)
+	}
+}
+
+func TestKeySeparatesSplits(t *testing.T) {
+	// (a=[x], b=[y,z]) and (a=[x,y], b=[z]) must not collide: the length
+	// prefix disambiguates the split.
+	c := NewPair(Options{})
+	calls := 0
+	fn := func(x, y []float64) float64 { calls++; return float64(len(x)) }
+	v1 := c.Get([]float64{1}, []float64{2, 3}, fn)
+	v2 := c.Get([]float64{1, 2}, []float64{3}, fn)
+	if calls != 2 {
+		t.Fatal("split ambiguity: second lookup hit the first key")
+	}
+	if v1 == v2 {
+		t.Fatalf("values collided: %v %v", v1, v2)
+	}
+}

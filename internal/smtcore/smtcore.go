@@ -151,6 +151,7 @@ type thread struct {
 	// bind and on any phase change of either thread.
 	pICache, pBranch, pMem float64 // cumulative per-instruction thresholds
 	pEvent                 float64 // total event probability per instruction
+	logNoEvent             float64 // cached ln(1-pEvent) for window draws
 	durICache, durBranch   float64
 	durMem                 float64
 	invDepFrac             float64
@@ -332,6 +333,10 @@ func (c *Core) refreshRates() {
 		t.pBranch = icRate + brRate
 		t.pMem = icRate + brRate + memRate
 		t.pEvent = t.pMem
+		// Window draws divide by ln(1-pEvent); the rate only changes here,
+		// so the logarithm is hoisted out of the per-event draw
+		// (GeometricFromLog is bit-identical to Geometric by construction).
+		t.logNoEvent = math.Log1p(-t.pEvent)
 		t.durICache = p.ICacheStall
 		t.durBranch = p.BranchStall
 		t.durMem = memLat
@@ -443,7 +448,7 @@ func (t *thread) drawWindow() {
 		t.window = 1 << 30
 		return
 	}
-	t.window = t.inst.RNG().Geometric(t.pEvent)
+	t.window = t.inst.RNG().GeometricFromLog(t.pEvent, t.logNoEvent)
 }
 
 // fireEvent triggers the stall event that ends the current window and draws

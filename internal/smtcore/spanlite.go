@@ -1,27 +1,32 @@
 // Steady/active span — the lean scalarised tier of the fast-forward engine.
 //
-// This tier executes runs of *event-free* cycles: spans in which no stall
-// event can fire (every dispatching thread's window exceeds what it can
-// consume), no outstanding miss can expire, no frontend stall can end and
-// no phase boundary can be crossed. Those four events are the only places
-// step() touches the RNG or refreshes contention rates, so inside a span
-// every cycle is pure arithmetic on the core's microstate — and that
-// arithmetic is transcribed below from step() operation for operation onto
-// scalar locals, with the dispatch-priority alternation unrolled into the
-// two cycle parities so that no dynamically indexed state remains and the
-// whole cycle body register-allocates. PMU counters accumulate in scalars
-// and flush once per span.
+// This tier executes long runs of cycles entirely on scalar locals,
+// transcribing step()'s per-cycle arithmetic operation for operation with
+// the dispatch-priority alternation unrolled into the two cycle parities so
+// that no dynamically indexed state remains and the whole cycle body
+// register-allocates. Unlike the original event-free-span design (which the
+// generic tier in spanliten.go still uses), this tier handles the regime
+// changes *inline* instead of ending the span at every one of them:
 //
-// Per-thread span roles:
+//   - a consumed event window fires its stall event on the spot: the thread
+//     state is synced back, the shared fireEvent runs (same RNG stream,
+//     same arithmetic), and the span continues with the reloaded state;
+//   - outstanding misses count down in a per-cycle timer stage mirroring
+//     step(), and the expiry drains iqHeld exactly where step() drains it;
+//   - phase boundaries are detected by a local countdown of the distance
+//     InstsToPhaseBoundary reported, and the crossing refreshes the
+//     contention rates at the end of the crossing cycle — the same point
+//     step() refreshes them — before the span continues;
+//   - a thread that goes miss-blocked freezes — its cascade collapses to
+//     the fixed zero-dispatch signature — once dispatchBlockedOwn proves
+//     the blocked-ness invariant until the expiry (the thread's own state
+//     cannot change while it neither dispatches, retires nor fires events).
 //
-//   - live: dispatches through the full clamp cascade (including the
-//     issue-queue clamps when its miss is outstanding);
-//   - frozen: miss-blocked with the blocked-ness provable for the whole
-//     span from its own partition caps alone (dispatchBlockedOwn), so the
-//     cascade collapses to the fixed zero-dispatch signature;
-//   - frontend-starved: consumes STALL_FRONTEND cycles (the span ends with
-//     the stall);
-//   - idle: an empty slot with no effects.
+// A span therefore ends only at the cycle limit or when every active
+// thread has gone dormant (the bulk tier in fastforward.go then skips the
+// dormant window in O(1)). PMU counters accumulate in scalars and flush
+// once per span. The per-span screening and flush overhead that dominated
+// the short event-free spans is amortised over thousands of cycles.
 //
 // The parity bodies are deliberate near-duplicates of each other and of
 // step(): the duplication is what buys the register allocation. The file is
@@ -31,23 +36,28 @@ package smtcore
 
 import "synpa/internal/pmu"
 
-// minSpan is the shortest span worth the setup/flush overhead; anything
-// shorter runs through step().
+// minSpan is the shortest span worth the setup/flush overhead of the
+// event-free generic tier (spanliten.go); anything shorter runs through
+// step(). The SMT2 tier has no such bound — its spans end only at regime
+// dormancy or the cycle limit.
 const minSpan = 4
 
 // liteCounters accumulates one thread's per-cycle PMU signatures over a
-// span.
+// span. The SMT2 tier splits frontend stalls by cause (feICnt/feBCnt)
+// because a span can now cover stalls of both kinds; the generic tier keeps
+// the single feCnt with its span-constant kind.
 type liteCounters struct {
 	spec, ret                        uint64
 	feCnt                            uint64
+	feICnt, feBCnt                   uint64
 	slotsCnt, robCnt, ldqCnt, stqCnt uint64
 	iqCnt, otherCnt, memLatCnt       uint64
 }
 
-// runSpanLite executes up to limit event-free cycles, returning the number
-// executed (0 when no worthwhile span exists). The SMT2 configuration runs
-// the scalarised parity-unrolled tier below; other levels run the generic
-// slice-based variant in spanliten.go.
+// runSpanLite executes up to limit cycles through the lean scalarised
+// engine, returning the number executed (0 when the tier does not apply).
+// The SMT2 configuration runs the inline-event tier below; other levels run
+// the generic event-free-span variant in spanliten.go.
 func (c *Core) runSpanLite(limit uint64) uint64 {
 	if len(c.threads) == 2 {
 		return c.runSpanLite2(limit)
@@ -55,103 +65,17 @@ func (c *Core) runSpanLite(limit uint64) uint64 {
 	return c.runSpanLiteN(limit)
 }
 
-// runSpanLite2 is the SMT2 span tier: every per-thread quantity lives in a
-// scalar local and the two dispatch-priority parities are unrolled.
+// runSpanLite2 is the SMT2 tier: every per-thread quantity lives in a
+// scalar local, the two dispatch-priority parities are unrolled, and stall
+// events, miss expiries and phase crossings are handled inline so that the
+// span only ends at the limit or at full dormancy.
 func (c *Core) runSpanLite2(limit uint64) uint64 {
 	t0, t1 := &c.threads[0], &c.threads[1]
 	active0, active1 := t0.inst != nil, t1.inst != nil
-	if !active0 && !active1 {
+	if (!active0 && !active1) || limit == 0 {
 		return 0
 	}
-	var frozen0, frozen1, hasMiss0, hasMiss1, liveAny bool
-	var supMax0, supMax1 int
-	var pb0, pb1 uint64 // dispatched instructions left before a phase boundary
 	n := limit
-	for s := 0; s < 2; s++ {
-		t := &c.threads[s]
-		if t.inst == nil {
-			continue
-		}
-		if t.missLeft > 0 {
-			// The expiry cycle drains iqHeld; stop one cycle short of it
-			// so "a miss is outstanding" is a span-constant fact.
-			if t.missLeft < 2 {
-				return 0
-			}
-			if m := uint64(t.missLeft - 1); m < n {
-				n = m
-			}
-			if s == 0 {
-				hasMiss0 = true
-			} else {
-				hasMiss1 = true
-			}
-		}
-		if t.feLeft > 0 {
-			// Frontend-starved: cannot dispatch; the span ends with the
-			// stall so resumption runs in step().
-			if m := uint64(t.feLeft); m < n {
-				n = m
-			}
-			continue
-		}
-		if t.missLeft > 0 {
-			// A blocked thread freezes — its cascade collapses to the
-			// fixed zero-dispatch signature — when the blocked-ness is
-			// stable for the whole span. Shared frees only shrink while
-			// co-runners dispatch, so the current clamp outcome
-			// (dispatchBlocked) suffices unless the co-runner can retire
-			// (missLeft == 0): retirement grows the shared frees, and
-			// blocked-ness must then hold at maximum free, from t's own
-			// partition caps alone (dispatchBlockedOwn).
-			other := &c.threads[1-s]
-			var blocked bool
-			if other.inst != nil && other.missLeft == 0 {
-				blocked = c.dispatchBlockedOwn(t)
-			} else {
-				blocked = c.dispatchBlocked(t)
-			}
-			if blocked {
-				if s == 0 {
-					frozen0 = true
-				} else {
-					frozen1 = true
-				}
-				continue
-			}
-		}
-		liveAny = true
-		supplyMax := t.ilpBase
-		if t.ilpFrac > 0 {
-			supplyMax++
-		}
-		if supplyMax < 1 {
-			return 0
-		}
-		// The first cycle must be event-free; later cycles are guarded
-		// dynamically inside the loop (a static worst-case bound would
-		// halve span lengths whenever slot contention throttles actual
-		// window consumption).
-		if t.window <= supplyMax {
-			return 0
-		}
-		toBoundary := t.inst.InstsToPhaseBoundary()
-		if toBoundary-1 < uint64(supplyMax) {
-			return 0
-		}
-		if s == 0 {
-			supMax0 = supplyMax
-			pb0 = toBoundary - 1
-		} else {
-			supMax1 = supplyMax
-			pb1 = toBoundary - 1
-		}
-	}
-	if !liveAny || n < minSpan {
-		// With no live dispatcher every thread is dormant — the bulk
-		// tier advances that regime in O(1) per window instead of O(n).
-		return 0
-	}
 
 	// --- hoist state into scalar locals ------------------------------------
 	dispW, retireW := c.cfg.DispatchWidth, c.cfg.RetireWidth
@@ -164,36 +88,53 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 	ldqCap, stqCap := c.ldqCap, c.stqCap
 	ldqDead, stqDead := c.ldqDead, c.stqDead
 	var (
-		rob0, win0, fe0 = t0.robHeld, t0.window, t0.feLeft
-		rob1, win1, fe1 = t1.robHeld, t1.window, t1.feLeft
-		iqH0, iqH1      = t0.iqHeld, t1.iqHeld
-		ldq0, stq0      = t0.ldqHeld, t0.stqHeld
-		ldq1, stq1      = t1.ldqHeld, t1.stqHeld
-		acc0, frac0     = t0.ilpAcc, t0.ilpFrac
-		acc1, frac1     = t1.ilpAcc, t1.ilpFrac
-		base0, base1    = t0.ilpBase, t1.ilpBase
-		loadR0, storeR0 = t0.loadRatio, t0.storeRatio
-		loadR1, storeR1 = t1.loadRatio, t1.storeRatio
-		depF0, depF1    = t0.depFrac, t1.depFrac
-		invD0, invD1    = t0.invDepFrac, t1.invDepFrac
-		invL0, invS0    = t0.invLoadRatio, t0.invStoreRatio
-		invL1, invS1    = t1.invLoadRatio, t1.invStoreRatio
-		cnt0, cnt1      liteCounters
+		rob0, win0, fe0, miss0, kind0 int
+		rob1, win1, fe1, miss1, kind1 int
+		iqH0, ldq0, stq0              float64
+		iqH1, ldq1, stq1              float64
+		acc0, frac0, acc1, frac1      float64
+		base0, base1                  int
+		loadR0, storeR0               float64
+		loadR1, storeR1               float64
+		depF0, depF1                  float64
+		invD0, invD1                  float64
+		invL0, invS0, invL1, invS1    float64
+		pb0, pb1                      int64
+		specPend0, specPend1          uint64
+		frozen0, frozen1              bool
+		cnt0, cnt1                    liteCounters
 	)
+	if active0 {
+		rob0, win0, fe0, miss0, kind0 = t0.robHeld, t0.window, t0.feLeft, t0.missLeft, t0.feKind
+		iqH0, ldq0, stq0 = t0.iqHeld, t0.ldqHeld, t0.stqHeld
+		acc0, frac0, base0 = t0.ilpAcc, t0.ilpFrac, t0.ilpBase
+		loadR0, storeR0, depF0 = t0.loadRatio, t0.storeRatio, t0.depFrac
+		invD0, invL0, invS0 = t0.invDepFrac, t0.invLoadRatio, t0.invStoreRatio
+		pb0 = int64(t0.inst.InstsToPhaseBoundary())
+	}
+	if active1 {
+		rob1, win1, fe1, miss1, kind1 = t1.robHeld, t1.window, t1.feLeft, t1.missLeft, t1.feKind
+		iqH1, ldq1, stq1 = t1.iqHeld, t1.ldqHeld, t1.stqHeld
+		acc1, frac1, base1 = t1.ilpAcc, t1.ilpFrac, t1.ilpBase
+		loadR1, storeR1, depF1 = t1.loadRatio, t1.storeRatio, t1.depFrac
+		invD1, invL1, invS1 = t1.invDepFrac, t1.invLoadRatio, t1.invStoreRatio
+		pb1 = int64(t1.inst.InstsToPhaseBoundary())
+	}
 
 	i := uint64(0)
 	stop := false
+	crossed := false
 	stallStreak := 0
 	runOdd := c.prio == 1
 
 	for i < n && !stop {
 		i++
+		dispatched := false
 		if !runOdd {
 			runOdd = true
 			// ===== cycle with thread 0 first ==========================
-			dispatched := false
 			retireLeft := retireW
-			if active0 && !hasMiss0 && rob0 > 0 {
+			if active0 && miss0 == 0 && rob0 > 0 {
 				k := rob0
 				if k > retireLeft {
 					k = retireLeft
@@ -217,7 +158,7 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 				}
 				cnt0.ret += uint64(k)
 			}
-			if active1 && !hasMiss1 && rob1 > 0 && retireLeft > 0 {
+			if active1 && miss1 == 0 && rob1 > 0 && retireLeft > 0 {
 				k := rob1
 				if k > retireLeft {
 					k = retireLeft
@@ -240,13 +181,27 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 				}
 				cnt1.ret += uint64(k)
 			}
+			// --- miss timers (index order, mirrors step) -----------------
+			if active0 && miss0 > 0 {
+				if miss0--; miss0 == 0 {
+					iqH0 = 0
+					frozen0 = false
+				}
+			}
+			if active1 && miss1 > 0 {
+				if miss1--; miss1 == 0 {
+					iqH1 = 0
+					frozen1 = false
+				}
+			}
+			// --- dispatch stage ------------------------------------------
 			slots := dispW
 			robUsed := rob0 + rob1
 			if active0 {
 				if frozen0 {
-					// Blocked on its miss for the whole span: the supply
-					// dither still advances before the cascade discards it,
-					// exactly as in step().
+					// Miss-blocked with the blocked-ness proven invariant:
+					// the supply dither still advances before the cascade
+					// discards it, exactly as in step().
 					acc0 += frac0
 					if acc0 >= 1 {
 						acc0--
@@ -254,7 +209,11 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 					cnt0.memLatCnt++
 				} else if fe0 > 0 {
 					fe0--
-					cnt0.feCnt++
+					if kind0 == evICache {
+						cnt0.feICnt++
+					} else {
+						cnt0.feBCnt++
+					}
 				} else {
 					supply := base0
 					acc0 += frac0
@@ -294,7 +253,7 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 					if iqFree < 1 {
 						k = 0
 						cause = 5
-					} else if hasMiss0 && depF0 > 0 {
+					} else if miss0 > 0 && depF0 > 0 {
 						if lim := int(iqFree * invD0); lim < k {
 							k = lim
 							if lim <= 0 {
@@ -330,8 +289,18 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 						}
 					}
 					if k <= 0 {
-						if hasMiss0 {
+						if miss0 > 0 {
 							cnt0.memLatCnt++
+							// Zero-dispatch under an own miss: if the
+							// thread's own partition caps alone block it,
+							// the outcome is invariant until the expiry
+							// (nothing it does can change its own state),
+							// so the cascade can freeze.
+							t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld = rob0, iqH0, ldq0, stq0
+							t0.missLeft = miss0
+							if c.dispatchBlockedOwn(t0) {
+								frozen0 = true
+							}
 						} else {
 							cnt0.countStall(cause)
 						}
@@ -340,7 +309,7 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 						slots -= k
 						robUsed += k
 						rob0 += k
-						if hasMiss0 {
+						if miss0 > 0 {
 							iqH0 += depF0 * float64(k)
 						}
 						if !ldqDead {
@@ -350,19 +319,29 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 							stq0 += storeR0 * float64(k)
 						}
 						cnt0.spec += uint64(k)
+						specPend0 += uint64(k)
 						win0 -= k
-						pb0 -= uint64(k)
-						if win0 <= supMax0 || pb0 < uint64(supMax0) {
-							stop = true
+						if pb0 -= int64(k); pb0 <= 0 {
+							crossed = true
+						}
+						if win0 == 0 {
+							// Window exhausted: fire the stall event exactly
+							// where step() does, via the shared fireEvent on
+							// synced thread state (same RNG stream).
+							t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld = rob0, iqH0, ldq0, stq0
+							t0.missLeft, t0.feLeft, t0.window = miss0, 0, 0
+							t0.fireEvent()
+							rob0, iqH0, ldq0, stq0 = t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld
+							miss0, fe0, kind0, win0 = t0.missLeft, t0.feLeft, t0.feKind, t0.window
 						}
 					}
 				}
 			}
 			if active1 {
 				if frozen1 {
-					// Blocked on its miss for the whole span: the supply
-					// dither still advances before the cascade discards it,
-					// exactly as in step().
+					// Miss-blocked with the blocked-ness proven invariant:
+					// the supply dither still advances before the cascade
+					// discards it, exactly as in step().
 					acc1 += frac1
 					if acc1 >= 1 {
 						acc1--
@@ -370,7 +349,11 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 					cnt1.memLatCnt++
 				} else if fe1 > 0 {
 					fe1--
-					cnt1.feCnt++
+					if kind1 == evICache {
+						cnt1.feICnt++
+					} else {
+						cnt1.feBCnt++
+					}
 				} else {
 					supply := base1
 					acc1 += frac1
@@ -410,7 +393,7 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 					if iqFree < 1 {
 						k = 0
 						cause = 5
-					} else if hasMiss1 && depF1 > 0 {
+					} else if miss1 > 0 && depF1 > 0 {
 						if lim := int(iqFree * invD1); lim < k {
 							k = lim
 							if lim <= 0 {
@@ -446,8 +429,13 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 						}
 					}
 					if k <= 0 {
-						if hasMiss1 {
+						if miss1 > 0 {
 							cnt1.memLatCnt++
+							t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld = rob1, iqH1, ldq1, stq1
+							t1.missLeft = miss1
+							if c.dispatchBlockedOwn(t1) {
+								frozen1 = true
+							}
 						} else {
 							cnt1.countStall(cause)
 						}
@@ -455,7 +443,7 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 						dispatched = true
 						slots -= k
 						rob1 += k
-						if hasMiss1 {
+						if miss1 > 0 {
 							iqH1 += depF1 * float64(k)
 						}
 						if !ldqDead {
@@ -465,345 +453,413 @@ func (c *Core) runSpanLite2(limit uint64) uint64 {
 							stq1 += storeR1 * float64(k)
 						}
 						cnt1.spec += uint64(k)
+						specPend1 += uint64(k)
 						win1 -= k
-						pb1 -= uint64(k)
-						if win1 <= supMax1 || pb1 < uint64(supMax1) {
-							stop = true
+						if pb1 -= int64(k); pb1 <= 0 {
+							crossed = true
+						}
+						if win1 == 0 {
+							t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld = rob1, iqH1, ldq1, stq1
+							t1.missLeft, t1.feLeft, t1.window = miss1, 0, 0
+							t1.fireEvent()
+							rob1, iqH1, ldq1, stq1 = t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld
+							miss1, fe1, kind1, win1 = t1.missLeft, t1.feLeft, t1.feKind, t1.window
 						}
 					}
 				}
 			}
-			if dispatched {
-				stallStreak = 0
-			} else {
-				// Dispatch has gone quiescent: a live thread has blocked
-				// mid-span. Hand the window back so the bulk tier can
-				// skip it in O(1) instead of this loop grinding it out.
-				stallStreak++
-				if stallStreak >= 8 {
-					stop = true
+		} else {
+			runOdd = false
+			// ===== cycle with thread 1 first ==============================
+			retireLeft := retireW
+			if active1 && miss1 == 0 && rob1 > 0 {
+				k := rob1
+				if k > retireLeft {
+					k = retireLeft
 				}
-			}
-			continue
-		}
-		runOdd = false
-		// ===== cycle with thread 1 first ==============================
-		dispatched := false
-		retireLeft := retireW
-		if active1 && !hasMiss1 && rob1 > 0 {
-			k := rob1
-			if k > retireLeft {
-				k = retireLeft
-			}
-			retireLeft -= k
-			rob1 -= k
-			if !ldqDead {
-				ldq1 -= loadR1 * float64(k)
-				if ldq1 < 0 {
-					ldq1 = 0
-				}
-			}
-			if !stqDead {
-				stq1 -= storeR1 * float64(k)
-				if stq1 < 0 {
-					stq1 = 0
-				}
-			}
-			if rob1 == 0 {
-				ldq1, stq1 = 0, 0
-			}
-			cnt1.ret += uint64(k)
-		}
-		if active0 && !hasMiss0 && rob0 > 0 && retireLeft > 0 {
-			k := rob0
-			if k > retireLeft {
-				k = retireLeft
-			}
-			rob0 -= k
-			if !ldqDead {
-				ldq0 -= loadR0 * float64(k)
-				if ldq0 < 0 {
-					ldq0 = 0
-				}
-			}
-			if !stqDead {
-				stq0 -= storeR0 * float64(k)
-				if stq0 < 0 {
-					stq0 = 0
-				}
-			}
-			if rob0 == 0 {
-				ldq0, stq0 = 0, 0
-			}
-			cnt0.ret += uint64(k)
-		}
-		slots := dispW
-		robUsed := rob0 + rob1
-		if active1 {
-			if frozen1 {
-				// Blocked on its miss for the whole span: the supply
-				// dither still advances before the cascade discards it,
-				// exactly as in step().
-				acc1 += frac1
-				if acc1 >= 1 {
-					acc1--
-				}
-				cnt1.memLatCnt++
-			} else if fe1 > 0 {
-				fe1--
-				cnt1.feCnt++
-			} else {
-				supply := base1
-				acc1 += frac1
-				if acc1 >= 1 {
-					supply++
-					acc1--
-				}
-				k := supply
-				cause := 0
-				if win1 < k {
-					k = win1
-				}
-				if slots < k {
-					k = slots
-					if slots == 0 {
-						cause = 1
+				retireLeft -= k
+				rob1 -= k
+				if !ldqDead {
+					ldq1 -= loadR1 * float64(k)
+					if ldq1 < 0 {
+						ldq1 = 0
 					}
 				}
-				if free := robSize - robUsed; free < k {
-					k = free
-					if free <= 0 {
-						k = 0
-						cause = 2
+				if !stqDead {
+					stq1 -= storeR1 * float64(k)
+					if stq1 < 0 {
+						stq1 = 0
 					}
 				}
-				if free := robCap - rob1; free < k {
-					k = free
-					if free <= 0 {
-						k = 0
-						cause = 2
+				if rob1 == 0 {
+					ldq1, stq1 = 0, 0
+				}
+				cnt1.ret += uint64(k)
+			}
+			if active0 && miss0 == 0 && rob0 > 0 && retireLeft > 0 {
+				k := rob0
+				if k > retireLeft {
+					k = retireLeft
+				}
+				rob0 -= k
+				if !ldqDead {
+					ldq0 -= loadR0 * float64(k)
+					if ldq0 < 0 {
+						ldq0 = 0
 					}
 				}
-				iqFree := iqSizeF - iqH0 - iqH1
-				if own := iqCap - iqH1; own < iqFree {
-					iqFree = own
-				}
-				if iqFree < 1 {
-					k = 0
-					cause = 5
-				} else if hasMiss1 && depF1 > 0 {
-					if lim := int(iqFree * invD1); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 5
-						}
+				if !stqDead {
+					stq0 -= storeR0 * float64(k)
+					if stq0 < 0 {
+						stq0 = 0
 					}
 				}
-				if !ldqDead && loadR1 > 0 && k > 0 {
-					ldqFree := ldqSizeF - ldq0 - ldq1
-					if own := ldqCap - ldq1; own < ldqFree {
-						ldqFree = own
-					}
-					if lim := int(ldqFree * invL1); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 3
-						}
-					}
+				if rob0 == 0 {
+					ldq0, stq0 = 0, 0
 				}
-				if !stqDead && storeR1 > 0 && k > 0 {
-					stqFree := stqSizeF - stq0 - stq1
-					if own := stqCap - stq1; own < stqFree {
-						stqFree = own
-					}
-					if lim := int(stqFree * invS1); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 4
-						}
-					}
+				cnt0.ret += uint64(k)
+			}
+			// --- miss timers (index order, mirrors step) -----------------
+			if active0 && miss0 > 0 {
+				if miss0--; miss0 == 0 {
+					iqH0 = 0
+					frozen0 = false
 				}
-				if k <= 0 {
-					if hasMiss1 {
-						cnt1.memLatCnt++
+			}
+			if active1 && miss1 > 0 {
+				if miss1--; miss1 == 0 {
+					iqH1 = 0
+					frozen1 = false
+				}
+			}
+			// --- dispatch stage ------------------------------------------
+			slots := dispW
+			robUsed := rob0 + rob1
+			if active1 {
+				if frozen1 {
+					// Miss-blocked with the blocked-ness proven invariant:
+					// the supply dither still advances before the cascade
+					// discards it, exactly as in step().
+					acc1 += frac1
+					if acc1 >= 1 {
+						acc1--
+					}
+					cnt1.memLatCnt++
+				} else if fe1 > 0 {
+					fe1--
+					if kind1 == evICache {
+						cnt1.feICnt++
 					} else {
-						cnt1.countStall(cause)
+						cnt1.feBCnt++
 					}
 				} else {
-					dispatched = true
-					slots -= k
-					robUsed += k
-					rob1 += k
-					if hasMiss1 {
-						iqH1 += depF1 * float64(k)
+					supply := base1
+					acc1 += frac1
+					if acc1 >= 1 {
+						supply++
+						acc1--
 					}
-					if !ldqDead {
-						ldq1 += loadR1 * float64(k)
+					k := supply
+					cause := 0
+					if win1 < k {
+						k = win1
 					}
-					if !stqDead {
-						stq1 += storeR1 * float64(k)
+					if slots < k {
+						k = slots
+						if slots == 0 {
+							cause = 1
+						}
 					}
-					cnt1.spec += uint64(k)
-					win1 -= k
-					pb1 -= uint64(k)
-					if win1 <= supMax1 || pb1 < uint64(supMax1) {
-						stop = true
+					if free := robSize - robUsed; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					if free := robCap - rob1; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					iqFree := iqSizeF - iqH0 - iqH1
+					if own := iqCap - iqH1; own < iqFree {
+						iqFree = own
+					}
+					if iqFree < 1 {
+						k = 0
+						cause = 5
+					} else if miss1 > 0 && depF1 > 0 {
+						if lim := int(iqFree * invD1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 5
+							}
+						}
+					}
+					if !ldqDead && loadR1 > 0 && k > 0 {
+						ldqFree := ldqSizeF - ldq0 - ldq1
+						if own := ldqCap - ldq1; own < ldqFree {
+							ldqFree = own
+						}
+						if lim := int(ldqFree * invL1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 3
+							}
+						}
+					}
+					if !stqDead && storeR1 > 0 && k > 0 {
+						stqFree := stqSizeF - stq0 - stq1
+						if own := stqCap - stq1; own < stqFree {
+							stqFree = own
+						}
+						if lim := int(stqFree * invS1); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 4
+							}
+						}
+					}
+					if k <= 0 {
+						if miss1 > 0 {
+							cnt1.memLatCnt++
+							t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld = rob1, iqH1, ldq1, stq1
+							t1.missLeft = miss1
+							if c.dispatchBlockedOwn(t1) {
+								frozen1 = true
+							}
+						} else {
+							cnt1.countStall(cause)
+						}
+					} else {
+						dispatched = true
+						slots -= k
+						robUsed += k
+						rob1 += k
+						if miss1 > 0 {
+							iqH1 += depF1 * float64(k)
+						}
+						if !ldqDead {
+							ldq1 += loadR1 * float64(k)
+						}
+						if !stqDead {
+							stq1 += storeR1 * float64(k)
+						}
+						cnt1.spec += uint64(k)
+						specPend1 += uint64(k)
+						win1 -= k
+						if pb1 -= int64(k); pb1 <= 0 {
+							crossed = true
+						}
+						if win1 == 0 {
+							t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld = rob1, iqH1, ldq1, stq1
+							t1.missLeft, t1.feLeft, t1.window = miss1, 0, 0
+							t1.fireEvent()
+							rob1, iqH1, ldq1, stq1 = t1.robHeld, t1.iqHeld, t1.ldqHeld, t1.stqHeld
+							miss1, fe1, kind1, win1 = t1.missLeft, t1.feLeft, t1.feKind, t1.window
+						}
+					}
+				}
+			}
+			if active0 {
+				if frozen0 {
+					// Miss-blocked with the blocked-ness proven invariant:
+					// the supply dither still advances before the cascade
+					// discards it, exactly as in step().
+					acc0 += frac0
+					if acc0 >= 1 {
+						acc0--
+					}
+					cnt0.memLatCnt++
+				} else if fe0 > 0 {
+					fe0--
+					if kind0 == evICache {
+						cnt0.feICnt++
+					} else {
+						cnt0.feBCnt++
+					}
+				} else {
+					supply := base0
+					acc0 += frac0
+					if acc0 >= 1 {
+						supply++
+						acc0--
+					}
+					k := supply
+					cause := 0
+					if win0 < k {
+						k = win0
+					}
+					if slots < k {
+						k = slots
+						if slots == 0 {
+							cause = 1
+						}
+					}
+					if free := robSize - robUsed; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					if free := robCap - rob0; free < k {
+						k = free
+						if free <= 0 {
+							k = 0
+							cause = 2
+						}
+					}
+					iqFree := iqSizeF - iqH0 - iqH1
+					if own := iqCap - iqH0; own < iqFree {
+						iqFree = own
+					}
+					if iqFree < 1 {
+						k = 0
+						cause = 5
+					} else if miss0 > 0 && depF0 > 0 {
+						if lim := int(iqFree * invD0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 5
+							}
+						}
+					}
+					if !ldqDead && loadR0 > 0 && k > 0 {
+						ldqFree := ldqSizeF - ldq0 - ldq1
+						if own := ldqCap - ldq0; own < ldqFree {
+							ldqFree = own
+						}
+						if lim := int(ldqFree * invL0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 3
+							}
+						}
+					}
+					if !stqDead && storeR0 > 0 && k > 0 {
+						stqFree := stqSizeF - stq0 - stq1
+						if own := stqCap - stq0; own < stqFree {
+							stqFree = own
+						}
+						if lim := int(stqFree * invS0); lim < k {
+							k = lim
+							if lim <= 0 {
+								k = 0
+								cause = 4
+							}
+						}
+					}
+					if k <= 0 {
+						if miss0 > 0 {
+							cnt0.memLatCnt++
+							t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld = rob0, iqH0, ldq0, stq0
+							t0.missLeft = miss0
+							if c.dispatchBlockedOwn(t0) {
+								frozen0 = true
+							}
+						} else {
+							cnt0.countStall(cause)
+						}
+					} else {
+						dispatched = true
+						slots -= k
+						rob0 += k
+						if miss0 > 0 {
+							iqH0 += depF0 * float64(k)
+						}
+						if !ldqDead {
+							ldq0 += loadR0 * float64(k)
+						}
+						if !stqDead {
+							stq0 += storeR0 * float64(k)
+						}
+						cnt0.spec += uint64(k)
+						specPend0 += uint64(k)
+						win0 -= k
+						if pb0 -= int64(k); pb0 <= 0 {
+							crossed = true
+						}
+						if win0 == 0 {
+							t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld = rob0, iqH0, ldq0, stq0
+							t0.missLeft, t0.feLeft, t0.window = miss0, 0, 0
+							t0.fireEvent()
+							rob0, iqH0, ldq0, stq0 = t0.robHeld, t0.iqHeld, t0.ldqHeld, t0.stqHeld
+							miss0, fe0, kind0, win0 = t0.missLeft, t0.feLeft, t0.feKind, t0.window
+						}
 					}
 				}
 			}
 		}
-		if active0 {
-			if frozen0 {
-				// Blocked on its miss for the whole span: the supply
-				// dither still advances before the cascade discards it,
-				// exactly as in step().
-				acc0 += frac0
-				if acc0 >= 1 {
-					acc0--
-				}
-				cnt0.memLatCnt++
-			} else if fe0 > 0 {
-				fe0--
-				cnt0.feCnt++
-			} else {
-				supply := base0
-				acc0 += frac0
-				if acc0 >= 1 {
-					supply++
-					acc0--
-				}
-				k := supply
-				cause := 0
-				if win0 < k {
-					k = win0
-				}
-				if slots < k {
-					k = slots
-					if slots == 0 {
-						cause = 1
-					}
-				}
-				if free := robSize - robUsed; free < k {
-					k = free
-					if free <= 0 {
-						k = 0
-						cause = 2
-					}
-				}
-				if free := robCap - rob0; free < k {
-					k = free
-					if free <= 0 {
-						k = 0
-						cause = 2
-					}
-				}
-				iqFree := iqSizeF - iqH0 - iqH1
-				if own := iqCap - iqH0; own < iqFree {
-					iqFree = own
-				}
-				if iqFree < 1 {
-					k = 0
-					cause = 5
-				} else if hasMiss0 && depF0 > 0 {
-					if lim := int(iqFree * invD0); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 5
-						}
-					}
-				}
-				if !ldqDead && loadR0 > 0 && k > 0 {
-					ldqFree := ldqSizeF - ldq0 - ldq1
-					if own := ldqCap - ldq0; own < ldqFree {
-						ldqFree = own
-					}
-					if lim := int(ldqFree * invL0); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 3
-						}
-					}
-				}
-				if !stqDead && storeR0 > 0 && k > 0 {
-					stqFree := stqSizeF - stq0 - stq1
-					if own := stqCap - stq0; own < stqFree {
-						stqFree = own
-					}
-					if lim := int(stqFree * invS0); lim < k {
-						k = lim
-						if lim <= 0 {
-							k = 0
-							cause = 4
-						}
-					}
-				}
-				if k <= 0 {
-					if hasMiss0 {
-						cnt0.memLatCnt++
-					} else {
-						cnt0.countStall(cause)
-					}
-				} else {
-					dispatched = true
-					slots -= k
-					rob0 += k
-					if hasMiss0 {
-						iqH0 += depF0 * float64(k)
-					}
-					if !ldqDead {
-						ldq0 += loadR0 * float64(k)
-					}
-					if !stqDead {
-						stq0 += storeR0 * float64(k)
-					}
-					cnt0.spec += uint64(k)
-					win0 -= k
-					pb0 -= uint64(k)
-					if win0 <= supMax0 || pb0 < uint64(supMax0) {
-						stop = true
-					}
-				}
+
+		// --- end of cycle -------------------------------------------------
+		if crossed {
+			// A phase boundary was crossed this cycle: advance the pending
+			// dispatched counts (AdvanceDispatched is chunk-associative, so
+			// the deferred advance equals step()'s per-dispatch advances)
+			// and refresh the contention rates exactly where step() does —
+			// at the end of the crossing cycle.
+			crossed = false
+			if specPend0 > 0 {
+				t0.inst.AdvanceDispatched(specPend0)
+				specPend0 = 0
+			}
+			if specPend1 > 0 {
+				t1.inst.AdvanceDispatched(specPend1)
+				specPend1 = 0
+			}
+			c.refreshRates()
+			if active0 {
+				base0, frac0 = t0.ilpBase, t0.ilpFrac
+				loadR0, storeR0, depF0 = t0.loadRatio, t0.storeRatio, t0.depFrac
+				invD0, invL0, invS0 = t0.invDepFrac, t0.invLoadRatio, t0.invStoreRatio
+				pb0 = int64(t0.inst.InstsToPhaseBoundary())
+			}
+			if active1 {
+				base1, frac1 = t1.ilpBase, t1.ilpFrac
+				loadR1, storeR1, depF1 = t1.loadRatio, t1.storeRatio, t1.depFrac
+				invD1, invL1, invS1 = t1.invDepFrac, t1.invLoadRatio, t1.invStoreRatio
+				pb1 = int64(t1.inst.InstsToPhaseBoundary())
 			}
 		}
 		if dispatched {
 			stallStreak = 0
 		} else {
-			// Dispatch has gone quiescent: a live thread has blocked
-			// mid-span. Hand the window back so the bulk tier can
-			// skip it in O(1) instead of this loop grinding it out.
-			stallStreak++
-			if stallStreak >= 8 {
+			// No dispatch this cycle. If every active thread is provably
+			// dormant (frozen on a miss or frontend-starved), hand the
+			// window to the bulk tier in fastforward.go, which skips it in
+			// O(1); otherwise a short streak of contention-stalled cycles
+			// ends the span so the bulk tier can re-screen.
+			if (!active0 || frozen0 || fe0 > 0) && (!active1 || frozen1 || fe1 > 0) {
+				stop = true
+			} else if stallStreak++; stallStreak >= 8 {
 				stop = true
 			}
 		}
 	}
 
-	// --- flush (i, not n: the dynamic window/phase guards may have ended
-	// the span early) ------------------------------------------------------
+	// --- flush --------------------------------------------------------------
 	c.cycle += i
 	c.prio = (c.prio + int(i&1)) & 1
 	if active0 {
-		t0.robHeld, t0.window, t0.feLeft = rob0, win0, fe0
+		t0.robHeld, t0.window, t0.feLeft, t0.missLeft = rob0, win0, fe0, miss0
 		t0.iqHeld, t0.ldqHeld, t0.stqHeld = iqH0, ldq0, stq0
 		t0.ilpAcc = acc0
-		if hasMiss0 {
-			t0.missLeft -= int(i)
-		}
-		flushLite(t0, i, &cnt0)
+		flushLite2(t0, i, &cnt0, specPend0)
 	}
 	if active1 {
-		t1.robHeld, t1.window, t1.feLeft = rob1, win1, fe1
+		t1.robHeld, t1.window, t1.feLeft, t1.missLeft = rob1, win1, fe1, miss1
 		t1.iqHeld, t1.ldqHeld, t1.stqHeld = iqH1, ldq1, stq1
 		t1.ilpAcc = acc1
-		if hasMiss1 {
-			t1.missLeft -= int(i)
-		}
-		flushLite(t1, i, &cnt1)
+		flushLite2(t1, i, &cnt1, specPend1)
 	}
 	return i
 }
@@ -828,7 +884,8 @@ func (cnt *liteCounters) countStall(cause int) {
 }
 
 // flushLite writes one thread's accumulated counters to its bank and
-// instance.
+// instance — the event-free generic tier's flush, whose frontend stalls all
+// share the span-constant kind in t.feKind.
 func flushLite(t *thread, n uint64, cnt *liteCounters) {
 	b := t.bank
 	b.Add(pmu.CPUCycles, n)
@@ -847,35 +904,69 @@ func flushLite(t *thread, n uint64, cnt *liteCounters) {
 			b.Add(pmu.StallFEBranch, cnt.feCnt)
 		}
 	}
-	be := cnt.slotsCnt + cnt.robCnt + cnt.ldqCnt + cnt.stqCnt +
-		cnt.iqCnt + cnt.otherCnt + cnt.memLatCnt
-	if be > 0 {
-		b.Add(pmu.StallBackend, be)
-		if cnt.memLatCnt > 0 {
-			b.Add(pmu.StallBEMemLat, cnt.memLatCnt)
-		}
-		if cnt.slotsCnt > 0 {
-			b.Add(pmu.StallBESlots, cnt.slotsCnt)
-		}
-		if cnt.robCnt > 0 {
-			b.Add(pmu.StallBEROB, cnt.robCnt)
-		}
-		if cnt.iqCnt > 0 {
-			b.Add(pmu.StallBEIQ, cnt.iqCnt)
-		}
-		if cnt.ldqCnt > 0 {
-			b.Add(pmu.StallBELDQ, cnt.ldqCnt)
-		}
-		if cnt.stqCnt > 0 {
-			b.Add(pmu.StallBESTQ, cnt.stqCnt)
-		}
-		if cnt.otherCnt > 0 {
-			b.Add(pmu.StallBEOther, cnt.otherCnt)
-		}
-	}
+	flushBackend(t, cnt)
 	if cnt.spec > 0 {
 		// INST_SPEC counts exactly the dispatched µops, so it doubles as
 		// the phase-advancement total.
 		t.inst.AdvanceDispatched(cnt.spec)
+	}
+}
+
+// flushLite2 is the SMT2 inline-event tier's flush: frontend stalls are
+// split by cause counter (a span can cover stalls of both kinds), and only
+// the still-pending dispatched count — the tail since the last inline phase
+// sync — feeds AdvanceDispatched.
+func flushLite2(t *thread, n uint64, cnt *liteCounters, pending uint64) {
+	b := t.bank
+	b.Add(pmu.CPUCycles, n)
+	if cnt.spec > 0 {
+		b.Add(pmu.InstSpec, cnt.spec)
+	}
+	if cnt.ret > 0 {
+		b.Add(pmu.InstRetired, cnt.ret)
+		t.inst.Retired += cnt.ret
+	}
+	if fe := cnt.feICnt + cnt.feBCnt; fe > 0 {
+		b.Add(pmu.StallFrontend, fe)
+		if cnt.feICnt > 0 {
+			b.Add(pmu.StallFEICache, cnt.feICnt)
+		}
+		if cnt.feBCnt > 0 {
+			b.Add(pmu.StallFEBranch, cnt.feBCnt)
+		}
+	}
+	flushBackend(t, cnt)
+	if pending > 0 {
+		t.inst.AdvanceDispatched(pending)
+	}
+}
+
+// flushBackend writes the accumulated backend-stall counters shared by both
+// flush variants.
+func flushBackend(t *thread, cnt *liteCounters) {
+	b := t.bank
+	be := cnt.slotsCnt + cnt.robCnt + cnt.ldqCnt + cnt.stqCnt +
+		cnt.iqCnt + cnt.otherCnt + cnt.memLatCnt
+	if be == 0 {
+		return
+	}
+	b.Add(pmu.StallBackend, be)
+	if cnt.memLatCnt > 0 {
+		b.Add(pmu.StallBEMemLat, cnt.memLatCnt)
+	}
+	if cnt.slotsCnt > 0 {
+		b.Add(pmu.StallBESlots, cnt.slotsCnt)
+	}
+	if cnt.robCnt > 0 {
+		b.Add(pmu.StallBEROB, cnt.robCnt)
+	}
+	if cnt.iqCnt > 0 {
+		b.Add(pmu.StallBEIQ, cnt.iqCnt)
+	}
+	if cnt.ldqCnt > 0 {
+		b.Add(pmu.StallBELDQ, cnt.ldqCnt)
+	}
+	if cnt.stqCnt > 0 {
+		b.Add(pmu.StallBESTQ, cnt.stqCnt)
 	}
 }

@@ -150,7 +150,12 @@ func profileIsolated(m *apps.Model, opt *Options) (*isolatedProfile, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &isolatedProfile{}
+	p := &isolatedProfile{
+		fractions: make([][]float64, 0, len(samples)),
+		cycles:    make([]float64, 0, len(samples)),
+		cumInsts:  make([]uint64, 0, len(samples)),
+		cumCycles: make([]float64, 0, len(samples)),
+	}
 	var cumI uint64
 	var cumC float64
 	k := len(opt.Categories)
@@ -196,7 +201,15 @@ func runPair(a, b *apps.Model, pa, pb *isolatedProfile, opt *Options) (*pairSamp
 		return nil, err
 	}
 	k := len(opt.Categories)
-	out := &pairSamples{}
+	maxRows := 2 * len(sa)
+	out := &pairSamples{
+		ci: make([][]float64, 0, maxRows),
+		cj: make([][]float64, 0, maxRows),
+		y:  make([][]float64, 0, maxRows),
+	}
+	// Response rows are carved from one arena instead of two small
+	// allocations per aligned quantum.
+	yArena := make([]float64, maxRows*k)
 	var cumA, cumB uint64
 	for q := range sa {
 		instA := sa[q][pmu.InstRetired]
@@ -213,8 +226,9 @@ func runPair(a, b *apps.Model, pa, pb *isolatedProfile, opt *Options) (*pairSamp
 		smtB := opt.Extract(sb[q], opt.Machine.Core.DispatchWidth)
 		cycA := float64(sa[q][pmu.CPUCycles])
 		cycB := float64(sb[q][pmu.CPUCycles])
-		ya := make([]float64, k)
-		yb := make([]float64, k)
+		ya := yArena[:k:k]
+		yb := yArena[k : 2*k : 2*k]
+		yArena = yArena[2*k:]
 		for i := 0; i < k; i++ {
 			ya[i] = smtA[i] * cycA / stCycA
 			yb[i] = smtB[i] * cycB / stCycB

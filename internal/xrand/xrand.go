@@ -123,6 +123,32 @@ func (r *RNG) Geometric(p float64) int {
 	return int(g)
 }
 
+// GeometricFromLog is Geometric with the inverse-CDF divisor ln(1-p)
+// precomputed by the caller: log1mP must equal math.Log1p(-p) for the same
+// p. Callers that draw many windows at a fixed rate (the SMT core's stall
+// events between contention refreshes) hoist the logarithm out of the draw
+// loop. Results are bit-identical to Geometric(p): the clamps, the RNG
+// consumption and the division all operate on the same values, the divisor
+// is merely computed once instead of per draw.
+func (r *RNG) GeometricFromLog(p, log1mP float64) int {
+	const maxGeometric = 1 << 30
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return maxGeometric
+	}
+	u := r.Float64()
+	g := math.Ceil(math.Log1p(-u) / log1mP)
+	if g < 1 {
+		return 1
+	}
+	if g > maxGeometric {
+		return maxGeometric
+	}
+	return int(g)
+}
+
 // Exp returns an exponentially distributed draw with the given mean.
 // Non-positive means yield 0.
 func (r *RNG) Exp(mean float64) float64 {

@@ -255,3 +255,24 @@ func BenchmarkGeometric(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestGeometricFromLogMatchesGeometric pins the hoisted-logarithm variant
+// to Geometric draw for draw: two generators with identical state must
+// produce identical streams, including the edge-case clamps that skip the
+// RNG entirely.
+func TestGeometricFromLogMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{1e-9, 0.003, 0.02, 0.3, 0.97, 1.0, 1.5, 0, -0.5} {
+		a, b := New(23), New(23)
+		log1mP := math.Log1p(-p)
+		for i := 0; i < 5000; i++ {
+			ga := a.Geometric(p)
+			gb := b.GeometricFromLog(p, log1mP)
+			if ga != gb {
+				t.Fatalf("p=%v draw %d: Geometric=%d FromLog=%d", p, i, ga, gb)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("p=%v: RNG streams diverged", p)
+		}
+	}
+}

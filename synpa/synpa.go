@@ -31,6 +31,7 @@ import (
 	"synpa/internal/machine"
 	"synpa/internal/metrics"
 	"synpa/internal/pmu"
+	"synpa/internal/predcache"
 	"synpa/internal/sched"
 	"synpa/internal/smtcore"
 	"synpa/internal/train"
@@ -52,6 +53,10 @@ type (
 	Placement = machine.Placement
 	// PolicyOptions tune the SYNPA policy (matcher, inversion, extractor).
 	PolicyOptions = core.PolicyOptions
+	// PredCacheOptions tunes the interference-prediction memo layer behind
+	// the SYNPA policy (PolicyOptions.Cache): exact-key memoization is on
+	// by default and bit-identical by construction; Disabled turns it off.
+	PredCacheOptions = predcache.Options
 	// TrainOptions tune the §IV-C training pipeline.
 	TrainOptions = train.Options
 	// TrainReport summarises a training run.
@@ -98,6 +103,12 @@ type Config struct {
 	RefQuanta int
 	// Seed makes every run reproducible.
 	Seed uint64
+	// Workers bounds the worker goroutines that shard per-core stepping
+	// within each scheduling quantum (machine.Config.Workers). Zero
+	// selects GOMAXPROCS; one disables intra-run parallelism; the
+	// SYNPA_WORKERS environment variable overrides. Results are
+	// bit-identical at every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-equivalent defaults.
@@ -128,6 +139,7 @@ func New(cfg Config) (*System, error) {
 	mc.Cores = cfg.Cores
 	mc.Core.SMTLevel = cfg.SMTLevel
 	mc.QuantumCycles = cfg.QuantumCycles
+	mc.Workers = cfg.Workers
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
