@@ -23,6 +23,7 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	admpkg "synpa/internal/admission"
 	"synpa/internal/experiments"
 	"synpa/internal/machine"
 	"synpa/internal/perfstat"
@@ -51,18 +53,19 @@ func runMachineCfg(cfg experiments.Config) machine.Config {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment to run (see -list)")
-		list     = flag.Bool("list", false, "list available experiments")
-		reps     = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
-		smt      = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
-		quantum  = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
-		refQ     = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
-		seed     = flag.Uint64("seed", 0, "random seed (default: suite default)")
-		parallel = flag.Bool("parallel", true, "fan runs out over CPUs")
-		workers  = flag.Int("workers", 0, "worker goroutines stepping cores within each run's quanta (0 = GOMAXPROCS, 1 = serial; bit-identical at any count; effective when per-run parallelism is active, e.g. -parallel=false; SYNPA_WORKERS overrides)")
-		format   = flag.String("format", "text", "output format: text | json | csv")
-		ff       = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
-		perfOut  = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
+		exp       = flag.String("experiment", "all", "experiment to run (see -list)")
+		list      = flag.Bool("list", false, "list available experiments")
+		reps      = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
+		smt       = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
+		quantum   = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
+		refQ      = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
+		seed      = flag.Uint64("seed", 0, "random seed (default: suite default)")
+		parallel  = flag.Bool("parallel", true, "fan runs out over CPUs")
+		admission = flag.String("admission", "", "open-system admission discipline for the dynamic experiment: fifo (default) | sjf | priority | backfill (dynprio compares all four regardless)")
+		workers   = flag.Int("workers", 0, "worker goroutines stepping cores within each run's quanta (0 = GOMAXPROCS, 1 = serial; bit-identical at any count; effective when per-run parallelism is active, e.g. -parallel=false; SYNPA_WORKERS overrides)")
+		format    = flag.String("format", "text", "output format: text | json | csv")
+		ff        = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
+		perfOut   = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,13 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Parallel = *parallel
+	// Fail fast on a bad discipline instead of minutes into an -experiment
+	// all pass (and never record a bogus name in the perfstat metadata).
+	if _, err := admpkg.ByName(*admission); err != nil {
+		fmt.Fprintf(os.Stderr, "synpa-bench: -admission: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Admission = *admission
 	cfg.Machine.Workers = *workers
 	cfg.Machine.FastForward = *ff
 	if *perfOut != "" {
@@ -124,6 +134,7 @@ func main() {
 		{"overhead-matching", s.OverheadMatching},
 		{"overhead-grouping", s.OverheadGrouping},
 		{"dynamic", s.DynamicTable},
+		{"dynprio", s.DynPrioTable},
 		{"smt4", s.SMT4Table},
 	}
 
@@ -204,6 +215,7 @@ func main() {
 			// machines actually resolved (the suite forces per-run
 			// serialism while it fans runs out itself, exactly as
 			// experiments.Suite.Run does).
+			"admission":   cmp.Or(cfg.Admission, "fifo"),
 			"gomaxprocs":  strconv.Itoa(runtime.GOMAXPROCS(0)),
 			"workers":     strconv.Itoa(runMachineCfg(cfg).EffectiveWorkers()),
 			"fastforward": strconv.FormatBool(*ff),

@@ -29,14 +29,15 @@ import (
 
 func main() {
 	var (
-		wlName  = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
-		appList = flag.String("apps", "", "comma-separated app names (overrides -workload)")
-		trace   = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4) or trace file path (overrides -workload/-apps)")
-		policy  = flag.String("policy", "both", "linux | synpa | random | both")
-		smt     = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
-		quantum = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
+		wlName    = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
+		appList   = flag.String("apps", "", "comma-separated app names (overrides -workload)")
+		trace     = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4, prio-lo/mid/hi) or trace file path (overrides -workload/-apps)")
+		policy    = flag.String("policy", "both", "linux | synpa | random | both")
+		admission = flag.String("admission", "", "dynamic-run admission discipline: fifo (default) | sjf | priority | backfill")
+		smt       = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
+		quantum   = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 	cfg.QuantumCycles = *quantum
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.Admission = *admission
 	sys, err := synpa.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -53,6 +55,9 @@ func main() {
 	if *trace != "" {
 		runDynamic(sys, *trace, *policy, *quantum, *seed)
 		return
+	}
+	if *admission != "" {
+		fatal(fmt.Errorf("-admission applies to dynamic runs only; combine it with -trace"))
 	}
 
 	var names []string
@@ -160,9 +165,11 @@ func runDynamic(sys *synpa.System, traceArg, policy string, quantum, seed uint64
 	}
 }
 
-// loadTrace resolves -trace: a built-in dynamic scenario name or a file.
+// loadTrace resolves -trace: a built-in dynamic scenario name (dyn0–dyn4 or
+// the mixed-priority prio-lo/mid/hi set) or a file.
 func loadTrace(arg string, quantum, seed uint64) (synpa.Trace, error) {
 	scenarios := experiments.DynamicScenarios(seed, quantum)
+	scenarios = append(scenarios, experiments.DynPrioScenarios(seed, quantum)...)
 	valid := make([]string, len(scenarios))
 	for i, tr := range scenarios {
 		valid[i] = tr.Name
@@ -181,11 +188,19 @@ func loadTrace(arg string, quantum, seed uint64) (synpa.Trace, error) {
 }
 
 func printDynamicReport(r *synpa.DynamicReport) {
-	fmt.Printf("--- %s ---\n", r.Policy)
+	fmt.Printf("--- %s (admission: %s) ---\n", r.Policy, r.Admission)
 	fmt.Printf("span: %d cycles (%d slices)  completed: %d/%d  deferred arrivals: %d\n",
 		r.Cycles, r.Slices, r.Completed, len(r.Apps), r.Deferred)
 	fmt.Printf("mean response=%.0f cycles  ANTT=%.3f  STP=%.3f  occupancy=%.1f%%\n",
 		r.MeanResponseCycles, r.ANTT, r.STP, r.Occupancy*100)
+	for _, c := range r.PerClass {
+		fmt.Printf("  class %d (weight %.1f): %d/%d done  ANTT=%.3f  mean resp=%.0f  p95=%.0f\n",
+			c.Priority, c.Weight, c.Completed, c.Apps, c.ANTT,
+			c.MeanResponseCycles, c.P95ResponseCycles)
+	}
+	if len(r.PerClass) > 0 {
+		fmt.Printf("  weighted STP=%.3f\n", r.WeightedSTP)
+	}
 	for i, a := range r.Apps {
 		status := fmt.Sprintf("resp=%-10d norm=%.3f IPC=%.3f", a.ResponseCycles, a.NormalizedResponse, a.IPC)
 		switch {
@@ -194,7 +209,11 @@ func printDynamicReport(r *synpa.DynamicReport) {
 		case a.FinishAt == 0:
 			status = "did not finish"
 		}
-		fmt.Printf("  %02d %-13s arrive=%-10d %s\n", i, a.Name, a.ArriveAt, status)
+		prio := ""
+		if a.Priority != 0 {
+			prio = fmt.Sprintf(" p%d", a.Priority)
+		}
+		fmt.Printf("  %02d %-13s%s arrive=%-10d %s\n", i, a.Name, prio, a.ArriveAt, status)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,267 @@
+// Package admission makes the open-system admission queue a policy surface.
+//
+// The dynamic runner (machine.RunDynamic) admits arrivals whenever hardware
+// threads are free; when demand exceeds capacity, arrivals wait. Which
+// waiting application gets the next free thread is an allocation decision in
+// its own right — scheduling-order studies (e.g. AMTHA, "Automatic Mapping
+// Tasks to Cores") show admission order, not just placement, dominates
+// response time under contention — so the queue discipline is pluggable
+// here, mirroring how thread-to-core placement is pluggable via
+// machine.Policy.
+//
+// Four disciplines are provided:
+//
+//   - FIFO: arrival order, bit-identical to the runner's historical
+//     behaviour (the golden-regression harness and the differential tests
+//     pin this).
+//   - SJF: shortest job first, on remaining reference work.
+//   - Priority: strict priority classes with configurable aging, so a
+//     starved low-priority job eventually outranks fresh high-priority
+//     arrivals (every queued job is admitted within a computable bound).
+//   - Backfill: EASY-style backfilling over the priority queue — the head
+//     job's start is protected, and the remaining free threads are
+//     backfilled shortest-job-first.
+//
+// A note on the EASY guarantee at unit width: every job in this system
+// occupies exactly one hardware thread, so the queue head can start the
+// moment any thread is free. Backfill therefore admits the head before any
+// backfill candidate within an admission round, and a candidate can only be
+// admitted when the head already holds a thread or the machine is full —
+// which means no backfilled job can ever delay the head's earliest start.
+// The reservation test general EASY needs ("candidate estimated completion
+// must not exceed the head's reserved start") binds only for jobs wider
+// than one thread, which this machine does not schedule; the head-first
+// invariant is the unit-width residue of that test, and the property tests
+// enforce it.
+package admission
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Job is one open-system application as the admission layer sees it.
+type Job struct {
+	// ID is the job's stable identity (its global trace index).
+	ID int
+	// ArriveAt is the cycle the job entered the system.
+	ArriveAt uint64
+	// Priority is the job's class; higher is more urgent. The default
+	// class is 0.
+	Priority int
+	// Weight is the job's class weight for weighted throughput metrics;
+	// zero means 1. Admission disciplines order on Priority, not Weight.
+	Weight float64
+	// Work is the remaining reference work in instructions: the full
+	// instruction target for a waiting job, target minus retired for a
+	// running one.
+	Work uint64
+}
+
+// Policy decides the order in which waiting jobs are admitted when hardware
+// threads free up. Implementations must be deterministic: the same inputs
+// must always produce the same order (ties broken on ArriveAt, then ID).
+type Policy interface {
+	// Name identifies the discipline in reports and CLI flags.
+	Name() string
+	// Admit returns the admission order as indices into waiting; the
+	// runner admits the first free of them and keeps the rest queued.
+	// waiting is in arrival (FIFO) order and is never empty; running
+	// holds the currently executing jobs. Implementations must not
+	// mutate or retain the slices. Returning fewer than len(waiting)
+	// indices leaves the tail queued this round.
+	Admit(waiting, running []Job, free int, now uint64) []int
+}
+
+// DefaultAgingCycles is the Priority discipline's default aging horizon: a
+// queued job gains one effective priority level per this many cycles waited
+// (ten default scheduling quanta), bounding starvation without letting
+// aging dominate class order on short waits.
+const DefaultAgingCycles = 200_000
+
+// FIFO admits in arrival order — the historical behaviour of the dynamic
+// runner, kept bit-identical (differential- and golden-tested).
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Admit implements Policy: the identity order over the FIFO queue.
+func (FIFO) Admit(waiting, _ []Job, _ int, _ uint64) []int {
+	return identity(len(waiting))
+}
+
+// SJF admits the job with the least remaining reference work first,
+// breaking ties by arrival then ID. It minimises mean response time under
+// contention but can starve long jobs indefinitely; Backfill offers the
+// same short-job bias with a no-starvation guarantee.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "sjf" }
+
+// Admit implements Policy.
+func (SJF) Admit(waiting, _ []Job, _ int, _ uint64) []int {
+	order := identity(len(waiting))
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := waiting[order[a]], waiting[order[b]]
+		if ja.Work != jb.Work {
+			return ja.Work < jb.Work
+		}
+		return beforeFIFO(ja, jb)
+	})
+	return order
+}
+
+// Priority admits the highest effective priority first. The effective
+// priority of a queued job grows by one level per AgingCycles waited, so a
+// low-priority job outranks fresh arrivals of a class d levels above it
+// after waiting d·AgingCycles: starvation is bounded by the class spread
+// times the aging horizon (plus one service time for a thread to free).
+type Priority struct {
+	// AgingCycles is the waiting time that buys one effective priority
+	// level. Zero selects DefaultAgingCycles; negative disables aging
+	// entirely (strict classes, unbounded starvation).
+	AgingCycles int64
+}
+
+// Name implements Policy.
+func (Priority) Name() string { return "priority" }
+
+// effective returns the aged priority of j at time now. The aging boost is
+// computed in uint64 and clamped so that adversarial timestamps (fuzzed or
+// synthetic QuantumStates) cannot overflow the comparison.
+func (p Priority) effective(j Job, now uint64) int64 {
+	eff := int64(j.Priority)
+	aging := p.AgingCycles
+	if aging == 0 {
+		aging = DefaultAgingCycles
+	}
+	if aging > 0 && now > j.ArriveAt {
+		boost := (now - j.ArriveAt) / uint64(aging)
+		if boost > 1<<30 {
+			boost = 1 << 30
+		}
+		eff += int64(boost)
+	}
+	return eff
+}
+
+// Admit implements Policy.
+func (p Priority) Admit(waiting, _ []Job, _ int, now uint64) []int {
+	order := identity(len(waiting))
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := waiting[order[a]], waiting[order[b]]
+		ea, eb := p.effective(ja, now), p.effective(jb, now)
+		if ea != eb {
+			return ea > eb
+		}
+		return beforeFIFO(ja, jb)
+	})
+	return order
+}
+
+// Backfill is EASY-style backfilling over the priority queue: the head —
+// the highest-priority, oldest waiting job — is always admitted first, and
+// the remaining free threads are backfilled shortest-job-first from the
+// rest of the queue. Short jobs jump the queue, but never past the head:
+// the head's earliest start is exactly the next free thread, and the head
+// takes it before any backfill candidate is considered (see the package
+// comment for why this is the whole of the EASY reservation test at unit
+// job width). Unlike SJF, a long job cannot starve: once it reaches the
+// head it is served next.
+type Backfill struct{}
+
+// Name implements Policy.
+func (Backfill) Name() string { return "backfill" }
+
+// Admit implements Policy.
+func (Backfill) Admit(waiting, _ []Job, _ int, _ uint64) []int {
+	order := identity(len(waiting))
+	// Head: highest priority, oldest, lowest ID — strict classes, no
+	// aging (the head guarantee, not aging, is the anti-starvation
+	// mechanism here).
+	head := 0
+	for i := 1; i < len(waiting); i++ {
+		if backfillHeadBefore(waiting[i], waiting[head]) {
+			head = i
+		}
+	}
+	order[0], order[head] = order[head], order[0]
+	rest := order[1:]
+	sort.SliceStable(rest, func(a, b int) bool {
+		ja, jb := waiting[rest[a]], waiting[rest[b]]
+		if ja.Work != jb.Work {
+			return ja.Work < jb.Work
+		}
+		return beforeFIFO(ja, jb)
+	})
+	return order
+}
+
+// backfillHeadBefore reports whether a outranks b for the Backfill head.
+func backfillHeadBefore(a, b Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return beforeFIFO(a, b)
+}
+
+// beforeFIFO is the universal tie-break: earlier arrival first, then lower
+// ID (trace order).
+func beforeFIFO(a, b Job) bool {
+	if a.ArriveAt != b.ArriveAt {
+		return a.ArriveAt < b.ArriveAt
+	}
+	return a.ID < b.ID
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Names lists the built-in disciplines in CLI-documentation order.
+func Names() []string { return []string{"fifo", "sjf", "priority", "backfill"} }
+
+// ByName resolves a built-in discipline. The empty string selects FIFO,
+// the runner's historical default. "priority" uses DefaultAgingCycles;
+// construct a Priority value directly for a custom aging horizon.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "", "fifo":
+		return FIFO{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "priority":
+		return Priority{}, nil
+	case "backfill":
+		return Backfill{}, nil
+	}
+	return nil, fmt.Errorf("admission: unknown policy %q; valid policies: %s",
+		name, strings.Join(Names(), ", "))
+}
+
+// Validate checks an order returned by a Policy: every index in range,
+// no duplicates. The runner rejects a run on violation rather than
+// admitting out of thin air.
+func Validate(order []int, waiting int) error {
+	if len(order) > waiting {
+		return fmt.Errorf("admission: order has %d entries for %d waiting jobs", len(order), waiting)
+	}
+	seen := make([]bool, waiting)
+	for _, idx := range order {
+		if idx < 0 || idx >= waiting {
+			return fmt.Errorf("admission: order index %d out of range [0,%d)", idx, waiting)
+		}
+		if seen[idx] {
+			return fmt.Errorf("admission: order admits waiting job %d twice", idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}

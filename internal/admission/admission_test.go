@@ -1,0 +1,155 @@
+package admission
+
+import (
+	"reflect"
+	"testing"
+)
+
+func jobs(js ...Job) []Job { return js }
+
+func TestFIFOIdentityOrder(t *testing.T) {
+	w := jobs(
+		Job{ID: 7, ArriveAt: 0, Work: 100},
+		Job{ID: 3, ArriveAt: 5, Work: 1, Priority: 9},
+		Job{ID: 1, ArriveAt: 9, Work: 50},
+	)
+	got := FIFO{}.Admit(w, nil, 2, 10)
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("FIFO order = %v, want identity", got)
+	}
+}
+
+func TestSJFOrdersByRemainingWork(t *testing.T) {
+	w := jobs(
+		Job{ID: 0, ArriveAt: 0, Work: 300},
+		Job{ID: 1, ArriveAt: 1, Work: 100},
+		Job{ID: 2, ArriveAt: 2, Work: 200},
+		Job{ID: 3, ArriveAt: 3, Work: 100}, // ties with ID 1; later arrival loses
+	)
+	got := SJF{}.Admit(w, nil, 4, 10)
+	if !reflect.DeepEqual(got, []int{1, 3, 2, 0}) {
+		t.Fatalf("SJF order = %v, want [1 3 2 0]", got)
+	}
+}
+
+func TestPriorityStrictOrder(t *testing.T) {
+	w := jobs(
+		Job{ID: 0, ArriveAt: 0, Priority: 0, Work: 1},
+		Job{ID: 1, ArriveAt: 1, Priority: 2, Work: 500},
+		Job{ID: 2, ArriveAt: 2, Priority: 1, Work: 5},
+	)
+	// Aging disabled: class order, ties FIFO.
+	got := Priority{AgingCycles: -1}.Admit(w, nil, 3, 3)
+	if !reflect.DeepEqual(got, []int{1, 2, 0}) {
+		t.Fatalf("strict priority order = %v, want [1 2 0]", got)
+	}
+}
+
+func TestPriorityAgingPromotes(t *testing.T) {
+	p := Priority{AgingCycles: 100}
+	w := jobs(
+		Job{ID: 0, ArriveAt: 0, Priority: 0},   // waited 250 → +2 levels
+		Job{ID: 1, ArriveAt: 240, Priority: 1}, // waited 10 → +0
+	)
+	got := p.Admit(w, nil, 1, 250)
+	if got[0] != 0 {
+		t.Fatalf("aged class-0 job not promoted over fresh class-1 job: order %v", got)
+	}
+	// Same queue observed early: class order still wins.
+	got = p.Admit(w[:1], nil, 1, 50)
+	if got[0] != 0 {
+		t.Fatalf("singleton order %v", got)
+	}
+}
+
+func TestPriorityEqualClassesIsFIFO(t *testing.T) {
+	// With equal classes, aging is monotone in waiting time, so the aged
+	// order degenerates to arrival order at every observation time.
+	w := jobs(
+		Job{ID: 4, ArriveAt: 3, Priority: 2, Work: 9},
+		Job{ID: 2, ArriveAt: 7, Priority: 2, Work: 1},
+		Job{ID: 9, ArriveAt: 7, Priority: 2, Work: 5},
+		Job{ID: 1, ArriveAt: 400, Priority: 2, Work: 2},
+	)
+	fifo := FIFO{}.Admit(w, nil, 4, 500)
+	for _, aging := range []int64{0, -1, 50, DefaultAgingCycles} {
+		got := Priority{AgingCycles: aging}.Admit(w, nil, 4, 500)
+		if !reflect.DeepEqual(got, fifo) {
+			t.Fatalf("aging=%d: equal-class priority order %v != FIFO %v", aging, got, fifo)
+		}
+	}
+}
+
+func TestBackfillHeadFirstThenShortest(t *testing.T) {
+	w := jobs(
+		Job{ID: 0, ArriveAt: 0, Priority: 0, Work: 10}, // shortest, but not head
+		Job{ID: 1, ArriveAt: 1, Priority: 3, Work: 900},
+		Job{ID: 2, ArriveAt: 2, Priority: 3, Work: 800}, // class tie: ID 1 arrived earlier
+		Job{ID: 3, ArriveAt: 3, Priority: 1, Work: 20},
+	)
+	got := Backfill{}.Admit(w, nil, 4, 5)
+	// Head is ID 1 (top class, oldest); the rest shortest-first.
+	if !reflect.DeepEqual(got, []int{1, 0, 3, 2}) {
+		t.Fatalf("backfill order = %v, want [1 0 3 2]", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range append(Names(), "") {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "fifo"
+		}
+		if p.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("easy"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestValidateOrder(t *testing.T) {
+	if err := Validate([]int{0, 2, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	for name, order := range map[string][]int{
+		"out of range": {0, 3},
+		"negative":     {-1},
+		"duplicate":    {1, 1},
+		"too long":     {0, 1, 2, 0},
+	} {
+		if err := Validate(order, 3); err == nil {
+			t.Errorf("%s: order %v validated", name, order)
+		}
+	}
+}
+
+// TestDeterminism: every discipline must return the same order for the
+// same inputs — admission is part of the reproducibility contract.
+func TestDeterminism(t *testing.T) {
+	w := jobs(
+		Job{ID: 0, ArriveAt: 3, Priority: 1, Work: 70},
+		Job{ID: 1, ArriveAt: 3, Priority: 1, Work: 70},
+		Job{ID: 2, ArriveAt: 0, Priority: 2, Work: 10},
+		Job{ID: 3, ArriveAt: 9, Priority: 0, Work: 90},
+	)
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := p.Admit(w, nil, 2, 100)
+		b := p.Admit(w, nil, 2, 100)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: non-deterministic order %v vs %v", name, a, b)
+		}
+		if err := Validate(a, len(w)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package admission
+
+import (
+	"encoding/binary"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// decodeJobs builds a deterministic job list from fuzz bytes: ten bytes
+// per job (arrival, priority, weight, work), bounded fields so the
+// disciplines see realistic-but-adversarial queues (duplicate arrivals,
+// zero work, ties everywhere). The queue is returned in (ArriveAt, ID)
+// order with sequential IDs — the runner's documented waiting-queue
+// invariant, and the precondition of the FIFO-equivalence properties.
+func decodeJobs(data []byte) (waiting []Job, now uint64) {
+	if len(data) >= 8 {
+		now = binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+	}
+	for i := 0; i+10 <= len(data) && len(waiting) < 64; i += 10 {
+		waiting = append(waiting, Job{
+			ArriveAt: uint64(binary.LittleEndian.Uint32(data[i : i+4])),
+			Priority: int(binary.LittleEndian.Uint16(data[i+4 : i+6])),
+			Weight:   float64(data[i+6]),
+			Work:     uint64(binary.LittleEndian.Uint16(data[i+7 : i+9])),
+		})
+	}
+	sort.SliceStable(waiting, func(a, b int) bool { return waiting[a].ArriveAt < waiting[b].ArriveAt })
+	for i := range waiting {
+		waiting[i].ID = i
+	}
+	return waiting, now
+}
+
+// FuzzAdmit drives every discipline with adversarial queues and checks the
+// structural contract: no panic, a valid order (in-range, duplicate-free),
+// full coverage of the queue by the built-ins, determinism, FIFO identity,
+// and the equal-class Priority ≡ FIFO equivalence.
+func FuzzAdmit(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 8+10*3))
+	f.Add([]byte("\xff\xff\xff\xff\xff\xff\xff\xff" + "aaaaaaaaaabbbbbbbbbbcccccccccc"))
+	seed := make([]byte, 8+10*5)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		waiting, now := decodeJobs(data)
+		if len(waiting) == 0 {
+			return
+		}
+		free := 1 + int(now%uint64(len(waiting)+1))
+		for _, name := range Names() {
+			p, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order := p.Admit(waiting, nil, free, now)
+			if err := Validate(order, len(waiting)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(order) != len(waiting) {
+				t.Fatalf("%s: built-in discipline returned %d of %d jobs", name, len(order), len(waiting))
+			}
+			again := p.Admit(waiting, nil, free, now)
+			if !reflect.DeepEqual(order, again) {
+				t.Fatalf("%s: non-deterministic order", name)
+			}
+		}
+		// FIFO is the identity over the queue.
+		fifo := FIFO{}.Admit(waiting, nil, free, now)
+		for i, idx := range fifo {
+			if idx != i {
+				t.Fatalf("fifo order %v is not the identity", fifo)
+			}
+		}
+		// With every class equal, aged priority degenerates to FIFO.
+		flat := append([]Job(nil), waiting...)
+		for i := range flat {
+			flat[i].Priority = 0
+		}
+		if got := (Priority{}).Admit(flat, nil, free, now); !reflect.DeepEqual(got, fifo) {
+			t.Fatalf("equal-class priority order %v != FIFO %v", got, fifo)
+		}
+		// Backfill's first admission is the head: nothing waiting outranks
+		// it by (class, arrival, ID).
+		bf := Backfill{}.Admit(waiting, nil, free, now)
+		head := waiting[bf[0]]
+		for _, j := range waiting {
+			if j.ID != head.ID && backfillHeadBefore(j, head) {
+				t.Fatalf("backfill head %+v outranked by %+v", head, j)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 
+	"synpa/internal/admission"
 	"synpa/internal/core"
 	"synpa/internal/machine"
 	"synpa/internal/pool"
@@ -67,16 +68,30 @@ type dynSummary struct {
 	meanRespK                 float64 // mean response time, kilocycles
 	antt                      float64 // mean normalized response (completed apps)
 	stp                       float64 // completed isolated-app work per cycle
+	wstp                      float64 // weight-scaled STP (= stp on uniform weights)
 	meanLive                  float64
 	occupancy                 float64
 	allCompleted              bool
+	perClass                  []workload.ClassStats
 }
 
 // runDynamic executes one trace under one policy and summarises it. The
 // trace-to-work conversion and the metric definitions live in the workload
 // package (DynamicWork / SummarizeDynamic), shared with the public
 // System.RunDynamic so both report identical numbers for the same trace.
+// The admission discipline comes from the suite configuration (FIFO by
+// default).
 func (s *Suite) runDynamic(tr workload.Trace, factory PolicyFactory) (*dynSummary, error) {
+	adm, err := admission.ByName(s.cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	return s.runDynamicAdm(tr, factory, adm)
+}
+
+// runDynamicAdm executes one trace under one placement policy and one
+// admission discipline.
+func (s *Suite) runDynamicAdm(tr workload.Trace, factory PolicyFactory, adm admission.Policy) (*dynSummary, error) {
 	work, isoCycles, err := s.targets.DynamicWork(tr)
 	if err != nil {
 		return nil, err
@@ -92,6 +107,7 @@ func (s *Suite) runDynamic(tr workload.Trace, factory PolicyFactory) (*dynSummar
 	res, err := mach.RunDynamic(work, factory.New(), machine.DynamicOptions{
 		Seed:      s.cfg.Seed + hashString(tr.Name),
 		MaxCycles: uint64(s.cfg.MaxQuanta) * cfg.QuantumCycles,
+		Admission: adm,
 	})
 	if err != nil {
 		return nil, err
@@ -104,9 +120,11 @@ func (s *Suite) runDynamic(tr workload.Trace, factory PolicyFactory) (*dynSummar
 		meanRespK:    stats.MeanResponseCycles / 1000,
 		antt:         stats.ANTT,
 		stp:          stats.STP,
+		wstp:         stats.WeightedSTP,
 		meanLive:     res.MeanLiveApps,
 		occupancy:    res.MeanLiveApps / float64(cfg.HWThreads()),
 		allCompleted: res.AllCompleted,
+		perClass:     stats.PerClass,
 	}, nil
 }
 

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"synpa/internal/admission"
+	"synpa/internal/core"
+	"synpa/internal/workload"
+)
+
+// dynPrioSuite is the scaled configuration the acceptance numbers are
+// recorded at (the same scale the golden-regression harness uses).
+func dynPrioSuite() *Suite {
+	cfg := DefaultConfig()
+	cfg.Machine.QuantumCycles = 8000
+	cfg.RefQuanta = 30
+	cfg.Reps = 1
+	return NewSuite(cfg)
+}
+
+func TestDynPrioScenarioShapes(t *testing.T) {
+	scenarios := DynPrioScenarios(1, 8000)
+	if len(scenarios) != 3 {
+		t.Fatalf("%d scenarios, want 3", len(scenarios))
+	}
+	for _, tr := range scenarios {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		classes := map[int]int{}
+		for _, e := range tr.Entries {
+			classes[e.Priority]++
+			if e.Priority > 0 && e.Weight <= 1 {
+				t.Fatalf("%s: class %d entry has weight %v, want > 1", tr.Name, e.Priority, e.Weight)
+			}
+		}
+		// Mixed-priority means at least two classes actually drawn.
+		if len(classes) < 2 {
+			t.Fatalf("%s: only %d priority classes drawn: %v", tr.Name, len(classes), classes)
+		}
+	}
+}
+
+// TestDynPrioAcceptance pins the PR's acceptance criterion on the SYNPA
+// placement rows at the high-load level: strict-priority and backfilling
+// each beat FIFO on high-class ANTT, while weighted STP stays within 5% of
+// FIFO's. The run is fully deterministic, so these are exact regression
+// anchors, not flaky statistical claims.
+func TestDynPrioAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the mixed-priority scenario set")
+	}
+	s := dynPrioSuite()
+	model, _, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	synpa := SYNPAFactory(model, core.PolicyOptions{})
+	scenarios := DynPrioScenarios(s.cfg.Seed, s.cfg.Machine.QuantumCycles)
+	hi := scenarios[len(scenarios)-1] // prio-hi
+	if hi.Name != "prio-hi" {
+		t.Fatalf("last scenario is %s, want prio-hi", hi.Name)
+	}
+
+	run := func(name string) *dynSummary {
+		adm, err := admission.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.runDynamicAdm(hi, synpa, adm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return sum
+	}
+	fifo := run("fifo")
+	if fifo.deferred == 0 {
+		t.Fatal("prio-hi never queued an arrival: the high-load level is not high load")
+	}
+	hiANTT := func(sum *dynSummary) float64 { return classStats(sum.perClass, 2).ANTT }
+	for _, name := range []string{"priority", "backfill"} {
+		sum := run(name)
+		if got, base := hiANTT(sum), hiANTT(fifo); got >= base {
+			t.Errorf("%s high-class ANTT %.3f does not beat fifo's %.3f", name, got, base)
+		}
+		if ratio := sum.wstp / fifo.wstp; ratio < 0.95 {
+			t.Errorf("%s weighted STP %.3f is more than 5%% below fifo's %.3f (ratio %.3f)",
+				name, sum.wstp, fifo.wstp, ratio)
+		}
+	}
+}
+
+// TestDynPrioNoContentionTies: at the light load level no arrival ever
+// queues, so every admission discipline must produce identical runs — the
+// discipline only orders a queue that never forms.
+func TestDynPrioNoContentionTies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the mixed-priority scenario set")
+	}
+	s := dynPrioSuite()
+	lo := DynPrioScenarios(s.cfg.Seed, s.cfg.Machine.QuantumCycles)[0]
+	if lo.Name != "prio-lo" {
+		t.Fatalf("first scenario is %s, want prio-lo", lo.Name)
+	}
+	var base *dynSummary
+	for _, name := range []string{"fifo", "sjf", "priority", "backfill"} {
+		adm, err := admission.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := s.runDynamicAdm(lo, LinuxFactory(), adm)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sum.deferred != 0 {
+			t.Fatalf("%s: prio-lo deferred %d arrivals; the light load level is not light", name, sum.deferred)
+		}
+		if base == nil {
+			base = sum
+			continue
+		}
+		if sum.antt != base.antt || sum.stp != base.stp || sum.wstp != base.wstp ||
+			sum.meanRespK != base.meanRespK {
+			t.Fatalf("%s diverged from fifo without contention: %+v vs %+v", name, sum, base)
+		}
+	}
+}
+
+// TestDynamicFIFODifferential: an explicit Admission="fifo" reproduces the
+// default (historical) RunDynamic results on every dyn0-dyn4 scenario,
+// field for field. Together with the golden-regression digests — which
+// were generated from the pre-refactor inline queue and still match — this
+// pins the refactored admission path to the old behaviour byte for byte.
+func TestDynamicFIFODifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the dyn0-dyn4 scenario set twice")
+	}
+	def := dynPrioSuite()
+	fifoCfg := def.Config()
+	fifoCfg.Admission = "fifo"
+	fifo := NewSuite(fifoCfg)
+	for _, tr := range DynamicScenarios(def.cfg.Seed, def.cfg.Machine.QuantumCycles) {
+		a, err := def.runDynamic(tr, LinuxFactory())
+		if err != nil {
+			t.Fatalf("%s default: %v", tr.Name, err)
+		}
+		b, err := fifo.runDynamic(tr, LinuxFactory())
+		if err != nil {
+			t.Fatalf("%s fifo: %v", tr.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: explicit fifo diverged from the default queue:\n default: %+v\n fifo:    %+v", tr.Name, a, b)
+		}
+	}
+}
+
+// TestDynamicTableAdmissionConfig: the suite-wide Admission knob reaches
+// the dyn0-dyn4 table runs, and an unknown name errors with the valid set.
+func TestDynamicTableAdmissionConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Admission = "no-such-discipline"
+	s := NewSuite(cfg)
+	tr := workload.Trace{Name: "one", Entries: []workload.TraceEntry{{App: "mcf", Work: 0.05}}}
+	if _, err := s.runDynamic(tr, LinuxFactory()); err == nil {
+		t.Fatal("unknown admission discipline accepted")
+	}
+}

@@ -43,6 +43,10 @@ type Config struct {
 	Parallel bool
 	// MaxQuanta bounds each workload run.
 	MaxQuanta int
+	// Admission selects the open-system admission discipline used by the
+	// dynamic scenario experiments ("" or "fifo", "sjf", "priority",
+	// "backfill"); the dynprio experiment compares all four regardless.
+	Admission string
 }
 
 // DefaultConfig returns the configuration used by the published benches.

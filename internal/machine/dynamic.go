@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"synpa/internal/admission"
 	"synpa/internal/apps"
 	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
@@ -30,6 +31,12 @@ type DynamicApp struct {
 	Target uint64
 	// ArriveAt is the cycle at which the application enters the system.
 	ArriveAt uint64
+	// Priority is the app's class (higher = more urgent, default 0);
+	// priority-aware admission policies order the waiting queue on it.
+	Priority int
+	// Weight is the app's class weight for weighted throughput metrics;
+	// zero means 1.
+	Weight float64
 }
 
 // DynamicOptions tune an open-system run.
@@ -41,6 +48,10 @@ type DynamicOptions struct {
 	// RecordPlacements keeps the per-slice placements (in global app-index
 	// space, Unplaced for apps not live) in the result.
 	RecordPlacements bool
+	// Admission orders the waiting queue when arrivals exceed the free
+	// hardware threads. Nil selects admission.FIFO — bit-identical to the
+	// runner's historical inline queue.
+	Admission admission.Policy
 }
 
 // DynamicAppResult is one application's outcome in an open-system run.
@@ -51,6 +62,9 @@ type DynamicAppResult struct {
 	Target uint64
 	// ArriveAt echoes the arrival cycle.
 	ArriveAt uint64
+	// Priority and Weight echo the app's class and class weight.
+	Priority int
+	Weight   float64
 	// AdmittedAt is the cycle the app first got a hardware thread. It
 	// exceeds ArriveAt when all threads were busy on arrival. Zero-valued
 	// ArriveAt admissions are recorded as AdmittedAt == ArriveAt.
@@ -73,6 +87,8 @@ type DynamicAppResult struct {
 type DynamicResult struct {
 	// Policy is the allocation policy's name.
 	Policy string
+	// Admission is the admission discipline's name ("fifo" by default).
+	Admission string
 	// Cycles is the simulated time span (last event's cycle).
 	Cycles uint64
 	// Slices is the number of policy invocations (quantum boundaries plus
@@ -102,12 +118,13 @@ type dynState struct {
 }
 
 // RunDynamic executes an open-system workload under a policy: applications
-// are admitted at their arrival cycles (queueing FIFO when all hardware
-// threads are busy), run until they retire their target, and depart for
-// good. The policy is re-invoked every slice over the live set only; its
-// QuantumState carries stable identities in AppIDs and an Unplaced-padded
-// Prev view, so both stateless and stateful policies work across arbitrary
-// occupancy changes, including odd live-app counts.
+// are admitted at their arrival cycles (queueing under the configured
+// admission discipline — FIFO by default — when all hardware threads are
+// busy), run until they retire their target, and depart for good. The
+// policy is re-invoked every slice over the live set only; its QuantumState
+// carries stable identities in AppIDs and an Unplaced-padded Prev view, so
+// both stateless and stateful policies work across arbitrary occupancy
+// changes, including odd live-app counts.
 func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOptions) (*DynamicResult, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("machine: nil policy")
@@ -123,6 +140,10 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			return nil, fmt.Errorf("machine: app %d (%s) has no target; open-system jobs are finite",
 				i, work[i].Model.Name)
 		}
+	}
+	adm := opt.Admission
+	if adm == nil {
+		adm = admission.FIFO{}
 	}
 	maxCycles := opt.MaxCycles
 	if maxCycles == 0 {
@@ -140,12 +161,14 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		return work[order[a]].ArriveAt < work[order[b]].ArriveAt
 	})
 
-	res := &DynamicResult{Policy: policy.Name(), Apps: make([]DynamicAppResult, len(work))}
+	res := &DynamicResult{Policy: policy.Name(), Admission: adm.Name(), Apps: make([]DynamicAppResult, len(work))}
 	for i := range work {
 		res.Apps[i] = DynamicAppResult{
 			Name:     work[i].Model.Name,
 			Target:   work[i].Target,
 			ArriveAt: work[i].ArriveAt,
+			Priority: work[i].Priority,
+			Weight:   work[i].Weight,
 		}
 	}
 
@@ -196,23 +219,71 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		ids      []int
 		prevView Placement
 		samples  []pmu.Counters
+		prios    []int
 		ranAny   bool
 	)
 	busy := make([]bool, len(m.cores))
+
+	// Reusable admission-policy views over the waiting and live sets.
+	var wjobs, rjobs []admission.Job
+	jobOf := func(gi int, remaining uint64) admission.Job {
+		return admission.Job{
+			ID:       gi,
+			ArriveAt: work[gi].ArriveAt,
+			Priority: work[gi].Priority,
+			Weight:   work[gi].Weight,
+			Work:     remaining,
+		}
+	}
 
 	// The intra-run worker pool lives for exactly this run.
 	stopPool := m.startPool()
 	defer stopPool()
 
 	for now < maxCycles {
-		// Admission: arrivals whose time has come, capacity permitting.
+		// Admission: arrivals whose time has come, capacity permitting,
+		// in the order the admission discipline picks. FIFO — the
+		// default — reproduces the historical inline queue bit for bit.
 		for nextArr < len(order) && work[order[nextArr]].ArriveAt <= now {
 			waiting = append(waiting, order[nextArr])
 			nextArr++
 		}
-		for len(waiting) > 0 && len(live) < hwThreads {
-			admit(waiting[0])
-			waiting = waiting[1:]
+		if free := hwThreads - len(live); free > 0 && len(waiting) > 0 {
+			wjobs = wjobs[:0]
+			for _, gi := range waiting {
+				wjobs = append(wjobs, jobOf(gi, work[gi].Target))
+			}
+			rjobs = rjobs[:0]
+			for _, gi := range live {
+				remaining := work[gi].Target
+				if r := states[gi].inst.Retired; r < remaining {
+					remaining -= r
+				} else {
+					remaining = 0
+				}
+				rjobs = append(rjobs, jobOf(gi, remaining))
+			}
+			sel := adm.Admit(wjobs, rjobs, free, now)
+			if err := admission.Validate(sel, len(wjobs)); err != nil {
+				return nil, fmt.Errorf("machine: %w", err)
+			}
+			if len(sel) > free {
+				sel = sel[:free]
+			}
+			if len(sel) > 0 {
+				taken := make([]bool, len(waiting))
+				for _, wi := range sel {
+					admit(waiting[wi])
+					taken[wi] = true
+				}
+				keep := waiting[:0]
+				for wi, gi := range waiting {
+					if !taken[wi] {
+						keep = append(keep, gi)
+					}
+				}
+				waiting = keep
+			}
 		}
 		if len(live) == 0 {
 			if nextArr >= len(order) {
@@ -233,16 +304,19 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			ids = make([]int, 0, hwThreads)
 			prevView = make(Placement, 0, hwThreads)
 			samples = make([]pmu.Counters, 0, hwThreads)
+			prios = make([]int, 0, hwThreads)
 		}
-		ids, prevView, samples = ids[:0], prevView[:0], samples[:0]
+		ids, prevView, samples, prios = ids[:0], prevView[:0], samples[:0], prios[:0]
 		for _, gi := range live {
 			ids = append(ids, gi)
 			prevView = append(prevView, coreOf[gi])
 			samples = append(samples, states[gi].lastDelta)
+			prios = append(prios, work[gi].Priority)
 		}
 		st.Quantum = res.Slices
 		st.NumApps = n
 		st.AppIDs = ids
+		st.Priorities = prios
 		st.Prev, st.Samples = nil, nil
 		if ranAny {
 			st.Prev = prevView

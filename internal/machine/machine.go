@@ -200,6 +200,12 @@ type QuantumState struct {
 	// quantum; nil before the first quantum. In a dynamic run a zero
 	// Counters value marks an application that has not run yet.
 	Samples []pmu.Counters
+	// Priorities holds each application's priority class (higher = more
+	// urgent) in a dynamic run, parallel to the live set, so placement
+	// policies can discriminate by class. Nil in closed-system runs,
+	// where every application is class 0. Owned by the runner; must not
+	// be retained past the Place call.
+	Priorities []int
 	// DispatchWidth is the core dispatch width (for characterization).
 	DispatchWidth int
 	// SMTLevel is the machine's hardware threads per core; a placement

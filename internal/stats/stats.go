@@ -7,6 +7,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -101,6 +102,29 @@ func Max(xs []float64) (float64, error) {
 		}
 	}
 	return m, nil
+}
+
+// Percentile returns the p-th quantile of xs (p in [0,1]) with linear
+// interpolation between order statistics, the convention most plotting and
+// reporting tools use. It returns an error for empty input or p outside
+// [0,1].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: percentile %v outside [0,1]", p)
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := p * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo], nil
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac, nil
 }
 
 // Median returns the median of xs (average of middle pair for even length).

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace drives the scripted-trace parser with arbitrary input:
+// malformed priority columns, huge cycle counts, NaN/Inf work factors,
+// pathological whitespace. The parser must never panic, and anything it
+// accepts must satisfy the trace contract it promises (Validate passes and
+// every field is inside its documented bounds).
+func FuzzParseTrace(f *testing.F) {
+	seeds := []string{
+		"0 mcf\n",
+		"# comment only\n",
+		"0 mcf 0.5\n40000 leela_r 2 # tail\n",
+		"0 mcf 1 2\n",
+		"0 mcf 1 2 4\n",
+		"18446744073709551615 mcf 1 1048576 1e6\n",
+		"0 mcf NaN\n",
+		"0 mcf 1e300\n",
+		"0 mcf 1 -2\n",
+		"0 mcf 1 2 Inf\n",
+		"  \t \n5000 lbm_r\t0.25  3\t2.5 # mixed whitespace\n",
+		"9 not_a_benchmark 1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseTrace("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted traces must honour the contract ParseTrace documents.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v\ninput: %q", err, input)
+		}
+		for i, e := range tr.Entries {
+			if e.Work < 0 || e.Work > MaxWorkFactor || math.IsNaN(e.Work) {
+				t.Fatalf("entry %d: work %v escaped its bounds\ninput: %q", i, e.Work, input)
+			}
+			if e.Priority < 0 || e.Priority > MaxPriority {
+				t.Fatalf("entry %d: priority %d escaped its bounds\ninput: %q", i, e.Priority, input)
+			}
+			if e.Weight < 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
+				t.Fatalf("entry %d: weight %v escaped its bounds\ninput: %q", i, e.Weight, input)
+			}
+		}
+	})
+}

@@ -12,6 +12,8 @@ func TestParseTrace(t *testing.T) {
 		0      mcf
 		0      leela_r   0.5
 		40000  lbm_r     2    # trailing comment
+		50000  mcf       1    3
+		60000  gobmk     0.5  2  4
 	`))
 	if err != nil {
 		t.Fatal(err)
@@ -20,26 +22,36 @@ func TestParseTrace(t *testing.T) {
 		{App: "mcf", ArriveAt: 0},
 		{App: "leela_r", ArriveAt: 0, Work: 0.5},
 		{App: "lbm_r", ArriveAt: 40000, Work: 2},
+		{App: "mcf", ArriveAt: 50000, Work: 1, Priority: 3},
+		{App: "gobmk", ArriveAt: 60000, Work: 0.5, Priority: 2, Weight: 4},
 	}
 	if tr.Name != "demo" || !reflect.DeepEqual(tr.Entries, want) {
 		t.Fatalf("parsed %+v, want %+v", tr.Entries, want)
 	}
-	if !reflect.DeepEqual(tr.Names(), []string{"mcf", "leela_r", "lbm_r"}) {
+	if !reflect.DeepEqual(tr.Names(), []string{"mcf", "leela_r", "lbm_r", "mcf", "gobmk"}) {
 		t.Fatalf("Names = %v", tr.Names())
 	}
 }
 
 func TestParseTraceErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":         "# nothing but comments\n",
-		"unknown app":   "0 not_a_benchmark\n",
-		"bad cycle":     "soon mcf\n",
-		"bad work":      "0 mcf lots\n",
-		"negative":      "0 mcf -1\n",
-		"extra fields":  "0 mcf 1 2\n",
-		"missing app":   "5000\n",
-		"comment-eaten": "5000 # mcf\n",
-		"zero work":     "0 mcf 0\n", // explicit 0 would silently mean full work
+		"empty":             "# nothing but comments\n",
+		"unknown app":       "0 not_a_benchmark\n",
+		"bad cycle":         "soon mcf\n",
+		"bad work":          "0 mcf lots\n",
+		"negative":          "0 mcf -1\n",
+		"nan work":          "0 mcf NaN\n", // ParseFloat accepts the token
+		"huge work":         "0 mcf 1e300\n",
+		"extra fields":      "0 mcf 1 2 4 9\n",
+		"missing app":       "5000\n",
+		"comment-eaten":     "5000 # mcf\n",
+		"zero work":         "0 mcf 0\n", // explicit 0 would silently mean full work
+		"negative priority": "0 mcf 1 -2\n",
+		"frac priority":     "0 mcf 1 1.5\n",
+		"huge priority":     "0 mcf 1 9999999\n",
+		"zero weight":       "0 mcf 1 2 0\n",
+		"negative weight":   "0 mcf 1 2 -1\n",
+		"nan weight":        "0 mcf 1 2 NaN\n",
 	}
 	for name, text := range cases {
 		if _, err := ParseTrace(name, strings.NewReader(text)); err == nil {

@@ -1,0 +1,232 @@
+package synpa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// prioSystem builds a small fast system with the given admission
+// discipline.
+func prioSystem(t *testing.T, adm string) *System {
+	t.Helper()
+	sys, err := New(Config{Cores: 2, QuantumCycles: 6_000, RefQuanta: 20, Seed: 7, Admission: adm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// checkReportFinite asserts that no aggregate or per-class metric of the
+// report is NaN or Inf — the DynamicReport-layer form of the metrics
+// package's degenerate-input guarantees (no best-looking phantom scores,
+// no poisoned aggregates), which the per-class variants must inherit.
+func checkReportFinite(t *testing.T, rep *DynamicReport) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"MeanResponseCycles": rep.MeanResponseCycles,
+		"ANTT":               rep.ANTT,
+		"STP":                rep.STP,
+		"WeightedSTP":        rep.WeightedSTP,
+		"Occupancy":          rep.Occupancy,
+	} {
+		if !finite(v) {
+			t.Errorf("%s = %v", name, v)
+		}
+	}
+	for _, c := range rep.PerClass {
+		for name, v := range map[string]float64{
+			"ANTT":               c.ANTT,
+			"MeanResponseCycles": c.MeanResponseCycles,
+			"P95ResponseCycles":  c.P95ResponseCycles,
+			"Weight":             c.Weight,
+		} {
+			if !finite(v) {
+				t.Errorf("class %d %s = %v", c.Priority, name, v)
+			}
+		}
+		if c.Completed > c.Apps {
+			t.Errorf("class %d completed %d of %d apps", c.Priority, c.Completed, c.Apps)
+		}
+	}
+}
+
+// TestDynamicReportDegenerateInputs drives the DynamicReport metrics
+// through the degenerate shapes the metrics package guards at unit level —
+// a single job, a zero-work job (the work factor rounds to a one-
+// instruction target), and a class that completes nothing — and asserts
+// the per-class variants inherit the same behaviour: zeros, never NaN, and
+// no phantom best scores.
+func TestDynamicReportDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace string
+		check func(t *testing.T, rep *DynamicReport)
+	}{
+		{
+			name:  "single job",
+			trace: "0 mcf 0.2\n",
+			check: func(t *testing.T, rep *DynamicReport) {
+				if rep.Completed != 1 || rep.ANTT <= 0 {
+					t.Errorf("Completed=%d ANTT=%v", rep.Completed, rep.ANTT)
+				}
+				if len(rep.PerClass) != 0 {
+					t.Errorf("uniform single job grew per-class rows: %+v", rep.PerClass)
+				}
+				if rep.WeightedSTP != rep.STP {
+					t.Errorf("uniform weights: WeightedSTP %v != STP %v", rep.WeightedSTP, rep.STP)
+				}
+			},
+		},
+		{
+			name: "zero work job",
+			// 1e-9 of the reference target rounds to a single
+			// instruction: the shortest possible job, normalized by a
+			// sub-cycle isolated time.
+			trace: "0 mcf 0.000000001 1 2\n0 leela_r 0.2\n",
+			check: func(t *testing.T, rep *DynamicReport) {
+				if rep.Completed != 2 {
+					t.Errorf("Completed=%d", rep.Completed)
+				}
+				if len(rep.PerClass) != 2 {
+					t.Fatalf("PerClass rows: %+v", rep.PerClass)
+				}
+				if rep.PerClass[0].Priority != 1 || rep.PerClass[0].Completed != 1 {
+					t.Errorf("class 1 row: %+v", rep.PerClass[0])
+				}
+			},
+		},
+		{
+			name: "single-member class mean equals p95",
+			// One completed job per class: p95 of a single sample is the
+			// sample.
+			trace: "0 mcf 0.2 2 4\n0 leela_r 0.2 1 2\n",
+			check: func(t *testing.T, rep *DynamicReport) {
+				for _, c := range rep.PerClass {
+					if c.Completed == 1 && c.P95ResponseCycles != c.MeanResponseCycles {
+						t.Errorf("class %d: p95 %v != mean %v over one sample",
+							c.Priority, c.P95ResponseCycles, c.MeanResponseCycles)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := prioSystem(t, "")
+			tr, err := ParseTrace(tc.name, strings.NewReader(tc.trace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sys.RunDynamic(tr, sys.LinuxPolicy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReportFinite(t, rep)
+			tc.check(t, rep)
+		})
+	}
+}
+
+// TestDynamicReportEmptyClass pins the empty-class behaviour: a class
+// whose only member cannot finish within the run bound reports Completed 0
+// with zero (not NaN, not best-possible) response metrics, while the other
+// classes are unaffected.
+func TestDynamicReportEmptyClass(t *testing.T) {
+	sys, err := New(Config{Cores: 2, QuantumCycles: 2_000, RefQuanta: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work 50000 × the (tiny) reference target cannot retire within the
+	// DefaultMaxQuanta × 2000-cycle bound; the class-3 job never finishes.
+	tr, err := ParseTrace("emptyclass", strings.NewReader(
+		"0 mcf 50000 3 4\n0 leela_r 0.5 1 2\n0 povray_r 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunDynamic(tr, sys.LinuxPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReportFinite(t, rep)
+	if rep.AllCompleted {
+		t.Fatal("the unfinishable job finished; the scenario no longer tests an empty class")
+	}
+	var c3 *ClassReport
+	for i := range rep.PerClass {
+		if rep.PerClass[i].Priority == 3 {
+			c3 = &rep.PerClass[i]
+		}
+	}
+	if c3 == nil {
+		t.Fatalf("class 3 missing from PerClass: %+v", rep.PerClass)
+	}
+	if c3.Apps != 1 || c3.Completed != 0 {
+		t.Fatalf("class 3 = %+v, want 1 app, 0 completed", c3)
+	}
+	if c3.ANTT != 0 || c3.MeanResponseCycles != 0 || c3.P95ResponseCycles != 0 {
+		t.Fatalf("empty class reports non-zero response metrics: %+v", c3)
+	}
+	if c3.Weight != 4 {
+		t.Fatalf("class 3 weight %v, want 4", c3.Weight)
+	}
+}
+
+// TestRunDynamicAdmissionConfig: the Admission knob changes queue order
+// end to end, unknown names error with the valid list, and every valid
+// name is accepted.
+func TestRunDynamicAdmissionConfig(t *testing.T) {
+	if _, err := New(Config{Admission: "lifo"}); err == nil ||
+		!strings.Contains(err.Error(), "valid policies") {
+		t.Fatalf("unknown admission error = %v", err)
+	}
+	for _, name := range AdmissionPolicies() {
+		if _, err := New(Config{Admission: name}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	// Saturate two SMT2 cores with four long batch jobs, then queue one
+	// urgent short job behind two more batch arrivals: FIFO admits it
+	// last of the queue, priority admits it first.
+	trace := "0 mcf 0.6\n0 lbm_r 0.6\n0 leela_r 0.6\n0 gobmk 0.6\n" +
+		"1 milc 0.6\n2 perlbench 0.6\n3 povray_r 0.1 2 4\n"
+	admitOrder := func(adm string) (urgent, batch1, batch2 uint64) {
+		sys := prioSystem(t, adm)
+		tr, err := ParseTrace("admorder", strings.NewReader(trace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.RunDynamic(tr, sys.LinuxPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Admission != adm {
+			t.Fatalf("report admission %q, want %q", rep.Admission, adm)
+		}
+		if !rep.Apps[6].Admitted || !rep.Apps[4].Admitted || !rep.Apps[5].Admitted {
+			t.Fatalf("queued jobs never admitted under %s", adm)
+		}
+		return rep.Apps[6].AdmittedAt, rep.Apps[4].AdmittedAt, rep.Apps[5].AdmittedAt
+	}
+	// Simultaneous departures at a slice boundary can free several threads
+	// at once and admit a whole batch at the same cycle, so the order
+	// shows as ≤/≥ rather than strict inequalities; the cross-discipline
+	// comparison below is strict.
+	fifoUrgent, fifoBatch1, fifoBatch2 := admitOrder("fifo")
+	if fifoUrgent < fifoBatch1 || fifoUrgent < fifoBatch2 {
+		t.Fatalf("fifo admitted the urgent job (%d) before the earlier batch arrivals (%d, %d)",
+			fifoUrgent, fifoBatch1, fifoBatch2)
+	}
+	prioUrgent, prioBatch1, prioBatch2 := admitOrder("priority")
+	if prioUrgent > prioBatch1 || prioUrgent > prioBatch2 {
+		t.Fatalf("priority admitted the urgent job (%d) after a batch arrival (%d, %d)",
+			prioUrgent, prioBatch1, prioBatch2)
+	}
+	if prioUrgent >= fifoUrgent {
+		t.Fatalf("priority admission (%d) did not move the urgent job ahead of fifo's admission point (%d)",
+			prioUrgent, fifoUrgent)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 
+	"synpa/internal/admission"
 	"synpa/internal/apps"
 	"synpa/internal/core"
 	"synpa/internal/machine"
@@ -109,7 +110,16 @@ type Config struct {
 	// SYNPA_WORKERS environment variable overrides. Results are
 	// bit-identical at every worker count.
 	Workers int
+	// Admission selects the open-system admission discipline that orders
+	// the waiting queue when arrivals exceed the free hardware threads:
+	// "fifo" (default), "sjf", "priority" (aged classes) or "backfill"
+	// (EASY-style head-protected shortest-first). Closed-system Run is
+	// unaffected. See internal/admission for the discipline semantics.
+	Admission string
 }
+
+// AdmissionPolicies lists the valid Config.Admission values.
+func AdmissionPolicies() []string { return admission.Names() }
 
 // DefaultConfig returns the paper-equivalent defaults.
 func DefaultConfig() Config {
@@ -121,6 +131,7 @@ func DefaultConfig() Config {
 type System struct {
 	cfg     Config
 	machCfg machine.Config
+	adm     admission.Policy
 	targets *workload.TargetCache
 }
 
@@ -143,9 +154,14 @@ func New(cfg Config) (*System, error) {
 	if err := mc.Validate(); err != nil {
 		return nil, err
 	}
+	adm, err := admission.ByName(cfg.Admission)
+	if err != nil {
+		return nil, fmt.Errorf("synpa: %w", err)
+	}
 	return &System{
 		cfg:     cfg,
 		machCfg: mc,
+		adm:     adm,
 		targets: workload.NewTargetCache(mc, cfg.RefQuanta, cfg.Seed),
 	}, nil
 }
@@ -339,10 +355,24 @@ func PoissonTrace(name string, seed uint64, pool []string, n int, meanGapCycles,
 	return workload.PoissonTrace(name, seed, pool, n, meanGapCycles, work)
 }
 
+// ClassShare is one priority class's share of a mixed-priority trace.
+type ClassShare = workload.ClassShare
+
+// PoissonTraceMixed generates a deterministic Poisson trace whose arrivals
+// draw a priority class (and class weight) from the given mix, with
+// probability proportional to each class's Share.
+func PoissonTraceMixed(name string, seed uint64, pool []string, n int, meanGapCycles, work float64, mix []ClassShare) Trace {
+	return workload.PoissonTraceMixed(name, seed, pool, n, meanGapCycles, work, mix)
+}
+
 // DynamicAppReport is one application's outcome within a dynamic run.
 type DynamicAppReport struct {
 	// Name is the benchmark name.
 	Name string
+	// Priority is the app's class (higher = more urgent, default 0) and
+	// Weight its class weight in the weighted-STP summary (0 means 1).
+	Priority int
+	Weight   float64
 	// ArriveAt and FinishAt bracket the app's life (cycles); FinishAt is 0
 	// if the app did not complete within the run bound.
 	ArriveAt, FinishAt uint64
@@ -363,10 +393,18 @@ type DynamicAppReport struct {
 	IPC float64
 }
 
+// ClassReport is one priority class's metrics within a DynamicReport:
+// per-class ANTT, mean/p95 response and the class weight (see
+// workload.ClassStats for the field semantics).
+type ClassReport = workload.ClassStats
+
 // DynamicReport is the outcome of one open-system trace execution.
 type DynamicReport struct {
 	// Policy is the allocation policy used.
 	Policy string
+	// Admission is the admission discipline that ordered the waiting
+	// queue ("fifo" unless Config.Admission chose otherwise).
+	Admission string
 	// Trace is the trace name.
 	Trace string
 	// Cycles is the simulated time span; Slices counts policy invocations
@@ -387,6 +425,15 @@ type DynamicReport struct {
 	// completed apps / Cycles, in "isolated applications" units (higher is
 	// better; bounded by the hardware-thread count).
 	STP float64
+	// WeightedSTP is STP with each completed app's isolated work scaled
+	// by its class weight, normalized by the mean weight of completed
+	// apps (uniform weights reproduce STP exactly) — the batch-throughput
+	// side of the per-class latency trade.
+	WeightedSTP float64
+	// PerClass breaks the response-time metrics out by priority class,
+	// most urgent first. Empty when every arrival is class 0 with default
+	// weight.
+	PerClass []ClassReport
 	// MeanLiveApps is the time-averaged number of live applications;
 	// Occupancy normalises it by the hardware-thread capacity.
 	MeanLiveApps float64
@@ -413,7 +460,7 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := mach.RunDynamic(work, policy, machine.DynamicOptions{Seed: s.cfg.Seed})
+	res, err := mach.RunDynamic(work, policy, machine.DynamicOptions{Seed: s.cfg.Seed, Admission: s.adm})
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +468,7 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 	stats := workload.SummarizeDynamic(res, isoCycles)
 	rep := &DynamicReport{
 		Policy:             res.Policy,
+		Admission:          res.Admission,
 		Trace:              trace.Name,
 		Cycles:             res.Cycles,
 		Slices:             res.Slices,
@@ -431,6 +479,8 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 		MeanResponseCycles: stats.MeanResponseCycles,
 		ANTT:               stats.ANTT,
 		STP:                stats.STP,
+		WeightedSTP:        stats.WeightedSTP,
+		PerClass:           stats.PerClass,
 	}
 	if hw := float64(s.MaxAppsPerRun()); hw > 0 {
 		rep.Occupancy = res.MeanLiveApps / hw
@@ -439,6 +489,8 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 		a := res.Apps[i]
 		ar := DynamicAppReport{
 			Name:           a.Name,
+			Priority:       a.Priority,
+			Weight:         a.Weight,
 			ArriveAt:       a.ArriveAt,
 			Admitted:       a.Admitted,
 			AdmittedAt:     a.AdmittedAt,
