@@ -66,6 +66,8 @@ func main() {
 		format    = flag.String("format", "text", "output format: text | json | csv")
 		ff        = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
 		perfOut   = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
+		fleetM    = flag.Int("fleet-machines", 0, "dynfleet-scale cluster size (0 = 500)")
+		fleetJ    = flag.Int("fleet-jobs", 0, "dynfleet-scale stream length (0 = 1,000,000)")
 	)
 	flag.Parse()
 
@@ -135,6 +137,10 @@ func main() {
 		{"overhead-grouping", s.OverheadGrouping},
 		{"dynamic", s.DynamicTable},
 		{"dynprio", s.DynPrioTable},
+		{"dynfleet", s.DynFleetTable},
+		{"dynfleet-scale", func() (*experiments.Table, error) {
+			return s.DynFleetScale(experiments.FleetScaleOptions{Machines: *fleetM, Jobs: *fleetJ})
+		}},
 		{"smt4", s.SMT4Table},
 	}
 
@@ -149,6 +155,13 @@ func main() {
 	}
 
 	var collector perfstat.Collector
+	// Watch the heap high-water mark across the whole measured run: the
+	// fleet's bounded-memory claim (peak O(machines + classes), not
+	// O(jobs)) is pinned by the peak_heap_bytes this records.
+	var heapWatch *perfstat.HeapWatch
+	if *perfOut != "" {
+		heapWatch = perfstat.StartHeapWatch(0)
+	}
 	ran := 0
 	for _, e := range exps {
 		if *exp != "all" && e.name != *exp {
@@ -202,6 +215,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		heap := heapWatch.Stop()
 		report := collector.Report(map[string]string{
 			"experiment": *exp,
 			"smt":        strconv.Itoa(cfg.Machine.ThreadsPerCore()),
@@ -220,6 +234,14 @@ func main() {
 			"workers":     strconv.Itoa(runMachineCfg(cfg).EffectiveWorkers()),
 			"fastforward": strconv.FormatBool(*ff),
 			"parallel":    strconv.FormatBool(*parallel),
+			// Heap high-water over the measured region: peak live bytes
+			// plus total allocation churn. For dynfleet-scale this is the
+			// bounded-memory evidence — the peak must track the machine
+			// count, never the (orders-of-magnitude larger) job count.
+			"peak_heap_bytes": strconv.FormatUint(heap.PeakHeapBytes, 10),
+			"alloc_bytes":     strconv.FormatUint(heap.AllocBytes, 10),
+			"allocs":          strconv.FormatUint(heap.Allocs, 10),
+			"num_gc":          strconv.FormatUint(uint64(heap.NumGC), 10),
 		})
 		if err := report.WriteFile(path); err != nil {
 			fmt.Fprintln(os.Stderr, "synpa-bench:", err)
@@ -227,7 +249,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "synpa-bench: perfstat written to %s (total %.1fs)\n",
 			path, report.TotalWallSeconds)
-		for _, name := range []string{"policy", "simulation", "matching"} {
+		for _, name := range []string{"policy", "simulation", "matching", "dispatch"} {
 			if s, ok := report.Phases[name]; ok {
 				fmt.Fprintf(os.Stderr, "synpa-bench: phase %-10s %8.2fs\n", name, s)
 			}

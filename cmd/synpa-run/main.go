@@ -8,6 +8,8 @@
 //	synpa-run -apps mcf,leela_r,lbm_r,gobmk -policy both
 //	synpa-run -trace dyn0 -policy both         # built-in dynamic scenario
 //	synpa-run -trace jobs.trace -policy synpa  # scripted arrival trace
+//	synpa-run -fleet fleet-sat -policy both    # two-level cluster run
+//	synpa-run -fleet fleet-hot -dispatch interference -machines 12
 //
 // A trace file is line-oriented: "<arrive_cycle> <app_name> [work_factor]",
 // with # comments. Applications arrive at their cycles, run their finite
@@ -16,10 +18,12 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 
@@ -32,6 +36,9 @@ func main() {
 		wlName    = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
 		appList   = flag.String("apps", "", "comma-separated app names (overrides -workload)")
 		trace     = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4, prio-lo/mid/hi) or trace file path (overrides -workload/-apps)")
+		fleetName = flag.String("fleet", "", "fleet run: built-in cluster scenario (fleet-sat, fleet-imb, fleet-hot) streamed through the two-level scheduler (overrides -workload/-apps/-trace)")
+		dispatch  = flag.String("dispatch", "", "fleet dispatch discipline: least-loaded (default) | round-robin | interference")
+		machines  = flag.Int("machines", 0, "fleet cluster size (0 = the scenario default)")
 		policy    = flag.String("policy", "both", "linux | synpa | random | both")
 		admission = flag.String("admission", "", "dynamic-run admission discipline: fifo (default) | sjf | priority | backfill")
 		smt       = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
@@ -52,12 +59,19 @@ func main() {
 		fatal(err)
 	}
 
+	if *fleetName != "" {
+		runFleet(sys, *fleetName, *dispatch, *policy, *machines, *quantum, *seed)
+		return
+	}
+	if *dispatch != "" || *machines != 0 {
+		fatal(fmt.Errorf("-dispatch and -machines apply to fleet runs only; combine them with -fleet"))
+	}
 	if *trace != "" {
 		runDynamic(sys, *trace, *policy, *quantum, *seed)
 		return
 	}
 	if *admission != "" {
-		fatal(fmt.Errorf("-admission applies to dynamic runs only; combine it with -trace"))
+		fatal(fmt.Errorf("-admission applies to dynamic and fleet runs only; combine it with -trace or -fleet"))
 	}
 
 	var names []string
@@ -121,6 +135,89 @@ func main() {
 		fmt.Printf("fairness: %.3f -> %.3f\n", reports[0].Fairness, reports[1].Fairness)
 		fmt.Printf("IPC geomean speedup: %.3f\n", reports[1].IPCGeomean/reports[0].IPCGeomean)
 	}
+}
+
+// runFleet streams a built-in cluster scenario through the two-level
+// scheduler (cluster dispatch over per-machine placement).
+func runFleet(sys *synpa.System, scenario, dispatch, policy string, machines int, quantum, seed uint64) {
+	scenarios := experiments.FleetScenarios(seed, quantum)
+	valid := make([]string, len(scenarios))
+	var sc *experiments.FleetScenario
+	for i := range scenarios {
+		valid[i] = scenarios[i].Name
+		if scenarios[i].Name == scenario {
+			sc = &scenarios[i]
+		}
+	}
+	if sc == nil {
+		fatal(fmt.Errorf("unknown fleet scenario %q; valid scenarios: %s",
+			scenario, strings.Join(valid, ", ")))
+	}
+	if dispatch != "" && !slices.Contains(synpa.FleetDispatchers(), dispatch) {
+		fatal(fmt.Errorf("unknown dispatch %q; valid dispatchers: %s",
+			dispatch, strings.Join(synpa.FleetDispatchers(), ", ")))
+	}
+	if machines <= 0 {
+		machines = sc.Machines
+	}
+	fmt.Printf("fleet %s: %d machines, %s dispatch\n\n",
+		sc.Name, machines, cmp.Or(dispatch, synpa.DispatchLeastLoaded))
+
+	var model *synpa.Model
+	if policy == "synpa" || policy == "both" || dispatch == synpa.DispatchInterference {
+		fmt.Println("training interference model (22 apps, all pairs)...")
+		m, rep, err := sys.TrainDefaultModel()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained: %d pairs, %d samples\n\n", rep.Pairs, rep.Samples)
+		model = m
+	}
+
+	run := func(newPolicy func(int) synpa.Policy) {
+		rep, err := sys.RunFleet(synpa.FleetConfig{
+			Machines:  machines,
+			Dispatch:  dispatch,
+			Model:     model,
+			NewPolicy: newPolicy,
+		}, sc.Stream())
+		if err != nil {
+			fatal(err)
+		}
+		printFleetReport(rep)
+	}
+	switch policy {
+	case "linux":
+		run(func(int) synpa.Policy { return sys.LinuxPolicy() })
+	case "synpa":
+		run(func(int) synpa.Policy { return sys.SYNPAPolicy(model) })
+	case "random":
+		run(func(int) synpa.Policy { return sys.RandomPolicy(seed) })
+	case "both":
+		run(func(int) synpa.Policy { return sys.LinuxPolicy() })
+		run(func(int) synpa.Policy { return sys.SYNPAPolicy(model) })
+	default:
+		fatal(fmt.Errorf("unknown policy %q; valid policies: linux, synpa, random, both", policy))
+	}
+}
+
+func printFleetReport(r *synpa.FleetReport) {
+	fmt.Printf("--- %s / %s dispatch (admission: %s) ---\n", r.Policy, r.Dispatch, r.Admission)
+	fmt.Printf("span: %d cycles (%d slices)  jobs: %d/%d done  deferred: %d  truncated: %v\n",
+		r.Cycles, r.Slices, r.Completed, r.Jobs, r.Deferred, r.Truncated)
+	fmt.Printf("mean response=%.0f cycles  p95=%.0f  ANTT=%.3f  STP=%.3f  mean live=%.2f\n",
+		r.MeanResponseCycles, r.P95ResponseCycles, r.ANTT, r.STP, r.MeanLive)
+	fmt.Printf("machine job share: min=%d max=%d (imbalance %.3f)\n",
+		r.MinMachineJobs, r.MaxMachineJobs, r.Imbalance)
+	for _, c := range r.PerClass {
+		fmt.Printf("  class %d (weight %.1f): %d/%d done  ANTT=%.3f  mean resp=%.0f  p95=%.0f\n",
+			c.Priority, c.Weight, c.Completed, c.Jobs, c.ANTT,
+			c.MeanResponseCycles, c.P95ResponseCycles)
+	}
+	if len(r.PerClass) > 0 {
+		fmt.Printf("  weighted STP=%.3f\n", r.WeightedSTP)
+	}
+	fmt.Println()
 }
 
 // runDynamic executes an open-system trace under the selected policies.

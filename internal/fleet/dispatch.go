@@ -1,0 +1,211 @@
+// Cluster-level dispatch: the first level of the fleet's two-level
+// scheduler picks the machine for each arriving job; the second level (the
+// per-machine SYNPA placement policy) picks its threads. Three disciplines:
+//
+//   - round-robin: cyclic assignment, load-blind. The baseline a cluster
+//     front-end starts from.
+//   - least-loaded: the machine with the fewest unfinished jobs (live +
+//     queued), ties to the lowest index — the classic water-filling
+//     dispatcher.
+//   - interference: among machines with a free hardware thread, the one
+//     whose resident jobs the trained degradation model predicts to
+//     interfere least with the newcomer (ties by load, then index); falls
+//     back to least-loaded when every machine is saturated. This is the
+//     AMTHA-style dispatch-level use of the same model SYNPA places
+//     threads with.
+//
+// Every pick is a pure function of dispatch state mutated only on the
+// coordinator goroutine, in stream order — worker count cannot affect it.
+// Selection scans O(machines) per job; at the fleet sizes the experiments
+// run (hundreds to a few thousand machines) the scan is noise next to
+// simulating the quantum, and it keeps determinism trivial.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"synpa/internal/core"
+)
+
+// Dispatch policy names.
+const (
+	DispatchRoundRobin   = "round-robin"
+	DispatchLeastLoaded  = "least-loaded"
+	DispatchInterference = "interference"
+)
+
+// Dispatchers lists the valid dispatch-policy names, sorted.
+func Dispatchers() []string {
+	return []string{DispatchInterference, DispatchLeastLoaded, DispatchRoundRobin}
+}
+
+// dispatcher picks machines for arrivals and tracks commitment state.
+type dispatcher interface {
+	name() string
+	// pick returns the machine for the job and commits it there.
+	pick(j *Job) int
+	// done releases one of machine m's committed jobs.
+	done(m int, appName string)
+}
+
+// newDispatcher resolves a dispatch policy by name ("" selects
+// least-loaded). The interference dispatcher needs the trained model and
+// the machines' hardware-thread capacity.
+func newDispatcher(name string, machines, hwThreads int, model *core.Model) (dispatcher, error) {
+	switch name {
+	case DispatchRoundRobin:
+		return &roundRobin{machines: machines}, nil
+	case "", DispatchLeastLoaded:
+		return &leastLoaded{loads: make([]int, machines)}, nil
+	case DispatchInterference:
+		if model == nil {
+			return nil, fmt.Errorf("fleet: %s dispatch needs a trained interference model", DispatchInterference)
+		}
+		d := &interference{
+			leastLoaded: leastLoaded{loads: make([]int, machines)},
+			model:       model,
+			capacity:    hwThreads,
+			catSums:     make([][]float64, machines),
+			cats:        map[string][]float64{},
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown dispatch policy %q (valid: %v)", name, Dispatchers())
+	}
+}
+
+// roundRobin assigns machines cyclically.
+type roundRobin struct {
+	machines int
+	next     int
+}
+
+func (d *roundRobin) name() string { return DispatchRoundRobin }
+
+func (d *roundRobin) pick(*Job) int {
+	m := d.next
+	d.next = (d.next + 1) % d.machines
+	return m
+}
+
+func (d *roundRobin) done(int, string) {}
+
+// leastLoaded assigns the machine with the fewest unfinished jobs.
+type leastLoaded struct {
+	loads []int // per machine: dispatched and not yet finished
+}
+
+func (d *leastLoaded) name() string { return DispatchLeastLoaded }
+
+func (d *leastLoaded) pick(*Job) int {
+	best := 0
+	for m := 1; m < len(d.loads); m++ {
+		if d.loads[m] < d.loads[best] {
+			best = m
+		}
+	}
+	d.loads[best]++
+	return best
+}
+
+func (d *leastLoaded) done(m int, _ string) { d.loads[m]-- }
+
+// interference scores candidate machines with the trained pair-degradation
+// model over the residents' isolated category fractions.
+type interference struct {
+	leastLoaded
+	model    *core.Model
+	capacity int // hardware threads per machine
+
+	// catSums[m] is the sum of category-fraction vectors of machine m's
+	// unfinished jobs; cats memoises each application's vector (O(apps)).
+	catSums [][]float64
+	cats    map[string][]float64
+}
+
+func (d *interference) name() string { return DispatchInterference }
+
+// noteCats memoises an application's isolated category fractions; the
+// source attaches them to every job it emits.
+func (d *interference) noteCats(appName string, cats []float64) {
+	if _, ok := d.cats[appName]; !ok {
+		d.cats[appName] = append([]float64(nil), cats...)
+	}
+}
+
+// score predicts the mutual degradation between the job and machine m's
+// mean resident profile; an empty machine is interference-free.
+func (d *interference) score(j *Job, m int) float64 {
+	if d.loads[m] == 0 || d.catSums[m] == nil {
+		return 0
+	}
+	mean := make([]float64, len(d.catSums[m]))
+	inv := 1 / float64(d.loads[m])
+	for k, v := range d.catSums[m] {
+		mean[k] = v * inv
+	}
+	return d.model.PairDegradation(j.Cats, mean)
+}
+
+func (d *interference) pick(j *Job) int {
+	d.noteCats(j.App.Model.Name, j.Cats)
+	best, bestScore, found := 0, 0.0, false
+	for m := 0; m < len(d.loads); m++ {
+		if d.loads[m] >= d.capacity {
+			continue // saturated: the job could only queue
+		}
+		s := d.score(j, m)
+		if !found || s < bestScore ||
+			(s == bestScore && (d.loads[m] < d.loads[best] ||
+				(d.loads[m] == d.loads[best] && m < best))) {
+			best, bestScore, found = m, s, true
+		}
+	}
+	if !found {
+		// Every machine is saturated; queue where the backlog is
+		// shortest.
+		m := d.leastLoaded.pick(j)
+		d.addCats(m, j.Cats, 1)
+		return m
+	}
+	d.loads[best]++
+	d.addCats(best, j.Cats, 1)
+	return best
+}
+
+func (d *interference) done(m int, appName string) {
+	d.loads[m]--
+	if cats, ok := d.cats[appName]; ok {
+		d.addCats(m, cats, -1)
+	}
+}
+
+// addCats accumulates sign·cats into machine m's resident profile.
+func (d *interference) addCats(m int, cats []float64, sign float64) {
+	if cats == nil {
+		return
+	}
+	if d.catSums[m] == nil {
+		d.catSums[m] = make([]float64, len(cats))
+	}
+	for k, v := range cats {
+		d.catSums[m][k] += sign * v
+	}
+}
+
+// CheckDispatch validates a dispatch-policy name, returning the CLI-grade
+// error listing the valid names.
+func CheckDispatch(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, d := range Dispatchers() {
+		if name == d {
+			return nil
+		}
+	}
+	valid := Dispatchers()
+	sort.Strings(valid)
+	return fmt.Errorf("fleet: unknown dispatch policy %q (valid: %v)", name, valid)
+}

@@ -10,6 +10,10 @@
 // quantum, but an arrival that falls inside a quantum cuts the slice short
 // at the arrival cycle, so admission re-invokes the policy off-quantum
 // instead of leaving the newcomer parked until the next boundary.
+//
+// The engine itself lives in runner.go (DynRunner); RunDynamic is the
+// single-machine driver over it, and internal/fleet is the many-machine
+// one.
 package machine
 
 import (
@@ -18,8 +22,6 @@ import (
 
 	"synpa/internal/admission"
 	"synpa/internal/apps"
-	"synpa/internal/perfstat"
-	"synpa/internal/pmu"
 )
 
 // DynamicApp is one application of an open-system run.
@@ -109,14 +111,6 @@ type DynamicResult struct {
 	Placements []Placement
 }
 
-// dynState is the runner's bookkeeping for one admitted application.
-type dynState struct {
-	inst      *apps.Instance
-	bank      *pmu.Bank
-	prevSnap  pmu.Counters
-	lastDelta pmu.Counters // PMU deltas of the app's most recent slice
-}
-
 // RunDynamic executes an open-system workload under a policy: applications
 // are admitted at their arrival cycles (queueing under the configured
 // admission discipline — FIFO by default — when all hardware threads are
@@ -141,16 +135,10 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 				i, work[i].Model.Name)
 		}
 	}
-	adm := opt.Admission
-	if adm == nil {
-		adm = admission.FIFO{}
-	}
 	maxCycles := opt.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = uint64(DefaultMaxQuanta) * m.cfg.QuantumCycles
 	}
-	level := m.cfg.Core.Level()
-	hwThreads := len(m.cores) * level
 
 	// Arrival order: by cycle, ties by trace position (FIFO).
 	order := make([]int, len(work))
@@ -161,7 +149,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		return work[order[a]].ArriveAt < work[order[b]].ArriveAt
 	})
 
-	res := &DynamicResult{Policy: policy.Name(), Admission: adm.Name(), Apps: make([]DynamicAppResult, len(work))}
+	res := &DynamicResult{Policy: policy.Name(), Apps: make([]DynamicAppResult, len(work))}
 	for i := range work {
 		res.Apps[i] = DynamicAppResult{
 			Name:     work[i].Model.Name,
@@ -172,120 +160,49 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		}
 	}
 
-	states := make([]*dynState, len(work))
-	coreOf := make([]int, len(work)) // global app index -> core, Unplaced when not live
-	for i := range coreOf {
-		coreOf[i] = Unplaced
-	}
-	var (
-		live     []int // global indices of live apps, admission order
-		nextArr  int   // cursor into order
-		waiting  []int // arrived but deferred for a free hardware thread
-		now      uint64
-		occupied float64 // ∫ len(live) dt
-	)
-	// bound[c][s] is the global index bound to core c's slot s, or -1.
-	bound := make([][]int, len(m.cores))
-	for c := range bound {
-		bound[c] = make([]int, level)
-		for s := range bound[c] {
-			bound[c][s] = -1
+	ropt := DynRunnerOptions{Seed: opt.Seed, Admission: opt.Admission}
+	if opt.RecordPlacements {
+		ropt.OnPlace = func(ids []int, place Placement) {
+			global := make(Placement, len(work))
+			for i := range global {
+				global[i] = Unplaced
+			}
+			for i, gi := range ids {
+				global[gi] = place[i]
+			}
+			res.Placements = append(res.Placements, global)
 		}
 	}
-
-	admit := func(gi int) {
-		st := &dynState{
-			inst: apps.NewInstance(work[gi].Model, opt.Seed+uint64(gi)*0x9e3779b97f4a7c15+1),
-			bank: &pmu.Bank{},
-		}
-		st.bank.Enable()
-		states[gi] = st
-		res.Apps[gi].Admitted = true
-		res.Apps[gi].AdmittedAt = now
-		if now > work[gi].ArriveAt {
-			res.Deferred++
-		}
-		live = append(live, gi)
-		if len(live) > res.PeakLiveApps {
-			res.PeakLiveApps = len(live)
-		}
+	r, err := NewDynRunner(m, policy, ropt)
+	if err != nil {
+		return nil, err
 	}
-
-	// Reusable per-slice views handed to the policy. The samples view is
-	// rebuilt over the *current* live set each slice: an app admitted this
-	// slice contributes a zero Counters value until it has run.
-	st := &QuantumState{NumCores: len(m.cores), DispatchWidth: m.cfg.Core.DispatchWidth, SMTLevel: level}
-	var (
-		ids      []int
-		prevView Placement
-		samples  []pmu.Counters
-		prios    []int
-		ranAny   bool
-	)
-	busy := make([]bool, len(m.cores))
-
-	// Reusable admission-policy views over the waiting and live sets.
-	var wjobs, rjobs []admission.Job
-	jobOf := func(gi int, remaining uint64) admission.Job {
-		return admission.Job{
-			ID:       gi,
-			ArriveAt: work[gi].ArriveAt,
-			Priority: work[gi].Priority,
-			Weight:   work[gi].Weight,
-			Work:     remaining,
-		}
-	}
+	res.Admission = r.AdmissionName()
 
 	// The intra-run worker pool lives for exactly this run.
 	stopPool := m.startPool()
 	defer stopPool()
 
-	for now < maxCycles {
-		// Admission: arrivals whose time has come, capacity permitting,
-		// in the order the admission discipline picks. FIFO — the
-		// default — reproduces the historical inline queue bit for bit.
-		for nextArr < len(order) && work[order[nextArr]].ArriveAt <= now {
-			waiting = append(waiting, order[nextArr])
+	var (
+		nextArr int // cursor into order
+		outs    []JobOutcome
+	)
+	for r.Now() < maxCycles {
+		// Arrivals whose time has come join the admission queue under
+		// their global trace index — the identity the policy, the
+		// admission discipline and the per-job RNG stream all key on.
+		for nextArr < len(order) && work[order[nextArr]].ArriveAt <= r.Now() {
+			gi := order[nextArr]
+			r.Arrive(work[gi], gi)
 			nextArr++
 		}
-		if free := hwThreads - len(live); free > 0 && len(waiting) > 0 {
-			wjobs = wjobs[:0]
-			for _, gi := range waiting {
-				wjobs = append(wjobs, jobOf(gi, work[gi].Target))
-			}
-			rjobs = rjobs[:0]
-			for _, gi := range live {
-				remaining := work[gi].Target
-				if r := states[gi].inst.Retired; r < remaining {
-					remaining -= r
-				} else {
-					remaining = 0
-				}
-				rjobs = append(rjobs, jobOf(gi, remaining))
-			}
-			sel := adm.Admit(wjobs, rjobs, free, now)
-			if err := admission.Validate(sel, len(wjobs)); err != nil {
-				return nil, fmt.Errorf("machine: %w", err)
-			}
-			if len(sel) > free {
-				sel = sel[:free]
-			}
-			if len(sel) > 0 {
-				taken := make([]bool, len(waiting))
-				for _, wi := range sel {
-					admit(waiting[wi])
-					taken[wi] = true
-				}
-				keep := waiting[:0]
-				for wi, gi := range waiting {
-					if !taken[wi] {
-						keep = append(keep, gi)
-					}
-				}
-				waiting = keep
-			}
+		if err := r.BeginSlice(maxCycles); err != nil {
+			return nil, err
 		}
-		if len(live) == 0 {
+		if !r.Planned() {
+			if r.Live() > 0 {
+				break // defensive: zero-length slice at the run bound
+			}
 			if nextArr >= len(order) {
 				break // system drained
 			}
@@ -294,187 +211,58 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			if next > maxCycles {
 				break
 			}
-			now = next
+			r.SkipTo(next)
 			continue
 		}
-
-		// Build the policy's view over the live set.
-		n := len(live)
-		if cap(ids) < n {
-			ids = make([]int, 0, hwThreads)
-			prevView = make(Placement, 0, hwThreads)
-			samples = make([]pmu.Counters, 0, hwThreads)
-			prios = make([]int, 0, hwThreads)
-		}
-		ids, prevView, samples, prios = ids[:0], prevView[:0], samples[:0], prios[:0]
-		for _, gi := range live {
-			ids = append(ids, gi)
-			prevView = append(prevView, coreOf[gi])
-			samples = append(samples, states[gi].lastDelta)
-			prios = append(prios, work[gi].Priority)
-		}
-		st.Quantum = res.Slices
-		st.NumApps = n
-		st.AppIDs = ids
-		st.Priorities = prios
-		st.Prev, st.Samples = nil, nil
-		if ranAny {
-			st.Prev = prevView
-			st.Samples = samples
-		}
-
-		t0 := perfstat.PhaseClock()
-		place := policy.Place(st)
-		perfstat.PhaseAdd(perfstat.PhasePolicy, t0)
-		if len(place) != n {
-			return nil, fmt.Errorf("machine: policy %s returned %d placements for %d live apps",
-				policy.Name(), len(place), n)
-		}
-		if err := place.Validate(len(m.cores), level); err != nil {
-			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
-		}
-		for i, gi := range live {
-			coreOf[gi] = place[i]
-		}
-		m.bindLive(states, live, place, bound)
-		if opt.RecordPlacements {
-			global := make(Placement, len(work))
-			for i := range global {
-				global[i] = Unplaced
-			}
-			for i, gi := range live {
-				global[gi] = place[i]
-			}
-			res.Placements = append(res.Placements, global)
-		}
-
-		// Slice length: one quantum, cut short by the next arrival (the
-		// off-quantum admission point) and by the run bound. On a full
-		// machine the cut is skipped: the newcomer could only join the
-		// waiting queue, and departures — the only thing that frees a
-		// thread — are detected at slice ends regardless, so cutting
-		// would just shorten the PMU sample window for no benefit.
-		slice := m.cfg.QuantumCycles
-		if nextArr < len(order) && n < hwThreads {
-			if at := work[order[nextArr]].ArriveAt; at > now && at-now < slice {
-				slice = at - now
+		// An arrival inside the slice cuts it short (the off-quantum
+		// admission point). On a full machine the cut is skipped: the
+		// newcomer could only join the waiting queue, and departures —
+		// the only thing that frees a thread — are detected at slice
+		// ends regardless, so cutting would just shorten the PMU sample
+		// window for no benefit.
+		if nextArr < len(order) && r.Free() > 0 {
+			if at := work[order[nextArr]].ArriveAt; at > r.Now() && at < r.PlanEnd() {
+				r.Cut(at)
 			}
 		}
-		if now+slice > maxCycles {
-			slice = maxCycles - now
+		r.StepPlanned()
+		outs = r.FinishSlice(outs[:0])
+		for i := range outs {
+			o := &outs[i]
+			a := &res.Apps[o.ID]
+			a.Admitted = true
+			a.AdmittedAt = o.AdmittedAt
+			a.FinishAt = o.FinishAt
+			a.ResponseCycles = o.ResponseCycles
+			a.Retired = o.Retired
+			a.IPC = o.IPC
 		}
-		if slice == 0 {
-			break
-		}
-
-		t0 = perfstat.PhaseClock()
-		m.runQuantumLive(bound, busy, slice)
-		perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
-		res.Slices++
-		now += slice
-		occupied += float64(n) * float64(slice)
-
-		// Collect each live app's slice deltas for the next Place call.
-		for _, gi := range live {
-			s := states[gi]
-			snap := s.bank.Read()
-			s.lastDelta = snap.Delta(s.prevSnap)
-			s.prevSnap = snap
-		}
-		ranAny = true
-
-		// Departures: true completion, no relaunch.
-		keep := live[:0]
-		for _, gi := range live {
-			s := states[gi]
-			if s.inst.Retired >= work[gi].Target {
-				res.Apps[gi].FinishAt = now
-				res.Apps[gi].ResponseCycles = now - work[gi].ArriveAt
-				res.Apps[gi].Retired = s.inst.Retired
-				if res.Apps[gi].ResponseCycles > 0 {
-					res.Apps[gi].IPC = float64(work[gi].Target) / float64(res.Apps[gi].ResponseCycles)
-				}
-				coreOf[gi] = Unplaced
-				continue
-			}
-			keep = append(keep, gi)
-		}
-		live = keep
 	}
 
-	res.Cycles = now
+	res.Cycles = r.Now()
+	res.Slices = r.Slices()
+	res.MeanLiveApps = r.MeanLive()
+	res.PeakLiveApps = r.PeakLive()
+	res.Deferred = r.DeferredAdmits()
+	for _, o := range r.Unfinished(nil) {
+		a := &res.Apps[o.ID]
+		a.Admitted = o.Admitted
+		a.AdmittedAt = o.AdmittedAt
+		a.Retired = o.Retired
+	}
 	res.AllCompleted = true
 	for gi := range work {
 		if res.Apps[gi].FinishAt == 0 {
 			res.AllCompleted = false
-			if s := states[gi]; s != nil {
-				res.Apps[gi].Retired = s.inst.Retired
-			}
 			// An arrival still waiting when the run ended queued without
-			// ever being admitted; admit() only counts the admitted ones.
-			if !res.Apps[gi].Admitted && work[gi].ArriveAt < now {
+			// ever being admitted; the runner only counts the admitted
+			// ones.
+			if !res.Apps[gi].Admitted && work[gi].ArriveAt < res.Cycles {
 				res.Deferred++
 			}
 		}
 	}
-	if now > 0 {
-		res.MeanLiveApps = occupied / float64(now)
-	}
 	return res, nil
-}
-
-// bindLive rebinds hardware threads to match the live placement, touching
-// only slots whose occupant changes: an application keeps its slot (and its
-// pipeline state) whenever it stays on the same core.
-func (m *Machine) bindLive(states []*dynState, live []int, place Placement, bound [][]int) {
-	level := m.cfg.Core.Level()
-	want := make([]int, level)
-	used := make([]bool, level)
-	for c := range bound {
-		// Desired occupants of core c, in live order.
-		n := 0
-		for i, gi := range live {
-			if place[i] == c && n < level {
-				want[n] = gi
-				n++
-			}
-		}
-		// Keep apps already bound to this core in their slots.
-		for k := range used {
-			used[k] = false
-		}
-		for s := 0; s < level; s++ {
-			cur := bound[c][s]
-			if cur < 0 {
-				continue
-			}
-			stay := false
-			for k := 0; k < n; k++ {
-				if !used[k] && want[k] == cur {
-					used[k] = true
-					stay = true
-					break
-				}
-			}
-			if !stay {
-				m.cores[c].Bind(s, nil, nil)
-				bound[c][s] = -1
-			}
-		}
-		// Place newcomers in the free slots.
-		for k := 0; k < n; k++ {
-			if used[k] {
-				continue
-			}
-			for s := 0; s < level; s++ {
-				if bound[c][s] < 0 {
-					m.cores[c].Bind(s, states[want[k]].inst, states[want[k]].bank)
-					bound[c][s] = want[k]
-					break
-				}
-			}
-		}
-	}
 }
 
 // runQuantumLive executes one slice on the cores that have work, sharded

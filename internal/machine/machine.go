@@ -19,6 +19,7 @@ import (
 	"synpa/internal/apps"
 	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
+	"synpa/internal/pool"
 	"synpa/internal/smtcore"
 )
 
@@ -292,8 +293,8 @@ func (r *Result) TurnaroundCycles() (uint64, bool) {
 type Machine struct {
 	cfg     Config
 	cores   []*smtcore.Core
-	workers int       // resolved intra-run worker count (>= 1)
-	pool    *corePool // run-scoped worker pool, nil outside parallel runs
+	workers int             // resolved intra-run worker count (>= 1)
+	pool    *pool.ShardPool // run-scoped worker pool, nil outside parallel runs
 }
 
 // New builds a machine. It returns an error for invalid configurations.

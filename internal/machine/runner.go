@@ -1,0 +1,559 @@
+// DynRunner is the open-system engine of RunDynamic factored into explicit
+// steps — Arrive, BeginSlice, Cut, StepPlanned, FinishSlice, SkipTo — so a
+// cluster coordinator (internal/fleet) can interleave many machines on one
+// global event clock. RunDynamic drives a single runner through exactly the
+// historical loop, bit for bit (pinned by the golden digests in
+// internal/regression); the fleet drives hundreds, cutting and planning
+// slices lazily at dispatch time.
+//
+// The step protocol, per machine:
+//
+//	Arrive*(job)            enqueue a dispatched arrival (stream order)
+//	BeginSlice(maxCycles)   admit from the arrived queue, invoke the
+//	                        placement policy over the live set, bind
+//	                        threads and plan a slice ending at
+//	                        min(now+quantum, maxCycles)
+//	Cut(t)                  shorten the planned slice to end at t — legal
+//	                        until the slice has been stepped, because
+//	                        execution is lazy and the live set cannot
+//	                        change mid-plan
+//	StepPlanned()           execute the planned slice on the cores; the
+//	                        only step safe to run in parallel across
+//	                        machines (it touches exclusively this
+//	                        machine's cores, instances and PMU banks)
+//	FinishSlice(out)        advance the clock to the plan end, collect
+//	                        PMU deltas and emit departures
+//	SkipTo(t)               fast-forward an idle machine
+//
+// Jobs are stored in recycled slots, so a runner's memory is O(hardware
+// threads + queued arrivals), independent of how many jobs have streamed
+// through it. Identity that must survive slot recycling — the policy's
+// AppIDs, the admission queue's Job.ID and the per-job RNG seed — comes
+// from the caller-assigned job ID (the global trace index), which is also
+// what makes a single-machine fleet reproduce RunDynamic exactly.
+package machine
+
+import (
+	"fmt"
+
+	"synpa/internal/admission"
+	"synpa/internal/apps"
+	"synpa/internal/perfstat"
+	"synpa/internal/pmu"
+)
+
+// DynRunnerOptions configure a DynRunner.
+type DynRunnerOptions struct {
+	// Seed derives every job's private random stream together with the
+	// job ID: seed + id·φ + 1, the same derivation at any fleet size.
+	Seed uint64
+	// Admission orders the arrived queue; nil selects admission.FIFO.
+	Admission admission.Policy
+	// OnPlace, when set, observes every successful placement: ids are the
+	// live jobs' IDs and place their cores, both valid only during the
+	// call.
+	OnPlace func(ids []int, place Placement)
+}
+
+// JobOutcome is one job's terminal (or, for Unfinished, current) state.
+type JobOutcome struct {
+	// ID is the caller-assigned job identity (global trace index).
+	ID int
+	// Name is the application's benchmark name.
+	Name string
+	// Target is the job's retired-instruction work.
+	Target uint64
+	// ArriveAt, AdmittedAt and FinishAt are the job's lifecycle cycles;
+	// FinishAt is zero for unfinished jobs.
+	ArriveAt   uint64
+	AdmittedAt uint64
+	FinishAt   uint64
+	// Priority and Weight echo the job's class.
+	Priority int
+	Weight   float64
+	// Admitted reports whether the job ever held a hardware thread.
+	Admitted bool
+	// ResponseCycles is FinishAt − ArriveAt for finished jobs.
+	ResponseCycles uint64
+	// Retired is the instructions retired so far.
+	Retired uint64
+	// IPC is Target / ResponseCycles for finished jobs.
+	IPC float64
+}
+
+// runnerSlot is the recycled per-job bookkeeping.
+type runnerSlot struct {
+	used       bool
+	id         int
+	app        DynamicApp
+	inst       *apps.Instance
+	bank       *pmu.Bank
+	prevSnap   pmu.Counters
+	lastDelta  pmu.Counters
+	coreOf     int
+	admittedAt uint64
+	admitted   bool
+}
+
+// DynRunner is one machine's step-wise open-system engine.
+type DynRunner struct {
+	m      *Machine
+	policy Policy
+	adm    admission.Policy
+	seed   uint64
+	onPl   func([]int, Placement)
+
+	level     int
+	hwThreads int
+
+	slots     []runnerSlot
+	freeSlots []int
+	live      []int // slot indices, admission order
+	waiting   []int // slot indices, dispatch order (non-decreasing ArriveAt)
+
+	bound [][]int // bound[c][s]: slot index on core c thread s, or -1
+	busy  []bool
+
+	st       *QuantumState
+	ids      []int
+	prevView Placement
+	samples  []pmu.Counters
+	prios    []int
+	wjobs    []admission.Job
+	rjobs    []admission.Job
+
+	now      uint64
+	slices   int
+	occupied float64
+	ranAny   bool
+	peakLive int
+	deferred int
+
+	planned bool
+	planEnd uint64
+}
+
+// NewDynRunner builds a runner over the machine. The machine must not be
+// shared between runners or concurrent runs.
+func NewDynRunner(m *Machine, policy Policy, opt DynRunnerOptions) (*DynRunner, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("machine: nil policy")
+	}
+	adm := opt.Admission
+	if adm == nil {
+		adm = admission.FIFO{}
+	}
+	level := m.cfg.Core.Level()
+	r := &DynRunner{
+		m:         m,
+		policy:    policy,
+		adm:       adm,
+		seed:      opt.Seed,
+		onPl:      opt.OnPlace,
+		level:     level,
+		hwThreads: len(m.cores) * level,
+		busy:      make([]bool, len(m.cores)),
+		st:        &QuantumState{NumCores: len(m.cores), DispatchWidth: m.cfg.Core.DispatchWidth, SMTLevel: level},
+	}
+	r.bound = make([][]int, len(m.cores))
+	for c := range r.bound {
+		r.bound[c] = make([]int, level)
+		for s := range r.bound[c] {
+			r.bound[c][s] = -1
+		}
+	}
+	return r, nil
+}
+
+// Accessors over the runner's clock and occupancy.
+
+// Now returns the machine-local clock.
+func (r *DynRunner) Now() uint64 { return r.now }
+
+// Planned reports whether a slice is planned but not yet finished.
+func (r *DynRunner) Planned() bool { return r.planned }
+
+// PlanEnd returns the planned slice's end cycle (meaningful when Planned).
+func (r *DynRunner) PlanEnd() uint64 { return r.planEnd }
+
+// Live returns the number of jobs holding hardware threads.
+func (r *DynRunner) Live() int { return len(r.live) }
+
+// QueuedCount returns the number of dispatched-but-unadmitted jobs.
+func (r *DynRunner) QueuedCount() int { return len(r.waiting) }
+
+// Free returns the number of unoccupied hardware threads.
+func (r *DynRunner) Free() int { return r.hwThreads - len(r.live) }
+
+// Busy reports whether any job is live or queued.
+func (r *DynRunner) Busy() bool { return len(r.live) > 0 || len(r.waiting) > 0 }
+
+// Slices returns the number of finished slices (policy invocations).
+func (r *DynRunner) Slices() int { return r.slices }
+
+// PeakLive returns the maximum simultaneous live-job count.
+func (r *DynRunner) PeakLive() int { return r.peakLive }
+
+// Occupied returns ∫ live dt over the runner's lifetime — the numerator
+// of MeanLive, exposed so a fleet can average occupancy across machines.
+func (r *DynRunner) Occupied() float64 { return r.occupied }
+
+// MeanLive returns the time-averaged live-job count.
+func (r *DynRunner) MeanLive() float64 {
+	if r.now == 0 {
+		return 0
+	}
+	return r.occupied / float64(r.now)
+}
+
+// DeferredAdmits counts jobs admitted later than their arrival (jobs still
+// queued at run end are the caller's to add, matching RunDynamic's final
+// sweep).
+func (r *DynRunner) DeferredAdmits() int { return r.deferred }
+
+// AdmissionName returns the admission discipline's name.
+func (r *DynRunner) AdmissionName() string { return r.adm.Name() }
+
+// SkipTo fast-forwards an idle machine (no planned slice) to cycle t.
+func (r *DynRunner) SkipTo(t uint64) {
+	if r.planned {
+		panic("machine: SkipTo with a planned slice")
+	}
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// Arrive enqueues a dispatched job under the caller-assigned ID. Callers
+// dispatch in global arrival order, so the queue's arrival cycles are
+// non-decreasing; a job may arrive "in the future" of this machine's clock
+// (mid-plan dispatch to a full machine) and becomes eligible for admission
+// once the clock reaches it.
+func (r *DynRunner) Arrive(app DynamicApp, id int) {
+	var si int
+	if n := len(r.freeSlots); n > 0 {
+		si = r.freeSlots[n-1]
+		r.freeSlots = r.freeSlots[:n-1]
+	} else {
+		r.slots = append(r.slots, runnerSlot{})
+		si = len(r.slots) - 1
+	}
+	r.slots[si] = runnerSlot{used: true, id: id, app: app, coreOf: Unplaced}
+	r.waiting = append(r.waiting, si)
+}
+
+// jobOf builds the admission view of one slot.
+func (r *DynRunner) jobOf(si int, remaining uint64) admission.Job {
+	s := &r.slots[si]
+	return admission.Job{
+		ID:       s.id,
+		ArriveAt: s.app.ArriveAt,
+		Priority: s.app.Priority,
+		Weight:   s.app.Weight,
+		Work:     remaining,
+	}
+}
+
+// admit moves a queued slot into the live set.
+func (r *DynRunner) admit(si int) {
+	s := &r.slots[si]
+	s.inst = apps.NewInstance(s.app.Model, r.seed+uint64(s.id)*0x9e3779b97f4a7c15+1)
+	s.bank = &pmu.Bank{}
+	s.bank.Enable()
+	s.admitted = true
+	s.admittedAt = r.now
+	if r.now > s.app.ArriveAt {
+		r.deferred++
+	}
+	r.live = append(r.live, si)
+	if len(r.live) > r.peakLive {
+		r.peakLive = len(r.live)
+	}
+}
+
+// BeginSlice runs admission over the arrived queue, invokes the placement
+// policy over the live set and plans a slice ending at min(now+quantum,
+// maxCycles). When no job is live after admission (or the clock already
+// sits at maxCycles) no slice is planned and Planned() reports false.
+func (r *DynRunner) BeginSlice(maxCycles uint64) error {
+	if r.planned {
+		panic("machine: BeginSlice with a planned slice")
+	}
+	// Admission: the eligible queue prefix (ArriveAt ≤ now — dispatch
+	// order keeps arrival cycles non-decreasing), capacity permitting, in
+	// the order the admission discipline picks.
+	arrived := 0
+	for arrived < len(r.waiting) && r.slots[r.waiting[arrived]].app.ArriveAt <= r.now {
+		arrived++
+	}
+	if free := r.hwThreads - len(r.live); free > 0 && arrived > 0 {
+		r.wjobs = r.wjobs[:0]
+		for _, si := range r.waiting[:arrived] {
+			r.wjobs = append(r.wjobs, r.jobOf(si, r.slots[si].app.Target))
+		}
+		r.rjobs = r.rjobs[:0]
+		for _, si := range r.live {
+			s := &r.slots[si]
+			remaining := s.app.Target
+			if ret := s.inst.Retired; ret < remaining {
+				remaining -= ret
+			} else {
+				remaining = 0
+			}
+			r.rjobs = append(r.rjobs, r.jobOf(si, remaining))
+		}
+		sel := r.adm.Admit(r.wjobs, r.rjobs, free, r.now)
+		if err := admission.Validate(sel, len(r.wjobs)); err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		if len(sel) > free {
+			sel = sel[:free]
+		}
+		if len(sel) > 0 {
+			taken := make([]bool, arrived)
+			for _, wi := range sel {
+				r.admit(r.waiting[wi])
+				taken[wi] = true
+			}
+			keep := r.waiting[:0]
+			for wi, si := range r.waiting {
+				if wi >= arrived || !taken[wi] {
+					keep = append(keep, si)
+				}
+			}
+			r.waiting = keep
+		}
+	}
+	if len(r.live) == 0 || r.now >= maxCycles {
+		return nil
+	}
+
+	// Build the policy's view over the live set. The samples view is
+	// rebuilt each slice: a job admitted this slice contributes a zero
+	// Counters value until it has run.
+	n := len(r.live)
+	if cap(r.ids) < n {
+		r.ids = make([]int, 0, r.hwThreads)
+		r.prevView = make(Placement, 0, r.hwThreads)
+		r.samples = make([]pmu.Counters, 0, r.hwThreads)
+		r.prios = make([]int, 0, r.hwThreads)
+	}
+	r.ids, r.prevView, r.samples, r.prios = r.ids[:0], r.prevView[:0], r.samples[:0], r.prios[:0]
+	for _, si := range r.live {
+		s := &r.slots[si]
+		r.ids = append(r.ids, s.id)
+		r.prevView = append(r.prevView, s.coreOf)
+		r.samples = append(r.samples, s.lastDelta)
+		r.prios = append(r.prios, s.app.Priority)
+	}
+	r.st.Quantum = r.slices
+	r.st.NumApps = n
+	r.st.AppIDs = r.ids
+	r.st.Priorities = r.prios
+	r.st.Prev, r.st.Samples = nil, nil
+	if r.ranAny {
+		r.st.Prev = r.prevView
+		r.st.Samples = r.samples
+	}
+
+	t0 := perfstat.PhaseClock()
+	place := r.policy.Place(r.st)
+	perfstat.PhaseAdd(perfstat.PhasePolicy, t0)
+	if len(place) != n {
+		return fmt.Errorf("machine: policy %s returned %d placements for %d live apps",
+			r.policy.Name(), len(place), n)
+	}
+	if err := place.Validate(len(r.m.cores), r.level); err != nil {
+		return fmt.Errorf("machine: policy %s: %w", r.policy.Name(), err)
+	}
+	for i, si := range r.live {
+		r.slots[si].coreOf = place[i]
+	}
+	r.bindLive(place)
+	if r.onPl != nil {
+		r.onPl(r.ids, place)
+	}
+
+	end := r.now + r.m.cfg.QuantumCycles
+	if end > maxCycles {
+		end = maxCycles
+	}
+	r.planned = true
+	r.planEnd = end
+	return nil
+}
+
+// Cut shortens the planned slice to end at cycle t (now < t < PlanEnd) —
+// the off-quantum admission point for an arrival dispatched mid-plan.
+// Legal because execution is lazy: the slice has not been stepped yet and
+// the live set cannot change between plan and step.
+func (r *DynRunner) Cut(t uint64) {
+	if !r.planned || t <= r.now || t >= r.planEnd {
+		panic("machine: Cut outside the planned slice")
+	}
+	r.planEnd = t
+}
+
+// StepPlanned executes the planned slice on the cores. It touches only
+// this machine's state, so distinct runners' StepPlanned calls may run
+// concurrently; every other step is coordinator-serial.
+func (r *DynRunner) StepPlanned() {
+	if !r.planned {
+		panic("machine: StepPlanned without a planned slice")
+	}
+	t0 := perfstat.PhaseClock()
+	r.m.runQuantumLive(r.bound, r.busy, r.planEnd-r.now)
+	perfstat.PhaseAdd(perfstat.PhaseSimulation, t0)
+}
+
+// FinishSlice advances the clock to the plan end, collects every live
+// job's PMU deltas and appends departures (true completion) to out,
+// in live order. The slice must have been stepped.
+func (r *DynRunner) FinishSlice(out []JobOutcome) []JobOutcome {
+	if !r.planned {
+		panic("machine: FinishSlice without a planned slice")
+	}
+	slice := r.planEnd - r.now
+	r.slices++
+	r.now = r.planEnd
+	r.occupied += float64(len(r.live)) * float64(slice)
+	r.planned = false
+
+	// Collect each live job's slice deltas for the next Place call.
+	for _, si := range r.live {
+		s := &r.slots[si]
+		snap := s.bank.Read()
+		s.lastDelta = snap.Delta(s.prevSnap)
+		s.prevSnap = snap
+	}
+	r.ranAny = true
+
+	// Departures. The thread is unbound immediately so the freed slot
+	// index can be recycled without colliding with its stale binding
+	// (RunDynamic's historical lazy unbind relied on job indices never
+	// being reused; nothing runs between here and the next bind either
+	// way).
+	keep := r.live[:0]
+	for _, si := range r.live {
+		s := &r.slots[si]
+		if s.inst.Retired < s.app.Target {
+			keep = append(keep, si)
+			continue
+		}
+		o := JobOutcome{
+			ID:             s.id,
+			Name:           s.app.Model.Name,
+			Target:         s.app.Target,
+			ArriveAt:       s.app.ArriveAt,
+			AdmittedAt:     s.admittedAt,
+			FinishAt:       r.now,
+			Priority:       s.app.Priority,
+			Weight:         s.app.Weight,
+			Admitted:       true,
+			ResponseCycles: r.now - s.app.ArriveAt,
+			Retired:        s.inst.Retired,
+		}
+		if o.ResponseCycles > 0 {
+			o.IPC = float64(s.app.Target) / float64(o.ResponseCycles)
+		}
+		out = append(out, o)
+		if c := s.coreOf; c >= 0 {
+			for k, bsi := range r.bound[c] {
+				if bsi == si {
+					r.m.cores[c].Bind(k, nil, nil)
+					r.bound[c][k] = -1
+					break
+				}
+			}
+		}
+		*s = runnerSlot{}
+		r.freeSlots = append(r.freeSlots, si)
+	}
+	r.live = keep
+	return out
+}
+
+// Unfinished appends the current state of every live and queued job to
+// out (live first, each set in queue order) — the caller's end-of-run
+// accounting.
+func (r *DynRunner) Unfinished(out []JobOutcome) []JobOutcome {
+	for _, si := range r.live {
+		s := &r.slots[si]
+		out = append(out, JobOutcome{
+			ID:         s.id,
+			Name:       s.app.Model.Name,
+			Target:     s.app.Target,
+			ArriveAt:   s.app.ArriveAt,
+			AdmittedAt: s.admittedAt,
+			Priority:   s.app.Priority,
+			Weight:     s.app.Weight,
+			Admitted:   true,
+			Retired:    s.inst.Retired,
+		})
+	}
+	for _, si := range r.waiting {
+		s := &r.slots[si]
+		out = append(out, JobOutcome{
+			ID:       s.id,
+			Name:     s.app.Model.Name,
+			Target:   s.app.Target,
+			ArriveAt: s.app.ArriveAt,
+			Priority: s.app.Priority,
+			Weight:   s.app.Weight,
+		})
+	}
+	return out
+}
+
+// bindLive rebinds hardware threads to match the live placement, touching
+// only slots whose occupant changes: a job keeps its thread (and its
+// pipeline state) whenever it stays on the same core.
+func (r *DynRunner) bindLive(place Placement) {
+	want := make([]int, r.level)
+	used := make([]bool, r.level)
+	for c := range r.bound {
+		// Desired occupants of core c, in live order.
+		n := 0
+		for i, si := range r.live {
+			if place[i] == c && n < r.level {
+				want[n] = si
+				n++
+			}
+		}
+		// Keep jobs already bound to this core in their threads.
+		for k := range used {
+			used[k] = false
+		}
+		for s := 0; s < r.level; s++ {
+			cur := r.bound[c][s]
+			if cur < 0 {
+				continue
+			}
+			stay := false
+			for k := 0; k < n; k++ {
+				if !used[k] && want[k] == cur {
+					used[k] = true
+					stay = true
+					break
+				}
+			}
+			if !stay {
+				r.m.cores[c].Bind(s, nil, nil)
+				r.bound[c][s] = -1
+			}
+		}
+		// Place newcomers in the free threads.
+		for k := 0; k < n; k++ {
+			if used[k] {
+				continue
+			}
+			for s := 0; s < r.level; s++ {
+				if r.bound[c][s] < 0 {
+					r.m.cores[c].Bind(s, r.slots[want[k]].inst, r.slots[want[k]].bank)
+					r.bound[c][s] = want[k]
+					break
+				}
+			}
+		}
+	}
+}

@@ -12,17 +12,20 @@
 // to Workers=1 (differential-tested in workers_test.go and synpa's
 // parallel_test.go).
 //
-// The pool is run-scoped: Run/RunDynamic start it, every quantum dispatches
-// one shard per worker plus the shard the calling goroutine executes
-// itself, and the pool shuts down when the run returns — no goroutines
-// outlive a run.
+// The barrier pool itself lives in internal/pool (ShardPool) so the fleet
+// layer can apply the same invariant one level up — machines sharded within
+// a cluster instead of cores within a machine. The pool is run-scoped:
+// Run/RunDynamic start it, every quantum dispatches one shard per worker
+// plus the shard the calling goroutine executes itself, and the pool shuts
+// down when the run returns — no goroutines outlive a run.
 package machine
 
 import (
 	"os"
 	"runtime"
 	"strconv"
-	"sync"
+
+	"synpa/internal/pool"
 )
 
 // WorkersEnv is the environment variable that overrides Config.Workers:
@@ -30,26 +33,25 @@ import (
 // worker count.
 const WorkersEnv = "SYNPA_WORKERS"
 
-// EffectiveWorkers resolves the worker count a machine built from this
-// configuration will step cores with: the SYNPA_WORKERS environment
-// variable when set, else Config.Workers, else GOMAXPROCS — all capped at
-// the core count, and forced to 1 when Parallel is false (the knob callers
-// already use to serialise runs they fan out themselves).
-func (c Config) EffectiveWorkers() int {
-	w := c.Workers
+// WorkersFromEnv resolves a configured worker count against the
+// SYNPA_WORKERS override and a GOMAXPROCS default: the environment wins
+// when set, a non-positive configured count falls back to GOMAXPROCS when
+// parallel (1 otherwise), and the result is clamped to [1, tasks].
+func WorkersFromEnv(configured, tasks int, parallel bool) int {
+	w := configured
 	if s := os.Getenv(WorkersEnv); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
 			w = v
 		}
 	}
 	if w <= 0 {
-		if !c.Parallel {
+		if !parallel {
 			return 1
 		}
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > c.Cores {
-		w = c.Cores
+	if w > tasks {
+		w = tasks
 	}
 	if w < 1 {
 		w = 1
@@ -57,19 +59,13 @@ func (c Config) EffectiveWorkers() int {
 	return w
 }
 
-// shardJob is one worker's slice of a quantum: step the busy cores of shard
-// `shard` (stride `width`) for `cycles` cycles, then signal the barrier.
-type shardJob struct {
-	shard  int
-	cycles uint64
-	busy   []bool // nil means every core runs
-	wg     *sync.WaitGroup
-}
-
-// corePool is the run-scoped worker pool.
-type corePool struct {
-	jobs  chan shardJob
-	width int
+// EffectiveWorkers resolves the worker count a machine built from this
+// configuration will step cores with: the SYNPA_WORKERS environment
+// variable when set, else Config.Workers, else GOMAXPROCS — all capped at
+// the core count, and forced to 1 when Parallel is false (the knob callers
+// already use to serialise runs they fan out themselves).
+func (c Config) EffectiveWorkers() int {
+	return WorkersFromEnv(c.Workers, c.Cores, c.Parallel)
 }
 
 // startPool launches the run-scoped worker pool and returns its stop
@@ -79,49 +75,21 @@ func (m *Machine) startPool() func() {
 	if m.workers <= 1 {
 		return func() {}
 	}
-	p := &corePool{jobs: make(chan shardJob), width: m.workers}
-	for w := 1; w < p.width; w++ {
-		go func() {
-			for job := range p.jobs {
-				m.runShard(job.shard, p.width, job.cycles, job.busy)
-				job.wg.Done()
-			}
-		}()
-	}
+	p := pool.NewShardPool(m.workers)
 	m.pool = p
 	return func() {
-		close(p.jobs)
+		p.Close()
 		m.pool = nil
-	}
-}
-
-// runShard steps every busy core of one shard for the given cycle count.
-func (m *Machine) runShard(shard, width int, cycles uint64, busy []bool) {
-	for i := shard; i < len(m.cores); i += width {
-		if busy == nil || busy[i] {
-			m.cores[i].Run(cycles)
-		}
 	}
 }
 
 // stepCores executes one quantum slice on the cores — those marked in busy,
 // or all of them when busy is nil — sharded across the run's worker pool
-// (serially on the calling goroutine when the pool is off).
+// (inline on the calling goroutine when the pool is off).
 func (m *Machine) stepCores(cycles uint64, busy []bool) {
-	p := m.pool
-	if p == nil {
-		for i := range m.cores {
-			if busy == nil || busy[i] {
-				m.cores[i].Run(cycles)
-			}
+	m.pool.Run(len(m.cores), func(i int) {
+		if busy == nil || busy[i] {
+			m.cores[i].Run(cycles)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p.width - 1)
-	for s := 1; s < p.width; s++ {
-		p.jobs <- shardJob{shard: s, cycles: cycles, busy: busy, wg: &wg}
-	}
-	m.runShard(0, p.width, cycles, busy)
-	wg.Wait()
+	})
 }

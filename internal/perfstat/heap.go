@@ -1,0 +1,98 @@
+// Memory high-water instrumentation: a background sampler that tracks the
+// peak live heap (runtime.MemStats.HeapAlloc) and total allocation volume
+// over a measured region. The fleet's O(machines + classes) bounded-memory
+// claim is enforced through it — BENCH_*.json records the high-water mark,
+// so a regression that starts retaining per-job state shows up as a peak
+// that scales with the trace length.
+//
+// The sampler only reads MemStats; it never influences simulation state,
+// so results stay bit-deterministic with or without it.
+package perfstat
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// HeapStats summarises a watched region's memory behaviour.
+type HeapStats struct {
+	// PeakHeapBytes is the largest live heap observed (sampled, so a
+	// lower bound on the true peak; sampling every few milliseconds makes
+	// the gap irrelevant at fleet time scales).
+	PeakHeapBytes uint64
+	// AllocBytes and Allocs are the region's total allocation volume.
+	AllocBytes uint64
+	Allocs     uint64
+	// NumGC counts garbage collections during the region.
+	NumGC uint32
+}
+
+// HeapWatch samples the heap until stopped.
+type HeapWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+
+	startBytes  uint64
+	startAllocs uint64
+	startGC     uint32
+}
+
+// StartHeapWatch begins sampling HeapAlloc every interval (a non-positive
+// interval selects 10ms). Stop the watch to read the stats.
+func StartHeapWatch(interval time.Duration) *HeapWatch {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	w := &HeapWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.startBytes = ms.TotalAlloc
+	w.startAllocs = ms.Mallocs
+	w.startGC = ms.NumGC
+	w.peak.Store(ms.HeapAlloc)
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Sample()
+			}
+		}
+	}()
+	return w
+}
+
+// Sample takes one explicit heap reading; safe to call concurrently with
+// the background sampler (e.g. at coarse checkpoints of a long region).
+func (w *HeapWatch) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		cur := w.peak.Load()
+		if ms.HeapAlloc <= cur || w.peak.CompareAndSwap(cur, ms.HeapAlloc) {
+			return
+		}
+	}
+}
+
+// Stop ends sampling (idempotent per watch value; call once) and returns
+// the region's stats, folding in one final reading.
+func (w *HeapWatch) Stop() HeapStats {
+	close(w.stop)
+	<-w.done
+	w.Sample()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return HeapStats{
+		PeakHeapBytes: w.peak.Load(),
+		AllocBytes:    ms.TotalAlloc - w.startBytes,
+		Allocs:        ms.Mallocs - w.startAllocs,
+		NumGC:         ms.NumGC - w.startGC,
+	}
+}

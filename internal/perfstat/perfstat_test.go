@@ -6,7 +6,9 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 )
 
 func TestMeasureRecordsAndPassesErrors(t *testing.T) {
@@ -70,5 +72,35 @@ func TestNextBenchPath(t *testing.T) {
 	}
 	if filepath.Base(p) != "BENCH_0008.json" {
 		t.Fatalf("next path = %s", p)
+	}
+}
+
+func TestHeapWatch(t *testing.T) {
+	w := StartHeapWatch(time.Millisecond)
+	// Hold a visible allocation across a few sampling intervals.
+	buf := make([]byte, 8<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	st := w.Stop()
+	runtime.KeepAlive(buf)
+	if st.PeakHeapBytes < 8<<20 {
+		t.Errorf("peak %d does not cover the 8MiB live buffer", st.PeakHeapBytes)
+	}
+	if st.AllocBytes < 8<<20 || st.Allocs == 0 {
+		t.Errorf("allocation volume not tracked: bytes=%d allocs=%d", st.AllocBytes, st.Allocs)
+	}
+}
+
+func TestDispatchPhaseName(t *testing.T) {
+	EnablePhases(true)
+	defer EnablePhases(false)
+	t0 := PhaseClock()
+	time.Sleep(time.Millisecond)
+	PhaseAdd(PhaseDispatch, t0)
+	sec := PhaseSeconds()
+	if sec["dispatch"] <= 0 {
+		t.Fatalf("dispatch phase missing from %v", sec)
 	}
 }

@@ -25,11 +25,15 @@ const (
 	// PhaseMatching covers the Step-3 solvers (blossom/brute-force/greedy
 	// matching and the grouping partition), a subset of PhasePolicy.
 	PhaseMatching
+	// PhaseDispatch covers the fleet's cluster-level scheduling: dispatch
+	// decisions, event-clock bookkeeping and streaming-aggregation merges
+	// — everything the coordinator does serially between machine slices.
+	PhaseDispatch
 	numPhases
 )
 
 // phaseNames index by Phase in report output.
-var phaseNames = [numPhases]string{"policy", "simulation", "matching"}
+var phaseNames = [numPhases]string{"policy", "simulation", "matching", "dispatch"}
 
 var (
 	phasesOn   atomic.Bool

@@ -1,7 +1,21 @@
-// Package pool provides the atomic-counter worker pool used by every
-// fan-out in the repository (training pairs, experiment runs, isolated
-// profiling): jobs are claimed by an atomic increment instead of a mutexed
-// queue, and the first error stops the pool.
+// Package pool provides the two worker-pool shapes used by every fan-out
+// in the repository:
+//
+//   - Run, the atomic-counter pool (training pairs, experiment runs,
+//     isolated profiling): jobs are claimed by an atomic increment instead
+//     of a mutexed queue, and the first error stops the pool. Claim order
+//     is scheduler-dependent, so it is only used where tasks are
+//     independent and merged by index afterwards.
+//
+//   - ShardPool, the deterministic barrier pool behind the intra-run
+//     parallel quantum engine: task i always belongs to shard i mod width,
+//     the calling goroutine executes shard 0 itself, and Run returns only
+//     after every shard finished (the quantum barrier). Because the
+//     shard→task mapping is fixed and results are read after the barrier,
+//     a run with width N is bit-identical to width 1. It originated in
+//     internal/machine (cores sharded within one machine) and is shared
+//     here so internal/fleet can apply the identical invariant one level
+//     up (machines sharded within one cluster).
 package pool
 
 import (
@@ -62,4 +76,82 @@ func Run(n int, parallel bool, fn func(int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// shardJob is one worker's slice of a barrier step: run step(i) for every
+// task i of shard `shard` (stride width), then signal the barrier.
+type shardJob struct {
+	shard int
+	n     int
+	step  func(i int)
+	wg    *sync.WaitGroup
+}
+
+// ShardPool is a deterministic barrier pool: a fixed set of workers, a
+// fixed task→shard mapping (task i mod width), and a barrier at the end of
+// every Run. Construct with NewShardPool, release with Close. A nil
+// ShardPool is valid and runs every task inline on the caller.
+type ShardPool struct {
+	jobs  chan shardJob
+	width int
+}
+
+// NewShardPool starts width−1 worker goroutines (the caller acts as shard
+// 0). A width of 1 or less returns nil — the inline pool — so callers can
+// unconditionally construct and Close.
+func NewShardPool(width int) *ShardPool {
+	if width <= 1 {
+		return nil
+	}
+	p := &ShardPool{jobs: make(chan shardJob), width: width}
+	for w := 1; w < width; w++ {
+		go func() {
+			for job := range p.jobs {
+				runShard(job.shard, p.width, job.n, job.step)
+				job.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Width returns the pool's worker count (1 for the nil inline pool).
+func (p *ShardPool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// runShard executes every task of one shard in ascending index order.
+func runShard(shard, width, n int, step func(i int)) {
+	for i := shard; i < n; i += width {
+		step(i)
+	}
+}
+
+// Run executes step(0..n-1) sharded as i mod width and returns after all
+// shards completed. step must touch only task-local state; the caller may
+// read the results after Run returns, in any order, and observe the same
+// values at any width.
+func (p *ShardPool) Run(n int, step func(i int)) {
+	if p == nil {
+		runShard(0, 1, n, step)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.width - 1)
+	for s := 1; s < p.width; s++ {
+		p.jobs <- shardJob{shard: s, n: n, step: step, wg: &wg}
+	}
+	runShard(0, p.width, n, step)
+	wg.Wait()
+}
+
+// Close stops the workers. The pool must not be used afterwards. Safe on
+// the nil inline pool.
+func (p *ShardPool) Close() {
+	if p != nil {
+		close(p.jobs)
+	}
 }

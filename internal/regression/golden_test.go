@@ -63,7 +63,10 @@ type gotFile struct {
 
 // goldenExperiments returns the digest-mode experiment set in a fixed order:
 // the closed-system figure/table claims (fig5, fig9, table4), the dynamic
-// scenarios (dyn0–dyn4 via the dynamic table), and the SMT4 comparison.
+// scenarios (dyn0–dyn4 via the dynamic table), the SMT4 comparison, and the
+// fleet grid (whose digest doubles as the worker-count-invariance pin: CI
+// runs it at whatever parallelism the runner has, and the digest only
+// matches if the report is bit-identical to the committed serial render).
 func goldenExperiments(s *experiments.Suite) []struct {
 	name string
 	run  func() (*experiments.Table, error)
@@ -77,6 +80,7 @@ func goldenExperiments(s *experiments.Suite) []struct {
 		{"table4", s.TableIV},
 		{"dynamic", s.DynamicTable},
 		{"smt4", s.SMT4Table},
+		{"dynfleet", s.DynFleetTable},
 	}
 }
 

@@ -1,0 +1,229 @@
+// Streaming aggregation primitives for fleet-scale runs. A million-job
+// trace cannot retain per-job response samples the way SummarizeDynamic
+// does, so the fleet layer aggregates with two O(1)-per-observation,
+// mergeable accumulators instead:
+//
+//   - Moments: count/mean/variance via Welford's update, merged across
+//     shards with the Chan et al. parallel formula.
+//   - Sketch: a log-bucketed quantile sketch in the DDSketch family —
+//     buckets at geometric boundaries γ^k with γ = (1+α)/(1−α), so any
+//     quantile estimate carries a bounded *relative value* error α. On
+//     smooth distributions that translates to well under 1% rank error at
+//     p95 (accuracy-tested in stream_test.go against exact Percentile).
+//
+// Both are deterministic: insertion applies exact integer bucket counts,
+// merge is count addition, and quantile queries walk the buckets in sorted
+// key order — results are bit-identical regardless of how observations were
+// sharded, which is what lets the fleet merge per-machine aggregates at
+// quantum barriers without breaking the repo's parallel-merge invariant.
+// Memory is O(log(max/min)/α) buckets per sketch, independent of the
+// observation count.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Moments is a streaming count/mean/variance accumulator (Welford). The
+// zero value is ready to use.
+type Moments struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add feeds one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// Merge folds another accumulator into m (Chan et al. pairwise update).
+func (m *Moments) Merge(o *Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := float64(m.n + o.n)
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/n
+	m.mean += d * float64(o.n) / n
+	m.n += o.n
+}
+
+// Count returns the number of observations.
+func (m *Moments) Count() uint64 { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Var returns the population variance (0 when fewer than 2 observations).
+func (m *Moments) Var() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// Sum returns n·mean, the running total.
+func (m *Moments) Sum() float64 { return m.mean * float64(m.n) }
+
+// DefaultSketchAlpha is the default relative-accuracy guarantee: quantile
+// estimates are within ±0.5% of the true value, comfortably inside the 1%
+// rank-error budget on the reference distributions.
+const DefaultSketchAlpha = 0.005
+
+// sketchMinValue is the smallest positive value given its own log bucket;
+// anything at or below it (the fleet feeds cycle counts, so ≥ 1 in
+// practice) lands in the exact zero bucket.
+const sketchMinValue = 1e-12
+
+// Sketch is a mergeable streaming quantile sketch over non-negative values:
+// a fixed-boundary log-bucketed histogram (the DDSketch construction) whose
+// quantile estimates carry a relative value error of at most alpha.
+type Sketch struct {
+	alpha   float64
+	gamma   float64
+	lgGamma float64
+	buckets map[int]uint64
+	zero    uint64 // observations ≤ sketchMinValue
+	count   uint64
+	min     float64
+	max     float64
+}
+
+// NewSketch returns an empty sketch with the given relative accuracy
+// (alpha ≤ 0 selects DefaultSketchAlpha; alpha must be < 1).
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultSketchAlpha
+	}
+	if alpha >= 1 {
+		alpha = DefaultSketchAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:   alpha,
+		gamma:   gamma,
+		lgGamma: math.Log(gamma),
+		buckets: map[int]uint64{},
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+}
+
+// Alpha returns the sketch's relative-accuracy parameter.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Buckets returns the number of occupied log buckets — the sketch's memory
+// footprint, O(log(max/min)/alpha) regardless of Count.
+func (s *Sketch) Buckets() int { return len(s.buckets) }
+
+// Add feeds one observation. Negative values are clamped to the zero
+// bucket (the fleet's observations — cycles — are non-negative).
+func (s *Sketch) Add(v float64) {
+	s.count++
+	if v < s.min || s.count == 1 {
+		s.min = v
+	}
+	if v > s.max || s.count == 1 {
+		s.max = v
+	}
+	if v <= sketchMinValue || math.IsNaN(v) {
+		s.zero++
+		return
+	}
+	s.buckets[s.key(v)]++
+}
+
+// key maps a positive value to its log bucket: the smallest k with
+// γ^k ≥ v, so bucket k covers (γ^(k−1), γ^k].
+func (s *Sketch) key(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.lgGamma))
+}
+
+// Merge folds another sketch into s. Both must share the same alpha — the
+// bucket boundaries are a function of it, and merging mismatched grids
+// would silently void the accuracy guarantee.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o.alpha != s.alpha {
+		return fmt.Errorf("stats: cannot merge sketches with alpha %v and %v", s.alpha, o.alpha)
+	}
+	if o.count == 0 {
+		return nil
+	}
+	if s.count == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.count == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.count += o.count
+	s.zero += o.zero
+	for k, c := range o.buckets {
+		s.buckets[k] += c
+	}
+	return nil
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the exact maximum observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile estimates the q-quantile (q in [0,1]); the estimate is within a
+// relative error alpha of the exact order statistic. Returns 0 when empty.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	// Target rank in the sorted stream, matching the order-statistic
+	// convention of stats.Percentile (rank q·(n−1), 0-indexed).
+	rank := uint64(q * float64(s.count-1))
+	if rank < s.zero {
+		return 0
+	}
+	rem := rank - s.zero
+	keys := make([]int, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var seen uint64
+	for _, k := range keys {
+		seen += s.buckets[k]
+		if seen > rem {
+			// Bucket k covers (γ^(k−1), γ^k]; the midpoint 2γ^k/(γ+1)
+			// is within ±alpha of every value in it.
+			return 2 * math.Pow(s.gamma, float64(k)) / (s.gamma + 1)
+		}
+	}
+	return s.Max()
+}

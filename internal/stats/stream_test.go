@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"synpa/internal/xrand"
+)
+
+// refDistributions are the reference shapes the accuracy bounds are
+// asserted on: light-tailed, bounded and heavy-tailed.
+func refDistributions() map[string]func(r *xrand.RNG) float64 {
+	return map[string]func(r *xrand.RNG) float64{
+		"exponential": func(r *xrand.RNG) float64 { return r.Exp(1e6) },
+		"uniform":     func(r *xrand.RNG) float64 { return r.Float64() * 1e6 },
+		"lognormal":   func(r *xrand.RNG) float64 { return math.Exp(12 + 2*r.NormFloat64()) },
+	}
+}
+
+// rankOf returns the inclusive rank interval [lo, hi] that value v would
+// occupy in the sorted sample: lo = #(x < v), hi = #(x <= v).
+func rankOf(sorted []float64, v float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(sorted, v)
+	hi = sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo, hi
+}
+
+// TestSketchRankError is the satellite's accuracy bound: the sketch's p95
+// (and other quantiles) must sit within 1% rank error of the exact
+// Percentile on retained samples, for every reference distribution.
+func TestSketchRankError(t *testing.T) {
+	const n = 20000
+	for name, draw := range refDistributions() {
+		rng := xrand.New(0x5eed + uint64(len(name)))
+		sk := NewSketch(0) // default alpha
+		samples := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := draw(rng)
+			sk.Add(v)
+			samples = append(samples, v)
+		}
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+			est := sk.Quantile(q)
+			exact, err := Percentile(samples, q)
+			if err != nil {
+				t.Fatalf("%s: Percentile: %v", name, err)
+			}
+			lo, hi := rankOf(sorted, est)
+			target := q * float64(n-1)
+			tol := 0.01*float64(n) + 1
+			if float64(hi) < target-tol || float64(lo) > target+tol {
+				t.Errorf("%s q=%v: sketch %v (ranks [%d,%d]) vs exact %v; target rank %.0f ± %.0f",
+					name, q, est, lo, hi, exact, target, tol)
+			}
+			// The DDSketch guarantee itself: relative value error ≤ alpha
+			// against the matching order statistic.
+			if exact > 0 {
+				if rel := math.Abs(est-exact) / exact; rel > sk.Alpha()*1.5 {
+					t.Errorf("%s q=%v: relative error %v exceeds alpha %v (est %v, exact %v)",
+						name, q, rel, sk.Alpha(), est, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchMergeIdentity: sharding a stream and merging must be
+// bit-identical to a single sketch — the fleet's merge invariant.
+func TestSketchMergeIdentity(t *testing.T) {
+	const n, shards = 10000, 8
+	rng := xrand.New(42)
+	whole := NewSketch(0)
+	parts := make([]*Sketch, shards)
+	for i := range parts {
+		parts[i] = NewSketch(0)
+	}
+	for i := 0; i < n; i++ {
+		v := rng.Exp(5e5)
+		whole.Add(v)
+		parts[i%shards].Add(v)
+	}
+	merged := NewSketch(0)
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.95, 0.99, 1} {
+		if a, b := merged.Quantile(q), whole.Quantile(q); a != b {
+			t.Errorf("q=%v: merged %v != whole %v", q, a, b)
+		}
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("extremes diverge: merged [%v,%v], whole [%v,%v]",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestSketchMergeAlphaMismatch(t *testing.T) {
+	a, b := NewSketch(0.005), NewSketch(0.01)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging sketches with different alphas must fail")
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	sk := NewSketch(0)
+	if sk.Quantile(0.5) != 0 || sk.Count() != 0 {
+		t.Fatal("empty sketch must report zero")
+	}
+	sk.Add(0)
+	sk.Add(-3) // clamped
+	sk.Add(100)
+	if sk.Count() != 3 {
+		t.Fatalf("count = %d, want 3", sk.Count())
+	}
+	if q := sk.Quantile(0); q != -3 {
+		t.Errorf("q0 = %v, want exact min -3", q)
+	}
+	if q := sk.Quantile(1); q != 100 {
+		t.Errorf("q1 = %v, want exact max 100", q)
+	}
+	if q := sk.Quantile(0.25); q != 0 {
+		t.Errorf("q0.25 = %v, want 0 (zero bucket)", q)
+	}
+	// Bucket count stays bounded while observations grow.
+	big := NewSketch(0)
+	rng := xrand.New(7)
+	for i := 0; i < 200000; i++ {
+		big.Add(1 + rng.Float64()*1e9)
+	}
+	// log(1e9)/log(gamma) ≈ 2072 buckets at alpha = 0.005.
+	if big.Buckets() > 4000 {
+		t.Errorf("bucket count %d not bounded", big.Buckets())
+	}
+}
+
+// TestMomentsMatchesExact: streaming mean/variance agree with the exact
+// batch formulas, and shard-merge agrees with the whole stream.
+func TestMomentsMatchesExact(t *testing.T) {
+	const n, shards = 10000, 7
+	rng := xrand.New(9)
+	var whole Moments
+	parts := make([]Moments, shards)
+	samples := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := rng.Exp(1e4) + 500
+		whole.Add(v)
+		parts[i%shards].Add(v)
+		samples = append(samples, v)
+	}
+	exactMean := Mean(samples)
+	exactVar := Variance(samples)
+	if rel := math.Abs(whole.Mean()-exactMean) / exactMean; rel > 1e-12 {
+		t.Errorf("mean: streaming %v vs exact %v", whole.Mean(), exactMean)
+	}
+	if rel := math.Abs(whole.Var()-exactVar) / exactVar; rel > 1e-9 {
+		t.Errorf("variance: streaming %v vs exact %v", whole.Var(), exactVar)
+	}
+	var merged Moments
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	if rel := math.Abs(merged.Mean()-whole.Mean()) / whole.Mean(); rel > 1e-12 {
+		t.Errorf("merged mean %v vs whole %v", merged.Mean(), whole.Mean())
+	}
+	if rel := math.Abs(merged.Var()-whole.Var()) / whole.Var(); rel > 1e-9 {
+		t.Errorf("merged variance %v vs whole %v", merged.Var(), whole.Var())
+	}
+	if math.Abs(merged.Sum()-whole.Sum()) > whole.Sum()*1e-12 {
+		t.Errorf("merged sum %v vs whole %v", merged.Sum(), whole.Sum())
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Merge(&b)
+	if a.Count() != 0 {
+		t.Fatal("empty merge must stay empty")
+	}
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 4 {
+		t.Fatalf("merge into empty: count %d mean %v", a.Count(), a.Mean())
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestPoissonStreamMatchesBatch: the lazy generator must emit the exact
+// entry sequence of the materialising one — same seed, same draws.
+func TestPoissonStreamMatchesBatch(t *testing.T) {
+	pool := []string{"mcf", "leela_r", "lbm_r", "gobmk"}
+	mix := []ClassShare{
+		{Priority: 2, Weight: 4, Share: 0.2, Work: 0.05},
+		{Priority: 0, Weight: 1, Share: 0.8, Work: 0.2},
+	}
+	for _, tc := range []struct {
+		name string
+		mix  []ClassShare
+	}{
+		{"plain", nil},
+		{"mixed", mix},
+	} {
+		batch := PoissonTraceMixed(tc.name, 77, pool, 500, 30000, 0.1, tc.mix)
+		stream := PoissonStreamMixed(tc.name, 77, pool, 500, 30000, 0.1, tc.mix)
+		got := Collect(stream, 0)
+		if len(got.Entries) != len(batch.Entries) {
+			t.Fatalf("%s: stream emitted %d entries, batch %d", tc.name, len(got.Entries), len(batch.Entries))
+		}
+		for i := range batch.Entries {
+			if got.Entries[i] != batch.Entries[i] {
+				t.Fatalf("%s entry %d: stream %+v != batch %+v", tc.name, i, got.Entries[i], batch.Entries[i])
+			}
+		}
+		if _, ok := stream.Next(); ok {
+			t.Fatalf("%s: stream yields entries past n", tc.name)
+		}
+		if err := stream.Err(); err != nil {
+			t.Fatalf("%s: stream error: %v", tc.name, err)
+		}
+	}
+}
+
+// TestPoissonStreamEmpty mirrors PoissonTrace's empty-input behaviour.
+func TestPoissonStreamEmpty(t *testing.T) {
+	for _, s := range []TraceStream{
+		PoissonStream("none", 1, nil, 10, 1000, 1),
+		PoissonStream("none", 1, []string{"mcf"}, 0, 1000, 1),
+	} {
+		if _, ok := s.Next(); ok {
+			t.Fatal("empty stream must yield nothing")
+		}
+	}
+}
+
+// TestStreamTraceOrdersArrivals: StreamTrace visits entries by arrival
+// cycle with ties in trace order — RunDynamic's sort.
+func TestStreamTraceOrdersArrivals(t *testing.T) {
+	tr := Trace{Name: "x", Entries: []TraceEntry{
+		{App: "mcf", ArriveAt: 500},
+		{App: "leela_r", ArriveAt: 0},
+		{App: "gobmk", ArriveAt: 500},
+		{App: "lbm_r", ArriveAt: 100},
+	}}
+	got := Collect(StreamTrace(tr), 0)
+	want := []string{"leela_r", "lbm_r", "mcf", "gobmk"}
+	for i, name := range want {
+		if got.Entries[i].App != name {
+			t.Fatalf("position %d: got %s, want %s (order %v)", i, got.Entries[i].App, name, got.Names())
+		}
+	}
+	// The source trace must not be reordered.
+	if tr.Entries[0].App != "mcf" {
+		t.Fatal("StreamTrace mutated the source trace")
+	}
+}
+
+func TestStreamFunc(t *testing.T) {
+	s := StreamFunc("gen", func(i int) (TraceEntry, bool) {
+		if i >= 3 {
+			return TraceEntry{}, false
+		}
+		return TraceEntry{App: "mcf", ArriveAt: uint64(i) * 100}, true
+	})
+	got := Collect(s, 0)
+	if len(got.Entries) != 3 || got.Entries[2].ArriveAt != 200 {
+		t.Fatalf("unexpected entries: %+v", got.Entries)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted StreamFunc must stay exhausted")
+	}
+}
+
+func TestEntryCheck(t *testing.T) {
+	good := TraceEntry{App: "mcf", Work: 1, Priority: 1, Weight: 2}
+	if err := good.Check(); err != nil {
+		t.Fatalf("valid entry rejected: %v", err)
+	}
+	for _, bad := range []TraceEntry{
+		{App: "no-such-app"},
+		{App: "mcf", Work: -1},
+		{App: "mcf", Priority: -1},
+		{App: "mcf", Weight: -2},
+	} {
+		if err := bad.Check(); err == nil {
+			t.Errorf("entry %+v must fail Check", bad)
+		}
+	}
+}

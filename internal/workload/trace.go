@@ -69,21 +69,9 @@ func (t *Trace) Validate() error {
 	if len(t.Entries) == 0 {
 		return fmt.Errorf("workload: trace %q has no arrivals", t.Name)
 	}
-	for i, e := range t.Entries {
-		if _, err := apps.ByName(e.App); err != nil {
+	for i := range t.Entries {
+		if err := t.Entries[i].Check(); err != nil {
 			return fmt.Errorf("workload: trace %q entry %d: %w", t.Name, i, err)
-		}
-		if e.Work < 0 || e.Work > MaxWorkFactor || math.IsNaN(e.Work) {
-			return fmt.Errorf("workload: trace %q entry %d: work factor %v must be in [0,%g]",
-				t.Name, i, e.Work, float64(MaxWorkFactor))
-		}
-		if e.Priority < 0 || e.Priority > MaxPriority {
-			return fmt.Errorf("workload: trace %q entry %d: priority %d outside [0,%d]",
-				t.Name, i, e.Priority, MaxPriority)
-		}
-		if e.Weight < 0 || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
-			return fmt.Errorf("workload: trace %q entry %d: weight %v must be finite and non-negative",
-				t.Name, i, e.Weight)
 		}
 	}
 	return nil

@@ -196,10 +196,11 @@ type TargetCache struct {
 
 // targetSlot memoises one application's measurement.
 type targetSlot struct {
-	once   sync.Once
-	target uint64
-	ipc    float64
-	err    error
+	once     sync.Once
+	target   uint64
+	ipc      float64
+	counters pmu.Counters
+	err      error
 }
 
 // NewTargetCache builds a cache using the given machine configuration and
@@ -223,25 +224,24 @@ func (tc *TargetCache) slot(m *apps.Model) *targetSlot {
 		tc.slots[m.Name] = s
 	}
 	tc.mu.Unlock()
-	s.once.Do(func() { s.target, s.ipc, s.err = tc.measure(m) })
+	s.once.Do(func() { s.target, s.ipc, s.counters, s.err = tc.measure(m) })
 	return s
 }
 
 // measure runs the application in isolation once.
-func (tc *TargetCache) measure(m *apps.Model) (target uint64, ipc float64, err error) {
+func (tc *TargetCache) measure(m *apps.Model) (target uint64, ipc float64, counters pmu.Counters, err error) {
 	samples, err := machine.RunIsolated(m, tc.seed^uint64(len(m.Name))<<32^hash(m.Name), tc.refQuanta, tc.cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, pmu.Counters{}, err
 	}
-	var insts, cycles uint64
 	for _, s := range samples {
-		insts += s[pmu.InstRetired]
-		cycles += s[pmu.CPUCycles]
+		counters = counters.Add(s)
 	}
+	insts, cycles := counters[pmu.InstRetired], counters[pmu.CPUCycles]
 	if insts == 0 || cycles == 0 {
-		return 0, 0, fmt.Errorf("workload: %s retired nothing in isolation", m.Name)
+		return 0, 0, pmu.Counters{}, fmt.Errorf("workload: %s retired nothing in isolation", m.Name)
 	}
-	return insts, float64(insts) / float64(cycles), nil
+	return insts, float64(insts) / float64(cycles), counters, nil
 }
 
 // Warm measures every distinct application of the given workloads, fanning
@@ -282,6 +282,15 @@ func (tc *TargetCache) Target(m *apps.Model) (uint64, error) {
 func (tc *TargetCache) IsolatedIPC(m *apps.Model) (float64, error) {
 	s := tc.slot(m)
 	return s.ipc, s.err
+}
+
+// IsolatedCounters returns the application's summed PMU counters over the
+// isolated reference run — the raw material for the interference model's
+// per-app category fractions (the fleet's interference-aware dispatcher
+// characterises jobs by them).
+func (tc *TargetCache) IsolatedCounters(m *apps.Model) (pmu.Counters, error) {
+	s := tc.slot(m)
+	return s.counters, s.err
 }
 
 // Targets returns the target vector for a workload.
