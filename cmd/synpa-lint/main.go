@@ -1,0 +1,124 @@
+// Command synpa-lint runs the repository's determinism-and-concurrency
+// static analysis suite (internal/lint) over the module's packages and
+// prints findings as "file:line: rule: message", one per line, exiting
+// non-zero when any finding survives suppression.
+//
+// Usage:
+//
+//	synpa-lint ./...                      # whole module (the CI job)
+//	synpa-lint ./internal/machine         # one package
+//	synpa-lint ./internal/...             # a subtree
+//	synpa-lint -allow nondet ./...        # skip a rule entirely
+//	synpa-lint -rules                     # list the rules and exit
+//
+// The suite is stdlib-only (go/parser + go/types): it enumerates module
+// packages from the filesystem, type-checks them in dependency order,
+// and resolves standard-library imports from GOROOT source, so go.mod
+// stays dependency-free. Individual findings are suppressed in source
+// with "//synpa:lint-allow <rule> <reason>" on the flagged line or the
+// line above; -allow disables a whole rule for the invocation.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"synpa/internal/lint"
+)
+
+func main() {
+	var (
+		allow     = flag.String("allow", "", "comma-separated rules to disable for this run")
+		listRules = flag.Bool("rules", false, "print the registered rules with their docs and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *allow != "" {
+		disabled := map[string]bool{}
+		for _, name := range strings.Split(*allow, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := lint.ByName(name); !ok {
+				fatal(fmt.Errorf("unknown rule %q; valid rules: %s",
+					name, strings.Join(lint.Rules(), ", ")))
+			}
+			disabled[name] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if !disabled[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			findings++
+			fmt.Println(relDiag(cwd, d.String()))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "synpa-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// relDiag rewrites the leading absolute file path of a rendered
+// diagnostic relative to the working directory, keeping output stable
+// and clickable regardless of where the checkout lives.
+func relDiag(cwd, line string) string {
+	colon := strings.Index(line, ":")
+	if colon <= 0 || !filepath.IsAbs(line[:colon]) {
+		return line
+	}
+	rel, err := filepath.Rel(cwd, line[:colon])
+	if err != nil {
+		return line
+	}
+	return rel + line[colon:]
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "synpa-lint: %v\n", err)
+	os.Exit(2)
+}

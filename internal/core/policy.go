@@ -171,6 +171,10 @@ func NewPolicy(m *Model, opt PolicyOptions) (*Policy, error) {
 	case opt.Hysteresis >= 1:
 		return nil, fmt.Errorf("core: hysteresis %v must be below 1", opt.Hysteresis)
 	}
+	// The cache is an exact bit-pattern-keyed memo: disabling it changes
+	// wall time, never a result bit, so the escape hatch cannot perturb
+	// any observable output.
+	//synpa:lint-allow nondet cache bypass is bit-identical by construction (exact-key memo)
 	if os.Getenv("SYNPA_PREDCACHE") == "0" {
 		opt.Cache.Disabled = true
 	}

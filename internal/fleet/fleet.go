@@ -548,7 +548,16 @@ func Run(cfg Config, src Source) (*Report, error) {
 		rep.Imbalance = float64(rep.MaxMachineJobs) * float64(cfg.Machines) / float64(rep.Jobs)
 	}
 	if !agg.uniform {
-		for _, cs := range agg.classes {
+		// Sorted-key iteration (most urgent class first): PerClass must
+		// never observe map order — the maporder lint invariant for
+		// report-feeding loops.
+		prios := make([]int, 0, len(agg.classes))
+		for prio := range agg.classes {
+			prios = append(prios, prio)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+		for _, prio := range prios {
+			cs := agg.classes[prio]
 			cr := ClassReport{
 				Priority:  cs.prio,
 				Weight:    cs.weight,
@@ -562,9 +571,6 @@ func Run(cfg Config, src Source) (*Report, error) {
 			}
 			rep.PerClass = append(rep.PerClass, cr)
 		}
-		sort.Slice(rep.PerClass, func(a, b int) bool {
-			return rep.PerClass[a].Priority > rep.PerClass[b].Priority
-		})
 	}
 	return rep, nil
 }

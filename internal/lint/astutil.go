@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// parentMap records each node's syntactic parent within one file, so
+// analyzers can climb from a statement to its enclosing blocks.
+type parentMap map[ast.Node]ast.Node
+
+// buildParents returns the parent map of one file.
+func buildParents(f *ast.File) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// objsOf collects the objects bound to the given identifiers (range loop
+// variables, function literal parameters). Nil and blank identifiers are
+// skipped.
+func objsOf(info *types.Info, idents ...*ast.Ident) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, id := range idents {
+		if id == nil || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// refersTo reports whether expr mentions any of the given objects.
+func refersTo(info *types.Info, expr ast.Node, objs map[types.Object]bool) bool {
+	if expr == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration position lies inside
+// node's source range.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
+
+// isFloat reports whether t's underlying type is a floating-point (or
+// complex) basic type — the types whose addition is non-associative, so
+// reduction order changes the result bit pattern.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// useInPackage resolves id to its object and reports the package-level
+// qualified name ("time", "Now") when the object belongs to an imported
+// package. It returns ok=false for local objects.
+func useInPackage(info *types.Info, id *ast.Ident) (pkgPath, name string, ok bool) {
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// pkgBase returns the last element of an import path.
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// stmtsAfter returns, walking up from stmt through its enclosing blocks
+// until the function boundary, every statement that executes lexically
+// after stmt. maporder uses it to find the sort call that repairs a
+// collect-then-sort idiom.
+func stmtsAfter(parents parentMap, stmt ast.Node) []ast.Stmt {
+	var after []ast.Stmt
+	node := stmt
+	for {
+		parent := parents[node]
+		if parent == nil {
+			break
+		}
+		if block, ok := parent.(*ast.BlockStmt); ok {
+			child, isStmt := node.(ast.Stmt)
+			if isStmt {
+				for i, s := range block.List {
+					if s == child {
+						after = append(after, block.List[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if _, ok := parent.(*ast.FuncDecl); ok {
+			break
+		}
+		if _, ok := parent.(*ast.FuncLit); ok {
+			break
+		}
+		node = parent
+	}
+	return after
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes standard-library type-checking across fixture
+// tests: every fixture resolves through one loader instance.
+var (
+	loaderOnce sync.Once
+	loaderErr  error
+	shared     *Loader
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		l, err := NewLoader(root)
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		l.FixtureDir = filepath.Join(root, "internal", "lint", "testdata", "src")
+		shared = l
+	})
+	if loaderErr != nil {
+		t.Fatalf("fixture loader: %v", loaderErr)
+	}
+	return shared
+}
+
+// want is one expected diagnostic: a line and a regexp over
+// "rule: message".
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWants extracts // want `regex` comments from a fixture package.
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantToken.FindAllStringSubmatch(rest, -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, tok := range toks {
+					pat := tok[1]
+					if pat == "" {
+						pat = tok[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs a single analyzer, and
+// checks the diagnostics against the // want comments exactly: every
+// diagnostic must be wanted and every want must fire.
+func runFixture(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	pkg, err := fixtureLoader(t).loadPath(path)
+	if err != nil {
+		t.Fatalf("loading fixture %q: %v", path, err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		text := fmt.Sprintf("%s: %s", d.Rule, d.Message)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s:%d: %s", d.Pos.Filename, d.Pos.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing expected diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T)    { runFixture(t, MapOrder, "maporder") }
+func TestNonDetFixture(t *testing.T)      { runFixture(t, NonDet, "machine") }
+func TestSharedMutFixture(t *testing.T)   { runFixture(t, SharedMut, "sharedmut") }
+func TestFloatReduceFixture(t *testing.T) { runFixture(t, FloatReduce, "floatreduce") }
+
+// TestSuppressionFixture proves same-line and line-above allows silence
+// a finding while wrong-rule and far-away allows do not.
+func TestSuppressionFixture(t *testing.T) { runFixture(t, MapOrder, "suppress") }
+
+// TestNonDetAllowlisted proves the analyzer skips packages outside the
+// simulation core even when they read host state.
+func TestNonDetAllowlisted(t *testing.T) {
+	pkg, err := fixtureLoader(t).loadPath("perfstat")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	if diags := RunPackage(pkg, []*Analyzer{NonDet}); len(diags) != 0 {
+		t.Fatalf("allowlisted package flagged: %v", diags)
+	}
+}
+
+// TestMalformedAllow checks that broken suppression comments are
+// themselves findings: no reason, unknown rule, unparseable shape.
+func TestMalformedAllow(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package badallow exercises malformed suppressions.
+package badallow
+
+func sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v //synpa:lint-allow maporder
+	}
+	return s
+}
+
+func sum2(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v //synpa:lint-allow notarule because reasons
+	}
+	return s
+}
+`
+	if err := os.MkdirAll(filepath.Join(dir, "badallow"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "badallow", "badallow.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FixtureDir = dir
+	pkg, err := l.loadPath("badallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{MapOrder})
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s: %s", d.Rule, d.Message))
+	}
+	// Both malformed allows are reported, and neither suppresses its
+	// maporder finding: four diagnostics in total.
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4:\n%s", len(diags), strings.Join(got, "\n"))
+	}
+	wantSubstrings := []string{
+		`suppression of "maporder" without a reason`,
+		`suppression of unknown rule "notarule"`,
+		"float accumulation into s",
+		"float accumulation into s",
+	}
+	for _, sub := range wantSubstrings {
+		found := false
+		for i, g := range got {
+			if strings.Contains(g, sub) {
+				got = append(got[:i], got[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q", sub)
+		}
+	}
+}
+
+// TestRulesRegistry pins the rule set the CLI advertises.
+func TestRulesRegistry(t *testing.T) {
+	want := []string{"floatreduce", "maporder", "nondet", "sharedmut"}
+	got := Rules()
+	if len(got) != len(want) {
+		t.Fatalf("Rules() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rules() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("notarule"); ok {
+		t.Error("ByName accepted an unknown rule")
+	}
+}

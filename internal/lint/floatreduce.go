@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatReduce flags float reductions whose iteration order is not
+// provably fixed. Float addition is non-associative: summing the same
+// multiset of values in two different orders can differ in the last ulp,
+// which is a full golden-digest break in a bit-identity regime. Map
+// ranges are covered by maporder; this analyzer covers the two other
+// unordered sources that appear in concurrent code: ranging over a
+// channel (delivery order is scheduler-dependent with multiple senders)
+// and ranging over a function iterator (iter.Seq — e.g. maps.Keys yields
+// in map order). Reductions over slices/arrays are fixed-order and fine.
+var FloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc:  "float reductions must iterate a provably fixed order (no channel or iterator ranges)",
+	Run:  runFloatReduce,
+}
+
+func runFloatReduce(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			source := ""
+			switch tv.Type.Underlying().(type) {
+			case *types.Chan:
+				source = "channel"
+			case *types.Signature:
+				source = "iterator"
+			default:
+				return true
+			}
+			checkFloatReduce(pass, rs, source)
+			return true
+		})
+	}
+}
+
+// checkFloatReduce flags loop-dependent float accumulation into
+// variables that outlive an unordered range.
+func checkFloatReduce(pass *Pass, rs *ast.RangeStmt, source string) {
+	keyIdent, _ := rs.Key.(*ast.Ident)
+	valIdent, _ := rs.Value.(*ast.Ident)
+	loopVars := objsOf(pass.Info, keyIdent, valIdent)
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || st.Tok == token.DEFINE {
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			if len(st.Rhs) <= i && len(st.Rhs) != 1 {
+				break
+			}
+			rhs := st.Rhs[min(i, len(st.Rhs)-1)]
+			lhsType := pass.Info.Types[lhs].Type
+			if lhsType == nil || !isFloat(lhsType) || rootDeclaredInside(pass.Info, lhs, rs) {
+				continue
+			}
+			accumulates := false
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				accumulates = refersTo(pass.Info, rhs, loopVars)
+			case token.ASSIGN:
+				accumulates = refersTo(pass.Info, rhs, objsOf(pass.Info, rootIdent(lhs))) &&
+					refersTo(pass.Info, rhs, loopVars)
+			}
+			if accumulates {
+				pass.Reportf(st.Pos(),
+					"float reduction into %s over %s order is not reproducible (non-associative addition); collect into a slice and reduce in fixed order",
+					types.ExprString(lhs), source)
+			}
+		}
+		return true
+	})
+}

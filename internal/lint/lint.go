@@ -1,0 +1,198 @@
+// Package lint is the repository's determinism-and-concurrency static
+// analysis suite. Every headline claim in this reproduction — parallel
+// quantum execution bit-identical at any worker count, fleet sharding,
+// golden-digest regression — rests on bit-identical determinism, and until
+// now that invariant was only enforced dynamically, after a violation
+// already produced a wrong bit. The analyzers here move the enforcement to
+// compile time: they flag the code shapes that historically break
+// reproducibility (unordered map iteration feeding output, wall-clock and
+// global-RNG reads inside the simulation core, unguarded captured-state
+// writes inside the shard pool, float reductions over unfixed orders)
+// before a golden digest ever has the chance to drift.
+//
+// The framework is deliberately stdlib-only (go/parser + go/types; no
+// golang.org/x/tools) so the module's empty dependency set is preserved.
+// It mirrors the x/tools analysis vocabulary at miniature scale: an
+// Analyzer inspects one type-checked package through a Pass and reports
+// Diagnostics; the driver in cmd/synpa-lint loads packages in dependency
+// order and runs the suite.
+//
+// Findings can be suppressed per line with a justification comment:
+//
+//	//synpa:lint-allow <rule> <reason>
+//
+// placed on the flagged line or the line directly above it. The rule name
+// must be one of the registered analyzers and the reason must be non-empty;
+// a malformed allow comment is itself reported (rule "lint-allow") so
+// suppressions cannot silently rot.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule (analyzer name) that
+// fired, and a human-readable message. The driver renders it as
+// "file:line: rule: message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the machine-readable driver format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one lint rule: a name (the rule identifier used in output
+// and in suppression comments), a one-line doc string, and a Run function
+// that inspects a package through its Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos under the pass's analyzer rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatReduce, MapOrder, NonDet, SharedMut}
+}
+
+// Rules returns the sorted names of every registered analyzer.
+func Rules() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the registered analyzer with the given rule name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving diagnostics: findings not covered by a well-formed
+// //synpa:lint-allow comment, plus one "lint-allow" diagnostic per
+// malformed suppression comment. Results are sorted by file, line and rule.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// allowRe matches a suppression comment. The rule and a non-empty reason
+// are both mandatory: an allow without a justification is a finding.
+var allowRe = regexp.MustCompile(`^//synpa:lint-allow\s+(\S+)(?:\s+(.*\S))?\s*$`)
+
+// allowKey identifies one (file, line) suppression site.
+type allowKey struct {
+	file string
+	line int
+}
+
+// applySuppressions drops diagnostics covered by a well-formed allow
+// comment on the same line or the line directly above, and appends a
+// "lint-allow" diagnostic for every malformed suppression comment.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[allowKey]map[string]bool{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//synpa:lint-allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(c.Text)
+				bad := ""
+				switch {
+				case m == nil:
+					bad = "malformed suppression comment; use //synpa:lint-allow <rule> <reason>"
+				case m[2] == "":
+					bad = fmt.Sprintf("suppression of %q without a reason; justify the allow", m[1])
+				default:
+					if _, ok := ByName(m[1]); !ok {
+						bad = fmt.Sprintf("suppression of unknown rule %q; valid rules: %s",
+							m[1], strings.Join(Rules(), ", "))
+					}
+				}
+				if bad != "" {
+					malformed = append(malformed, Diagnostic{Pos: pos, Rule: "lint-allow", Message: bad})
+					continue
+				}
+				k := allowKey{file: pos.Filename, line: pos.Line}
+				if allowed[k] == nil {
+					allowed[k] = map[string]bool{}
+				}
+				allowed[k][m[1]] = true
+			}
+		}
+	}
+	kept := malformed
+	for _, d := range diags {
+		k := allowKey{file: d.Pos.Filename, line: d.Pos.Line}
+		above := allowKey{file: d.Pos.Filename, line: d.Pos.Line - 1}
+		if allowed[k][d.Rule] || allowed[above][d.Rule] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

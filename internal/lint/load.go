@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path ("synpa/internal/machine", or the bare
+	// fixture path for testdata packages).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads the module's packages with nothing but the standard
+// library: module packages are enumerated from the filesystem, parsed,
+// and type-checked in dependency order; standard-library imports are
+// resolved through go/importer's source importer (which compiles them
+// from GOROOT source, so no pre-built export data is needed). This keeps
+// go.mod dependency-free while still giving analyzers full go/types
+// information.
+type Loader struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+	// FixtureDir, when set, resolves bare import paths against its
+	// subdirectories before falling back to the standard library. The
+	// analyzer fixture tests point it at testdata/src so fixture
+	// packages can import small stand-in packages (e.g. "pool").
+	FixtureDir string
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader returns a loader for the module rooted at root, reading the
+// module path from root/go.mod.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Root:    root,
+		Module:  module,
+		fset:    fset,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves package patterns to packages, loading (and type-checking)
+// each at most once. Supported patterns follow the go tool's shape:
+// "./..." for the whole module, "./dir/..." for a subtree, and "./dir"
+// (or a plain relative dir) for a single package. Results are sorted by
+// import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		matched, err := l.matchPattern(pat)
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) == 0 {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+		for _, d := range matched {
+			dirs[d] = true
+		}
+	}
+	var pkgs []*Package
+	for dir := range dirs {
+		p, err := l.loadPath(l.dirToPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// matchPattern expands one pattern into package directories (absolute).
+func (l *Loader) matchPattern(pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	}
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "" {
+		pat = "."
+	}
+	base := filepath.Join(l.Root, pat)
+	info, err := os.Stat(base)
+	if err != nil || !info.IsDir() {
+		return nil, fmt.Errorf("lint: pattern %q: not a package directory under %s", pat, l.Root)
+	}
+	if !recursive {
+		if !hasGoFiles(base) {
+			return nil, fmt.Errorf("lint: %q contains no non-test Go files", pat)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go sources.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirToPath maps an absolute package directory to its import path.
+func (l *Loader) dirToPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// pathToDir maps a module import path back to its directory.
+func (l *Loader) pathToDir(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+}
+
+// loadPath parses and type-checks one package (module or fixture) by
+// import path, memoized, loading its intra-module imports first.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := ""
+	switch {
+	case path == l.Module || strings.HasPrefix(path, l.Module+"/"):
+		dir = l.pathToDir(path)
+	case l.FixtureDir != "":
+		dir = filepath.Join(l.FixtureDir, filepath.FromSlash(path))
+	default:
+		return nil, fmt.Errorf("lint: %q is not a module package", path)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: %s: no non-test Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		return l.importFrom(ipath, dir)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importFrom resolves one import: module packages through the loader
+// itself (recursing in dependency order), fixture packages from
+// FixtureDir, everything else from the standard library's source.
+func (l *Loader) importFrom(path, fromDir string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.FixtureDir != "" {
+		if fi, err := os.Stat(filepath.Join(l.FixtureDir, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+			p, err := l.loadPath(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return l.std.ImportFrom(path, fromDir, 0)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

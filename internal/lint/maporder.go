@@ -1,0 +1,275 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose bodies leak Go's
+// randomized iteration order into ordered state: appending map elements
+// to a slice that is never sorted afterwards, accumulating floats (whose
+// addition is non-associative, so the sum's bit pattern depends on visit
+// order), or writing loop-dependent data straight into printed/digested
+// output. All three shapes have bitten real schedulers: an unsorted
+// per-class report loop reorders rows between runs and every golden
+// digest downstream drifts.
+//
+// The analyzer recognizes the repo's canonical repair — collect the keys,
+// sort them, iterate the sorted slice — and therefore does not flag
+// element collection that is followed (in an enclosing block) by a
+// sort/slices call on the collected slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach slices, float sums, or output without a deterministic key sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, parents, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one map-range body for order-dependent sinks.
+func checkMapRange(pass *Pass, parents parentMap, rs *ast.RangeStmt) {
+	keyIdent, _ := rs.Key.(*ast.Ident)
+	valIdent, _ := rs.Value.(*ast.Ident)
+	loopVars := objsOf(pass.Info, keyIdent, valIdent)
+	if len(loopVars) == 0 {
+		// `for range m` bodies cannot observe per-element data; repeats
+		// of identical work are order-independent.
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapAssign(pass, parents, rs, loopVars, st)
+		case *ast.CallExpr:
+			checkMapOutputCall(pass, loopVars, st)
+		}
+		return true
+	})
+}
+
+// checkMapAssign flags loop-dependent appends into unsorted slices and
+// float accumulation into variables that outlive the range.
+func checkMapAssign(pass *Pass, parents parentMap, rs *ast.RangeStmt, loopVars map[types.Object]bool, st *ast.AssignStmt) {
+	if st.Tok == token.DEFINE {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) && len(st.Rhs) != 1 {
+			break
+		}
+		rhs := st.Rhs[min(i, len(st.Rhs)-1)]
+		if rootDeclaredInside(pass.Info, lhs, rs) {
+			continue
+		}
+		// append(target, ...loop-dependent...) into an outer slice.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass.Info, call) {
+			args := call.Args[1:]
+			dependent := false
+			for _, a := range args {
+				if refersTo(pass.Info, a, loopVars) {
+					dependent = true
+					break
+				}
+			}
+			if dependent && !sortedAfter(pass, parents, rs, lhs) {
+				pass.Reportf(st.Pos(),
+					"%s accumulates map-range elements in iteration order and is never sorted; sort it afterwards or iterate sorted keys",
+					types.ExprString(lhs))
+			}
+			continue
+		}
+		// Float accumulation: sum += v, sum -= v, sum *= v, sum /= v, or
+		// sum = sum + v, over a loop-dependent right-hand side.
+		lhsType := pass.Info.Types[lhs].Type
+		if lhsType == nil || !isFloat(lhsType) {
+			continue
+		}
+		accumulates := false
+		switch st.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accumulates = refersTo(pass.Info, rhs, loopVars)
+		case token.ASSIGN:
+			// sum = sum + v: self-referencing float assignment.
+			accumulates = refersTo(pass.Info, rhs, objsOf(pass.Info, rootIdent(lhs))) &&
+				refersTo(pass.Info, rhs, loopVars)
+		}
+		if accumulates {
+			pass.Reportf(st.Pos(),
+				"float accumulation into %s follows map iteration order (non-associative); iterate sorted keys",
+				types.ExprString(lhs))
+		}
+	}
+}
+
+// outputCallees are the printing entry points whose argument order
+// becomes user-visible (and digest-visible) byte order.
+var outputCallees = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+		"Sprint": true, "Sprintf": true, "Sprintln": true,
+		"Append": true, "Appendf": true, "Appendln": true,
+	},
+}
+
+// outputMethods are writer/digest methods: emitting loop-dependent bytes
+// through them inside a map range serializes the random order.
+var outputMethods = map[string]bool{"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true}
+
+// checkMapOutputCall flags printing or digesting loop-dependent values
+// from inside a map range.
+func checkMapOutputCall(pass *Pass, loopVars map[types.Object]bool, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	dependent := false
+	for _, a := range call.Args {
+		if refersTo(pass.Info, a, loopVars) {
+			dependent = true
+			break
+		}
+	}
+	if !dependent {
+		return
+	}
+	if pkgPath, name, ok := useInPackage(pass.Info, sel.Sel); ok {
+		if outputCallees[pkgPath][name] {
+			pass.Reportf(call.Pos(),
+				"%s.%s emits map-range data in iteration order; collect and sort before formatting", pkgBase(pkgPath), name)
+			return
+		}
+	}
+	if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Signature().Recv() != nil && outputMethods[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s streams map-range data in iteration order into a writer/digest; collect and sort first", fn.Name())
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootIdent strips selectors, stars, parens and indexes down to the
+// base identifier of an assignable expression.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootDeclaredInside reports whether the base identifier of lhs is
+// declared within the range statement (per-iteration state is
+// order-independent by construction).
+func rootDeclaredInside(info *types.Info, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && declaredWithin(obj, rs)
+}
+
+// sortedAfter reports whether some statement lexically after the range,
+// in an enclosing block, passes the collected slice to a sort/slices
+// call — the collect-then-sort idiom that makes collection safe.
+func sortedAfter(pass *Pass, parents parentMap, rs *ast.RangeStmt, target ast.Expr) bool {
+	targetStr := types.ExprString(target)
+	for _, st := range stmtsAfter(parents, rs) {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _, ok := useInPackage(pass.Info, sel.Sel)
+			if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+				return true
+			}
+			for _, a := range call.Args {
+				if exprContains(a, targetStr) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprContains reports whether the printed form of expr contains the
+// printed form of the target (covers sort.Slice(s, ...), sort.Sort(byX(s))).
+func exprContains(expr ast.Expr, target string) bool {
+	s := types.ExprString(expr)
+	if s == target {
+		return true
+	}
+	// Substring match on a word boundary keeps sort.Sort(byLen(s)) and
+	// sort.Slice(rep.PerClass, ...) recognized without a full traversal.
+	for i := 0; i+len(target) <= len(s); i++ {
+		if s[i:i+len(target)] == target {
+			before := i == 0 || !isIdentChar(s[i-1])
+			after := i+len(target) == len(s) || !isIdentChar(s[i+len(target)])
+			if before && after {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

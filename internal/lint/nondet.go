@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// corePackages are the simulation-core packages where every observable
+// value must be a pure function of Config + seed. Wall-clock reads,
+// process-global RNG state, environment lookups and processor-count
+// branching are all banned here: each one makes output depend on the
+// host instead of the configuration, which breaks the bit-identity
+// invariant the golden-digest harness enforces. perfstat, experiments
+// and cmd/* are deliberately outside the set — wall-clock timing is
+// their job — as are the pure-infrastructure packages (pool, matching,
+// metrics, regression, lint) that never produce simulated observables.
+var corePackages = map[string]bool{
+	"smtcore":   true,
+	"machine":   true,
+	"fleet":     true,
+	"core":      true,
+	"sched":     true,
+	"grouping":  true,
+	"admission": true,
+	"predcache": true,
+	"stats":     true,
+	"workload":  true,
+	"xrand":     true,
+}
+
+// NonDet forbids host-dependent inputs inside the simulation core:
+// time.Now/Since/Until, the global math/rand (and math/rand/v2) draw
+// functions, os.Getenv/LookupEnv/Environ, and
+// runtime.GOMAXPROCS/NumCPU. Legitimate uses (a worker-count default
+// that cannot affect observable output) carry a //synpa:lint-allow
+// nondet comment with the argument for why output is unaffected.
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc:  "no wall clock, global RNG, environment, or CPU-count reads inside the simulation core",
+	Run:  runNonDet,
+}
+
+// nondetBanned maps package path -> banned name -> advice. An empty name
+// set (math/rand) bans every package-level function.
+var nondetBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock reads make output host-dependent; thread simulated cycles through instead",
+		"Since": "wall-clock reads make output host-dependent; thread simulated cycles through instead",
+		"Until": "wall-clock reads make output host-dependent; thread simulated cycles through instead",
+	},
+	"os": {
+		"Getenv":    "environment reads inside the core break reproducibility; plumb the setting through Config",
+		"LookupEnv": "environment reads inside the core break reproducibility; plumb the setting through Config",
+		"Environ":   "environment reads inside the core break reproducibility; plumb the setting through Config",
+	},
+	"runtime": {
+		"GOMAXPROCS": "processor-count branching makes output machine-dependent; derive widths from Config",
+		"NumCPU":     "processor-count branching makes output machine-dependent; derive widths from Config",
+	},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// isCorePackage matches both the real tree ("synpa/internal/machine")
+// and single-element fixture paths ("machine").
+func isCorePackage(path string) bool {
+	base := pkgBase(path)
+	if !corePackages[base] {
+		return false
+	}
+	if !strings.Contains(path, "/") {
+		return true
+	}
+	return strings.HasSuffix(path, "internal/"+base)
+}
+
+func runNonDet(pass *Pass) {
+	if !isCorePackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := useInPackage(pass.Info, id)
+			if !ok {
+				return true
+			}
+			banned, ok := nondetBanned[pkgPath]
+			if !ok {
+				return true
+			}
+			if banned == nil {
+				// Global math/rand state: any package-level draw couples the
+				// simulation to process-global, scheduler-visible state.
+				pass.Reportf(id.Pos(),
+					"%s.%s uses process-global RNG state; use a seeded internal/xrand stream", pkgBase(pkgPath), name)
+				return true
+			}
+			if advice, bad := banned[name]; bad {
+				pass.Reportf(id.Pos(), "%s.%s in the simulation core: %s", pkgBase(pkgPath), name, advice)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedMut flags writes to captured variables inside function literals
+// handed to the internal/pool pools (ShardPool.Run and pool.Run). Both
+// pools run the literal concurrently, so the only safe writes are the
+// documented patterns: state indexed by the task parameter (task i mod
+// width owns slot i — the quantum-barrier shard pattern) or state merged
+// serially by the coordinator after Run returns. A bare write to a
+// captured variable is a data race that -race only catches when the
+// schedule happens to interleave; this check is the always-on complement.
+var SharedMut = &Analyzer{
+	Name: "sharedmut",
+	Doc:  "no unguarded captured-variable writes inside functions handed to the internal/pool pools",
+	Run:  runSharedMut,
+}
+
+func runSharedMut(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPoolRunCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkPoolFunc(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPoolRunCall reports whether call invokes a Run entry point of the
+// internal/pool package (the ShardPool method or the atomic-counter
+// function; matching by package base keeps the fixture stand-in valid).
+func isPoolRunCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Run" || fn.Pkg() == nil {
+		return false
+	}
+	return pkgBase(fn.Pkg().Path()) == "pool"
+}
+
+// checkPoolFunc inspects one task function for captured-variable writes.
+func checkPoolFunc(pass *Pass, lit *ast.FuncLit) {
+	params := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for obj := range objsOf(pass.Info, field.Names...) {
+			params[obj] = true
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			// A nested literal inherits the same shard; its captures of
+			// the outer literal's locals are shard-local. Only writes that
+			// escape the outer literal matter, and those are still caught
+			// because the root object's position lies outside lit.
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				checkPoolWrite(pass, lit, params, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkPoolWrite(pass, lit, params, st.X)
+		}
+		return true
+	})
+}
+
+// indexesMap reports whether expr's type is (or points at) a map, i.e.
+// indexing it yields shared buckets rather than an owned slot.
+func indexesMap(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkPoolWrite flags a write whose target is captured from outside the
+// task function and not indexed by a task parameter anywhere on its
+// access path.
+func checkPoolWrite(pass *Pass, lit *ast.FuncLit, params map[types.Object]bool, lhs ast.Expr) {
+	expr := lhs
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			if refersTo(pass.Info, e.Index, params) && !indexesMap(pass.Info, e.X) {
+				// Task-indexed slice/array slot: the documented
+				// shard-ownership pattern. Maps never qualify — concurrent
+				// map writes race regardless of key ownership.
+				return
+			}
+			expr = e.X
+		case *ast.Ident:
+			if e.Name == "_" {
+				return
+			}
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			if obj == nil || declaredWithin(obj, lit) {
+				return
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"write to captured %s inside a pool task function; index shared state by the task parameter or merge after the barrier",
+				types.ExprString(lhs))
+			return
+		default:
+			return
+		}
+	}
+}

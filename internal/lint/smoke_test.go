@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestCleanTree is the lint suite's own golden invariant: the committed
+// tree has zero unsuppressed findings, so `synpa-lint ./...` exits 0.
+// Any new finding is either a real determinism hazard (fix it) or a
+// justified exception (add //synpa:lint-allow with the argument).
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := fixtureLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion looks broken", len(pkgs))
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range RunPackage(pkg, All()) {
+			total++
+			t.Errorf("%s", d)
+		}
+	}
+	if total > 0 {
+		t.Fatalf("%d findings on the committed tree; fix them or add justified //synpa:lint-allow comments", total)
+	}
+}

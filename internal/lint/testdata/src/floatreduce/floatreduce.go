@@ -1,0 +1,58 @@
+// Package floatreduce is the fixture for the floatreduce analyzer:
+// float reductions must iterate a provably fixed order.
+package floatreduce
+
+// chanSum reduces floats in channel delivery order.
+func chanSum(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum += v // want `floatreduce: float reduction into sum over channel order`
+	}
+	return sum
+}
+
+// chanSelfAssign is the spelled-out form.
+func chanSelfAssign(ch chan float64) float64 {
+	sum := 0.0
+	for v := range ch {
+		sum = sum + v // want `floatreduce: float reduction into sum over channel order`
+	}
+	return sum
+}
+
+// chanCount is associative: integers are safe in any order.
+func chanCount(ch chan float64) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+// chanCollect collects into a slice for a later fixed-order reduction:
+// the documented repair.
+func chanCollect(ch chan float64) []float64 {
+	var vals []float64
+	for v := range ch {
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// iterSum reduces floats in iterator yield order (e.g. maps.Values).
+func iterSum(seq func(yield func(float64) bool)) float64 {
+	sum := 0.0
+	for v := range seq {
+		sum += v // want `floatreduce: float reduction into sum over iterator order`
+	}
+	return sum
+}
+
+// sliceSum iterates a fixed order: never flagged.
+func sliceSum(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

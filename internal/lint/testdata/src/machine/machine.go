@@ -1,0 +1,51 @@
+// Package machine is the nondet fixture: its single-element import path
+// has a simulation-core base name, so the analyzer treats it as core.
+package machine
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// stamp reads the wall clock inside the core.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `nondet: time.Now in the simulation core`
+}
+
+// elapsed measures host time.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `nondet: time.Since in the simulation core`
+}
+
+// draw uses process-global RNG state.
+func draw(n int) int {
+	return rand.Intn(n) // want `nondet: rand.Intn uses process-global RNG state`
+}
+
+// fromEnv branches on the environment.
+func fromEnv() string {
+	return os.Getenv("SYNPA_X") // want `nondet: os.Getenv in the simulation core`
+}
+
+// width branches on the host's processor count.
+func width() int {
+	return runtime.GOMAXPROCS(0) // want `nondet: runtime.GOMAXPROCS in the simulation core`
+}
+
+// cpus is the other spelling of host-count branching.
+func cpus() int {
+	return runtime.NumCPU() // want `nondet: runtime.NumCPU in the simulation core`
+}
+
+// durations uses time's pure value types: fine anywhere.
+func durations(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// allowedWrite uses os for I/O, which is not banned — only the
+// environment readers are.
+func allowedWrite(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}

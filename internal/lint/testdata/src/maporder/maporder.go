@@ -1,0 +1,129 @@
+// Package maporder is the fixture for the maporder analyzer: each // want
+// comment is an expected diagnostic on its line.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// appendValuesUnsorted leaks map order into a result slice.
+func appendValuesUnsorted(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `maporder: out accumulates map-range elements`
+	}
+	return out
+}
+
+// appendValuesSorted collects then sorts: the canonical repair.
+func appendValuesSorted(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// appendKeysSorted is the sorted-key-extraction idiom.
+func appendKeysSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendKeysUnsorted collects keys but never sorts them.
+func appendKeysUnsorted(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `maporder: keys accumulates map-range elements`
+	}
+	return keys
+}
+
+// sortInOuterBlock sorts after the enclosing if: still recognized.
+func sortInOuterBlock(m map[int]string, cond bool) []int {
+	var keys []int
+	if cond {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// floatAccumulate sums float values in map order.
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `maporder: float accumulation into sum`
+	}
+	return sum
+}
+
+// floatSelfAssign is the spelled-out form of the same reduction.
+func floatSelfAssign(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want `maporder: float accumulation into sum`
+	}
+	return sum
+}
+
+// intAccumulate is order-independent: integer addition is associative.
+func intAccumulate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// countOnly never observes per-element data.
+func countOnly(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// printInOrder formats map elements in iteration order.
+func printInOrder(m map[string]float64) {
+	for k, v := range m {
+		fmt.Printf("%s=%v\n", k, v) // want `maporder: fmt.Printf emits map-range data`
+	}
+}
+
+// writeToBuffer streams map-range data into a writer.
+func writeToBuffer(m map[string]string) string {
+	var buf bytes.Buffer
+	for _, v := range m {
+		buf.WriteString(v) // want `maporder: WriteString streams map-range data`
+	}
+	return buf.String()
+}
+
+// printConstant repeats identical output: order-independent.
+func printConstant(m map[string]float64) {
+	for range m {
+		fmt.Println("tick")
+	}
+}
+
+// perEntryState mutates per-iteration and per-key state only.
+func perEntryState(m map[string]*[3]float64, scale float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		local := v[0] * scale
+		v[1] = local
+		out[k] = local
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package perfstat is the nondet allowlist fixture: same calls as the
+// core fixture, but the package is outside the simulation core (its job
+// is wall-clock measurement), so nothing here may be flagged.
+package perfstat
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+// Snapshot legitimately reads host state: timing is this package's job.
+func Snapshot() (int64, int, string) {
+	return time.Now().UnixNano(), runtime.GOMAXPROCS(0), os.Getenv("SYNPA_BENCH_FAST")
+}

@@ -1,0 +1,27 @@
+// Package pool is a stand-in for synpa/internal/pool with the same Run
+// entry points, so the sharedmut fixture can exercise the analyzer
+// without importing the real module.
+package pool
+
+// ShardPool mirrors the deterministic barrier pool.
+type ShardPool struct{ width int }
+
+// NewShardPool mirrors the real constructor.
+func NewShardPool(width int) *ShardPool { return &ShardPool{width: width} }
+
+// Run mirrors the sharded barrier Run.
+func (p *ShardPool) Run(n int, step func(i int)) {
+	for i := 0; i < n; i++ {
+		step(i)
+	}
+}
+
+// Run mirrors the atomic-counter pool entry point.
+func Run(n int, parallel bool, fn func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

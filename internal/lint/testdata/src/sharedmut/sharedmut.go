@@ -1,0 +1,92 @@
+// Package sharedmut is the fixture for the sharedmut analyzer: writes to
+// captured state inside pool task functions must be task-indexed.
+package sharedmut
+
+import "pool"
+
+type core struct {
+	vals []float64
+	sum  float64
+}
+
+// shardOwned writes only slots owned by the task index: the documented
+// quantum-barrier pattern.
+func shardOwned(p *pool.ShardPool, cores []core) {
+	p.Run(len(cores), func(i int) {
+		cores[i].sum = 0
+		for j := range cores[i].vals {
+			cores[i].vals[j] *= 2
+		}
+	})
+}
+
+// capturedScalar races every shard on one captured accumulator.
+func capturedScalar(p *pool.ShardPool, cores []core) float64 {
+	total := 0.0
+	p.Run(len(cores), func(i int) {
+		total += cores[i].sum // want `sharedmut: write to captured total`
+	})
+	return total
+}
+
+// capturedCounter increments shared state from every shard.
+func capturedCounter(p *pool.ShardPool, n int) int {
+	done := 0
+	p.Run(n, func(i int) {
+		done++ // want `sharedmut: write to captured done`
+	})
+	return done
+}
+
+// capturedMap writes a shared map under a non-parameter key.
+func capturedMap(p *pool.ShardPool, names []string) map[string]bool {
+	seen := map[string]bool{}
+	p.Run(len(names), func(i int) {
+		seen[names[i]] = true // want `sharedmut: write to captured seen`
+	})
+	return seen
+}
+
+// localState keeps all mutation task-local.
+func localState(p *pool.ShardPool, cores []core) {
+	p.Run(len(cores), func(i int) {
+		acc := 0.0
+		for _, v := range cores[i].vals {
+			acc += v
+		}
+		cores[i].sum = acc
+	})
+}
+
+// atomicPoolIndexed uses the atomic-counter pool with per-index results:
+// the merge-by-index-afterwards pattern.
+func atomicPoolIndexed(results []float64) error {
+	return pool.Run(len(results), true, func(i int) error {
+		results[i] = float64(i) * 0.5
+		return nil
+	})
+}
+
+// atomicPoolCaptured writes a captured error slot from every worker.
+func atomicPoolCaptured(n int) error {
+	var lastErr error
+	_ = pool.Run(n, true, func(i int) error {
+		lastErr = nil // want `sharedmut: write to captured lastErr`
+		return nil
+	})
+	return lastErr
+}
+
+// mergeAfterBarrier writes captured state only after Run returned, which
+// is serial coordinator code and fine.
+func mergeAfterBarrier(p *pool.ShardPool, cores []core) float64 {
+	partial := make([]float64, len(cores))
+	p.Run(len(cores), func(i int) {
+		partial[i] = cores[i].sum
+	})
+	total := 0.0
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}

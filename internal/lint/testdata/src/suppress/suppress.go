@@ -1,0 +1,43 @@
+// Package suppress is the fixture for //synpa:lint-allow handling, run
+// under the maporder analyzer.
+package suppress
+
+// sameLineAllow is silenced by an allow on the flagged line.
+func sameLineAllow(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v //synpa:lint-allow maporder demonstration of a justified same-line suppression
+	}
+	return sum
+}
+
+// lineAboveAllow is silenced by an allow on the line directly above.
+func lineAboveAllow(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		//synpa:lint-allow maporder demonstration of a justified line-above suppression
+		out = append(out, v)
+	}
+	return out
+}
+
+// wrongRuleAllow carries a well-formed allow for a different rule, so
+// the maporder finding still fires.
+func wrongRuleAllow(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		//synpa:lint-allow nondet this justification names the wrong rule
+		sum += v // want `maporder: float accumulation into sum`
+	}
+	return sum
+}
+
+// farAwayAllow has an allow comment too far from the finding to apply.
+func farAwayAllow(m map[string]float64) float64 {
+	//synpa:lint-allow maporder this comment is not adjacent to the finding
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `maporder: float accumulation into sum`
+	}
+	return sum
+}

@@ -39,6 +39,11 @@ const WorkersEnv = "SYNPA_WORKERS"
 // parallel (1 otherwise), and the result is clamped to [1, tasks].
 func WorkersFromEnv(configured, tasks int, parallel bool) int {
 	w := configured
+	// The worker count chooses how cores are sharded across goroutines,
+	// never what any core computes: the quantum barrier makes every width
+	// bit-identical (the parallel-merge invariant in smtcore/DESIGN.md),
+	// so reading the host here cannot reach an observable bit.
+	//synpa:lint-allow nondet worker width is output-neutral under the parallel-merge invariant
 	if s := os.Getenv(WorkersEnv); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
 			w = v
@@ -48,6 +53,7 @@ func WorkersFromEnv(configured, tasks int, parallel bool) int {
 		if !parallel {
 			return 1
 		}
+		//synpa:lint-allow nondet GOMAXPROCS only sizes the shard pool; results are bit-identical at any width
 		w = runtime.GOMAXPROCS(0)
 	}
 	if w > tasks {

@@ -230,7 +230,16 @@ func SummarizeDynamic(res *machine.DynamicResult, isoCycles []float64) DynamicSt
 		}
 	}
 	if !uniform {
-		for prio, cs := range classes {
+		// Iterate the class map through sorted keys (most urgent first)
+		// so PerClass never observes map iteration order — the maporder
+		// lint invariant for everything that reaches reports.
+		prios := make([]int, 0, len(classes))
+		for prio := range classes {
+			prios = append(prios, prio)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+		for _, prio := range prios {
+			cs := classes[prio]
 			if cs.Completed > 0 {
 				cs.MeanResponseCycles /= float64(cs.Completed)
 				cs.ANTT /= float64(cs.Completed)
@@ -238,9 +247,6 @@ func SummarizeDynamic(res *machine.DynamicResult, isoCycles []float64) DynamicSt
 			}
 			st.PerClass = append(st.PerClass, *cs)
 		}
-		sort.Slice(st.PerClass, func(a, b int) bool {
-			return st.PerClass[a].Priority > st.PerClass[b].Priority
-		})
 	}
 	return st
 }

@@ -1,0 +1,99 @@
+package xrand
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// streamDigest folds a fixed-seed draw sequence through SHA-256. Every
+// distribution the simulator consumes contributes: a change to any of
+// them (a reordered draw, a different clamp, a refactored inverse CDF)
+// changes the digest.
+func streamDigest() string {
+	h := sha256.New()
+	w := func(u uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], u)
+		h.Write(b[:])
+	}
+	rng := New(0x5EED_CAFE)
+	for i := 0; i < 256; i++ {
+		w(rng.Uint64())
+	}
+	for i := 0; i < 256; i++ {
+		w(math.Float64bits(rng.Float64()))
+	}
+	for i := 0; i < 256; i++ {
+		w(uint64(rng.Intn(1000 + i)))
+	}
+	ps := []float64{1e-6, 0.001, 0.01, 0.1, 0.5, 0.9, 0.999}
+	for i := 0; i < 256; i++ {
+		w(uint64(rng.Geometric(ps[i%len(ps)])))
+	}
+	for i := 0; i < 256; i++ {
+		p := ps[i%len(ps)]
+		w(uint64(rng.GeometricFromLog(p, math.Log1p(-p))))
+	}
+	for i := 0; i < 256; i++ {
+		w(math.Float64bits(rng.Exp(float64(i + 1))))
+	}
+	for i := 0; i < 64; i++ {
+		w(math.Float64bits(rng.NormFloat64()))
+	}
+	for _, v := range rng.Perm(64) {
+		w(uint64(v))
+	}
+	child := rng.Split()
+	for i := 0; i < 64; i++ {
+		w(child.Uint64())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestDeterministicStreamDigest pins the generator's output streams
+// bit-for-bit. Every golden digest in internal/regression transitively
+// depends on these draws, so an RNG refactor that silently changes any
+// stream would invalidate every downstream golden at once; this test
+// localizes such a change to its source.
+func TestDeterministicStreamDigest(t *testing.T) {
+	const want = "abe021a3055252135f8ed032c51886cc5fc6453cb54c2cc1dd5c36a16e682fc6"
+	if got := streamDigest(); got != want {
+		t.Fatalf("xrand stream digest changed:\n got %s\nwant %s\n"+
+			"An intentional RNG change invalidates every golden digest in "+
+			"internal/regression — regenerate those too and say so in the PR.", got, want)
+	}
+	// A second pass must reproduce the digest exactly (no hidden state).
+	if got := streamDigest(); got != want {
+		t.Fatalf("xrand stream digest not reproducible within one process: %s", got)
+	}
+}
+
+// TestStreamDigestPrefix pins the first draws of the geometric and
+// exponential streams as plain values, so a digest mismatch can be
+// localized without bisecting the whole sequence.
+func TestStreamDigestPrefix(t *testing.T) {
+	rng := New(0x5EED_CAFE)
+	gotGeo := make([]int, 4)
+	for i := range gotGeo {
+		gotGeo[i] = rng.Geometric(0.01)
+	}
+	wantGeo := [4]int{93, 1, 5, 21}
+	for i, g := range gotGeo {
+		if g != wantGeo[i] {
+			t.Errorf("Geometric(0.01) draw %d = %d, want %d", i, g, wantGeo[i])
+		}
+	}
+	gotExp := make([]uint64, 4)
+	for i := range gotExp {
+		gotExp[i] = math.Float64bits(rng.Exp(100))
+	}
+	wantExp := [4]uint64{0x3ff31c11476ddb12, 0x407b77d5c3169d82, 0x4011e21b03f8a8f1, 0x406eb58440cb2261}
+	for i, g := range gotExp {
+		if g != wantExp[i] {
+			t.Errorf("Exp(100) draw %d = %#x (%v), want %#x", i, g, math.Float64frombits(g), wantExp[i])
+		}
+	}
+}
