@@ -36,6 +36,7 @@ import (
 	admpkg "synpa/internal/admission"
 	"synpa/internal/experiments"
 	"synpa/internal/machine"
+	"synpa/internal/obs"
 	"synpa/internal/perfstat"
 )
 
@@ -53,23 +54,38 @@ func runMachineCfg(cfg experiments.Config) machine.Config {
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "experiment to run (see -list)")
-		list      = flag.Bool("list", false, "list available experiments")
-		reps      = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
-		smt       = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
-		quantum   = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
-		refQ      = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
-		seed      = flag.Uint64("seed", 0, "random seed (default: suite default)")
-		parallel  = flag.Bool("parallel", true, "fan runs out over CPUs")
-		admission = flag.String("admission", "", "open-system admission discipline for the dynamic experiment: fifo (default) | sjf | priority | backfill (dynprio compares all four regardless)")
-		workers   = flag.Int("workers", 0, "worker goroutines stepping cores within each run's quanta (0 = GOMAXPROCS, 1 = serial; bit-identical at any count; effective when per-run parallelism is active, e.g. -parallel=false; SYNPA_WORKERS overrides)")
-		format    = flag.String("format", "text", "output format: text | json | csv")
-		ff        = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
-		perfOut   = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
-		fleetM    = flag.Int("fleet-machines", 0, "dynfleet-scale cluster size (0 = 500)")
-		fleetJ    = flag.Int("fleet-jobs", 0, "dynfleet-scale stream length (0 = 1,000,000)")
+		exp        = flag.String("experiment", "all", "experiment to run (see -list)")
+		list       = flag.Bool("list", false, "list available experiments")
+		reps       = flag.Int("reps", 0, "repetitions per workload (default: suite default; paper uses 9)")
+		smt        = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
+		quantum    = flag.Uint64("quantum", 0, "scheduling quantum in cycles (default: suite default)")
+		refQ       = flag.Int("refquanta", 0, "isolated reference interval in quanta (default: suite default)")
+		seed       = flag.Uint64("seed", 0, "random seed (default: suite default)")
+		parallel   = flag.Bool("parallel", true, "fan runs out over CPUs")
+		admission  = flag.String("admission", "", "open-system admission discipline for the dynamic experiment: fifo (default) | sjf | priority | backfill (dynprio compares all four regardless)")
+		workers    = flag.Int("workers", 0, "worker goroutines stepping cores within each run's quanta (0 = GOMAXPROCS, 1 = serial; bit-identical at any count; effective when per-run parallelism is active, e.g. -parallel=false; SYNPA_WORKERS overrides)")
+		format     = flag.String("format", "text", "output format: text | json | csv")
+		ff         = flag.Bool("fastforward", true, "enable the event-driven core fast-forward engine (observationally equivalent; disable to time the per-cycle reference)")
+		perfOut    = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
+		fleetM     = flag.Int("fleet-machines", 0, "dynfleet-scale cluster size (0 = 500)")
+		fleetJ     = flag.Int("fleet-jobs", 0, "dynfleet-scale stream length (0 = 1,000,000)")
+		traceOut   = flag.String("trace-out", "", "write the run's event trace to this '[format:]path' (formats: chrome = Perfetto trace-event JSON, jsonl; default by extension). Needs a single -experiment and forces -parallel=false so the trace stays deterministic")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot (counters/histograms, JSON) to this path; byte-stable across runs when -parallel=false")
 	)
 	flag.Parse()
+
+	var traceFormat, tracePath string
+	if *traceOut != "" {
+		var err error
+		if traceFormat, tracePath, err = obs.ParseTraceDest(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-bench: -trace-out:", err)
+			os.Exit(2)
+		}
+		if *exp == "all" {
+			fmt.Fprintln(os.Stderr, "synpa-bench: -trace-out records a single experiment; pick one with -experiment (see -list)")
+			os.Exit(2)
+		}
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *reps > 0 {
@@ -103,6 +119,18 @@ func main() {
 	cfg.Machine.FastForward = *ff
 	if *perfOut != "" {
 		perfstat.EnablePhases(true)
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		// The bench observer shares the global registry, so the metrics
+		// snapshot and the BENCH phases view read the same accumulators.
+		// Event tracing additionally needs a serial suite: counters commute,
+		// trace appends do not.
+		o := &obs.Observer{Reg: obs.Global()}
+		if *traceOut != "" {
+			o.Trace = obs.NewTrace(0)
+			cfg.Parallel = false
+		}
+		cfg.Obs = o
 	}
 	// cfg.Train.Machine needs no mirroring: Suite.Model always trains on
 	// cfg.Machine.
@@ -203,6 +231,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "synpa-bench: unknown experiment %q\nvalid experiments: all, %s\n",
 			*exp, strings.Join(names, ", "))
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(tracePath, traceFormat, cfg.Obs.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-bench: -trace-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "synpa-bench: trace written to %s (%s, %d events, %d dropped)\n",
+			tracePath, traceFormat, len(cfg.Obs.Trace.Events()), cfg.Obs.Trace.Dropped())
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteMetricsFile(*metricsOut, obs.Global()); err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-bench: -metrics-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "synpa-bench: metrics written to %s\n", *metricsOut)
 	}
 
 	if *perfOut != "" {

@@ -28,25 +28,39 @@ import (
 	"strings"
 
 	"synpa/internal/experiments"
+	"synpa/internal/obs"
 	"synpa/synpa"
 )
 
 func main() {
 	var (
-		wlName    = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
-		appList   = flag.String("apps", "", "comma-separated app names (overrides -workload)")
-		trace     = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4, prio-lo/mid/hi) or trace file path (overrides -workload/-apps)")
-		fleetName = flag.String("fleet", "", "fleet run: built-in cluster scenario (fleet-sat, fleet-imb, fleet-hot) streamed through the two-level scheduler (overrides -workload/-apps/-trace)")
-		dispatch  = flag.String("dispatch", "", "fleet dispatch discipline: least-loaded (default) | round-robin | interference")
-		machines  = flag.Int("machines", 0, "fleet cluster size (0 = the scenario default)")
-		policy    = flag.String("policy", "both", "linux | synpa | random | both")
-		admission = flag.String("admission", "", "dynamic-run admission discipline: fifo (default) | sjf | priority | backfill")
-		smt       = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
-		quantum   = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workers   = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
+		wlName     = flag.String("workload", "fb2", "standard workload name (be0-be4, fe0-fe4, fb0-fb9)")
+		appList    = flag.String("apps", "", "comma-separated app names (overrides -workload)")
+		trace      = flag.String("trace", "", "dynamic run: built-in scenario (dyn0-dyn4, prio-lo/mid/hi) or trace file path (overrides -workload/-apps)")
+		fleetName  = flag.String("fleet", "", "fleet run: built-in cluster scenario (fleet-sat, fleet-imb, fleet-hot) streamed through the two-level scheduler (overrides -workload/-apps/-trace)")
+		dispatch   = flag.String("dispatch", "", "fleet dispatch discipline: least-loaded (default) | round-robin | interference")
+		machines   = flag.Int("machines", 0, "fleet cluster size (0 = the scenario default)")
+		policy     = flag.String("policy", "both", "linux | synpa | random | both")
+		admission  = flag.String("admission", "", "dynamic-run admission discipline: fifo (default) | sjf | priority | backfill")
+		smt        = flag.Int("smt", 0, "SMT level: hardware threads per core, 1-4 (default: the paper's SMT2 BIOS setting)")
+		quantum    = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
+		traceOut   = flag.String("trace-out", "", "write the run's event trace to this '[format:]path' (formats: chrome = Perfetto trace-event JSON, jsonl; default by extension). Needs a single policy, not -policy both")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics registry snapshot (counters/histograms, JSON) to this path")
 	)
 	flag.Parse()
+
+	var traceFormat, tracePath string
+	if *traceOut != "" {
+		var err error
+		if traceFormat, tracePath, err = obs.ParseTraceDest(*traceOut); err != nil {
+			fatal(fmt.Errorf("-trace-out: %w", err))
+		}
+		if *policy == "both" {
+			fatal(fmt.Errorf("-trace-out records a single run; pick -policy linux, synpa or random"))
+		}
+	}
 
 	cfg := synpa.DefaultConfig()
 	cfg.SMTLevel = *smt
@@ -54,6 +68,29 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Admission = *admission
+	var observer *synpa.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		observer = synpa.NewObserver(0)
+		cfg.Obs = observer
+	}
+	exportObs := func() {
+		if observer == nil {
+			return
+		}
+		if tracePath != "" {
+			if err := obs.WriteTraceFile(tracePath, traceFormat, observer.Trace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (%s, %d events, %d dropped)\n",
+				tracePath, traceFormat, len(observer.Trace.Events()), observer.Trace.Dropped())
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteMetricsFile(*metricsOut, observer.Reg); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+	}
 	sys, err := synpa.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -61,6 +98,7 @@ func main() {
 
 	if *fleetName != "" {
 		runFleet(sys, *fleetName, *dispatch, *policy, *machines, *quantum, *seed)
+		exportObs()
 		return
 	}
 	if *dispatch != "" || *machines != 0 {
@@ -68,6 +106,7 @@ func main() {
 	}
 	if *trace != "" {
 		runDynamic(sys, *trace, *policy, *quantum, *seed)
+		exportObs()
 		return
 	}
 	if *admission != "" {
@@ -135,6 +174,7 @@ func main() {
 		fmt.Printf("fairness: %.3f -> %.3f\n", reports[0].Fairness, reports[1].Fairness)
 		fmt.Printf("IPC geomean speedup: %.3f\n", reports[1].IPCGeomean/reports[0].IPCGeomean)
 	}
+	exportObs()
 }
 
 // runFleet streams a built-in cluster scenario through the two-level

@@ -108,6 +108,7 @@ func (s *Suite) runDynamicAdm(tr workload.Trace, factory PolicyFactory, adm admi
 		Seed:      s.cfg.Seed + hashString(tr.Name),
 		MaxCycles: uint64(s.cfg.MaxQuanta) * cfg.QuantumCycles,
 		Admission: adm,
+		Obs:       s.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -115,6 +115,7 @@ func (s *Suite) runFleet(sc FleetScenario, dispatch string, factory PolicyFactor
 		Seed:      s.cfg.Seed,
 		MaxCycles: uint64(s.cfg.MaxQuanta) * s.cfg.Machine.QuantumCycles,
 		Workers:   s.fleetWorkers(),
+		Obs:       s.cfg.Obs,
 	}, src)
 }
 
@@ -247,6 +248,7 @@ func (s *Suite) DynFleetScale(opt FleetScaleOptions) (*Table, error) {
 		Seed:      s.cfg.Seed,
 		MaxCycles: uint64(s.cfg.MaxQuanta) * s.cfg.Machine.QuantumCycles,
 		Workers:   s.cfg.Machine.Workers,
+		Obs:       s.cfg.Obs,
 	}, src)
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"synpa/internal/apps"
 	"synpa/internal/core"
 	"synpa/internal/machine"
+	"synpa/internal/obs"
 	"synpa/internal/pool"
 	"synpa/internal/sched"
 	"synpa/internal/train"
@@ -47,6 +48,11 @@ type Config struct {
 	// dynamic scenario experiments ("" or "fifo", "sjf", "priority",
 	// "backfill"); the dynprio experiment compares all four regardless.
 	Admission string
+	// Obs, when non-nil, receives every run's event trace and metrics.
+	// Registry counters are parallel-safe, but the event trace is not:
+	// callers enabling tracing must run the suite serially (Parallel
+	// false) — synpa-bench enforces this for -trace-out.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the configuration used by the published benches.
@@ -206,6 +212,7 @@ func (s *Suite) Run(w workload.Workload, factory PolicyFactory, rep int) (*machi
 			// analyse the three published workloads only; skipping the
 			// rest keeps the memoised suite small.
 			RecordTrace: w.Name == "be1" || w.Name == "fe2" || w.Name == "fb2",
+			Obs:         s.cfg.Obs,
 		})
 		if err != nil {
 			slot.err = err

@@ -49,6 +49,25 @@ type dispatcher interface {
 	done(m int, appName string)
 }
 
+// scorer is implemented by dispatchers whose pick compares per-machine
+// candidate scores. The trace exporter reads them (before pick commits the
+// job) to attach the compared vector to dispatch events; scores never
+// influence the decision itself.
+type scorer interface {
+	scores(j *Job, dst []float64) []float64
+}
+
+// loadReporter is implemented by dispatchers that track per-machine
+// committed load, so dispatch events can record the chosen machine's load.
+type loadReporter interface {
+	load(m int) int
+}
+
+// scoredMachinesMax bounds the fleet size at which dispatch events carry
+// the full candidate-score vector: above it the O(machines) payload per
+// arrival would dominate the trace.
+const scoredMachinesMax = 64
+
 // newDispatcher resolves a dispatch policy by name ("" selects
 // least-loaded). The interference dispatcher needs the trained model and
 // the machines' hardware-thread capacity.
@@ -111,6 +130,17 @@ func (d *leastLoaded) pick(*Job) int {
 
 func (d *leastLoaded) done(m int, _ string) { d.loads[m]-- }
 
+func (d *leastLoaded) load(m int) int { return d.loads[m] }
+
+// scores reports each machine's committed load — the quantity pick
+// minimises. Trace-only.
+func (d *leastLoaded) scores(_ *Job, dst []float64) []float64 {
+	for _, l := range d.loads {
+		dst = append(dst, float64(l))
+	}
+	return dst
+}
+
 // interference scores candidate machines with the trained pair-degradation
 // model over the residents' isolated category fractions.
 type interference struct {
@@ -172,6 +202,15 @@ func (d *interference) pick(j *Job) int {
 	d.loads[best]++
 	d.addCats(best, j.Cats, 1)
 	return best
+}
+
+// scores reports each machine's predicted mutual degradation with the job
+// — the quantity pick minimises among unsaturated machines. Trace-only.
+func (d *interference) scores(j *Job, dst []float64) []float64 {
+	for m := 0; m < len(d.loads); m++ {
+		dst = append(dst, d.score(j, m))
+	}
+	return dst
 }
 
 func (d *interference) done(m int, appName string) {

@@ -34,6 +34,7 @@ import (
 	"synpa/internal/admission"
 	"synpa/internal/core"
 	"synpa/internal/machine"
+	"synpa/internal/obs"
 	"synpa/internal/perfstat"
 	"synpa/internal/pool"
 	"synpa/internal/stats"
@@ -77,6 +78,11 @@ type Config struct {
 	// deterministic completion order (machine index ascending within an
 	// event time). For tests and custom aggregation.
 	OnJobDone func(machineIdx int, o machine.JobOutcome)
+	// Obs, when non-nil, receives the run's event trace and metrics. Each
+	// machine emits into its own shard, drained at the event-time barriers
+	// in ascending machine order (the parallel-merge invariant), and
+	// dispatch decisions are traced directly from the coordinator.
+	Obs *obs.Observer
 }
 
 // ClassReport is one priority class's fleet metrics.
@@ -318,11 +324,16 @@ func Run(cfg Config, src Source) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
-		runners[i], err = machine.NewDynRunner(m, p, machine.DynRunnerOptions{Seed: cfg.Seed, Admission: adm})
+		runners[i], err = machine.NewDynRunner(m, p, machine.DynRunnerOptions{Seed: cfg.Seed, Admission: adm, Obs: cfg.Obs.Machine(i)})
 		if err != nil {
 			return nil, err
 		}
 	}
+	var tr *obs.Trace
+	if cfg.Obs != nil {
+		tr = cfg.Obs.Trace
+	}
+	orc := cfg.Obs.Counters()
 	hwThreads := runners[0].Free()
 	disp, err := newDispatcher(cfg.Dispatch, cfg.Machines, hwThreads, cfg.Model)
 	if err != nil {
@@ -454,7 +465,24 @@ func Run(cfg Config, src Source) (*Report, error) {
 		t0 = perfstat.PhaseClock()
 		for pending != nil && pending.App.ArriveAt == T {
 			j := pending
+			// Candidate scores are read before pick commits the job (pick
+			// mutates load state); trace-only, and only at fleet sizes
+			// where an O(machines) vector per event stays proportionate.
+			var scores []float64
+			if tr != nil && cfg.Machines <= scoredMachinesMax {
+				if sc, ok := disp.(scorer); ok {
+					scores = sc.scores(j, nil)
+				}
+			}
 			mi := disp.pick(j)
+			orc.Dispatched.Add(1)
+			if tr != nil {
+				load := int64(-1)
+				if lr, ok := disp.(loadReporter); ok {
+					load = int64(lr.load(mi))
+				}
+				tr.Emit(obs.Event{T: T, Op: obs.OpDispatch, Machine: int32(mi), Core: -1, App: int64(j.ID), A: load, Vals: scores})
+			}
 			r := runners[mi]
 			if r.Planned() && r.Free() > 0 && T > r.Now() && T < r.PlanEnd() {
 				perfstat.PhaseAdd(perfstat.PhaseDispatch, t0)
@@ -499,6 +527,21 @@ func Run(cfg Config, src Source) (*Report, error) {
 				gens[mi]++
 				h.push(planEvent{t: r.PlanEnd(), idx: mi, gen: gens[mi]})
 			}
+		}
+
+		// Event-time barrier: drain every machine's trace shard in
+		// ascending machine order — the merge that keeps the global stream
+		// in (t, machine, core) order at any worker count.
+		if tr != nil {
+			for _, r := range runners {
+				r.FlushObs()
+			}
+		}
+	}
+
+	if tr != nil {
+		for _, r := range runners {
+			r.FlushObs()
 		}
 	}
 

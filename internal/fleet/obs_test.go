@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/obs"
+)
+
+// runObservedFleet runs the standard multi-machine scenario with a fresh
+// observer and returns the report plus the serialised trace and metrics.
+func runObservedFleet(t *testing.T, dispatch string, workers int) (*Report, []byte, []byte) {
+	t.Helper()
+	o := obs.NewObserver(0)
+	rep, err := Run(Config{
+		Machines:  5,
+		Machine:   testMachineConfig(),
+		NewPolicy: func(int) machine.Policy { return spreadPolicy{} },
+		Dispatch:  dispatch,
+		Model:     core.PaperCoefficients(),
+		Admission: "priority",
+		Seed:      11,
+		Workers:   workers,
+		Obs:       o,
+	}, &sliceSource{jobs: testJobs(t, 48)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, metrics bytes.Buffer
+	if err := obs.WriteJSONL(&trace, o.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Reg.Snapshot().WriteJSON(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	return rep, trace.Bytes(), metrics.Bytes()
+}
+
+// TestObsWorkerCountInvariance extends the sharding invariant to the
+// observability layer: the full event trace and the metrics snapshot are
+// byte-identical at every worker count, for every dispatch policy. Run
+// under -race this also proves the barrier-drain discipline: shard buffers
+// are only touched from coordinator-serial code.
+func TestObsWorkerCountInvariance(t *testing.T) {
+	for _, dispatch := range Dispatchers() {
+		t.Run(dispatch, func(t *testing.T) {
+			_, trace1, metrics1 := runObservedFleet(t, dispatch, 1)
+			_, trace4, metrics4 := runObservedFleet(t, dispatch, 4)
+			if !bytes.Equal(trace1, trace4) {
+				t.Fatalf("trace bytes diverged across worker counts (%d vs %d bytes)",
+					len(trace1), len(trace4))
+			}
+			if !bytes.Equal(metrics1, metrics4) {
+				t.Fatalf("metrics bytes diverged across worker counts:\n%s\nvs\n%s",
+					metrics1, metrics4)
+			}
+		})
+	}
+}
+
+// TestObsCountersMatchReport cross-checks the registry against the fleet's
+// own accounting: the counters are a second, independent tally of the same
+// run and must agree with the report exactly.
+func TestObsCountersMatchReport(t *testing.T) {
+	rep, trace, metrics := runObservedFleet(t, DispatchLeastLoaded, 1)
+	if len(trace) == 0 || len(metrics) == 0 {
+		t.Fatal("observed run produced no trace or metrics output")
+	}
+
+	o := obs.NewObserver(0)
+	rep2, err := Run(Config{
+		Machines:  5,
+		Machine:   testMachineConfig(),
+		NewPolicy: func(int) machine.Policy { return spreadPolicy{} },
+		Dispatch:  DispatchLeastLoaded,
+		Model:     core.PaperCoefficients(),
+		Admission: "priority",
+		Seed:      11,
+		Workers:   1,
+		Obs:       o,
+	}, &sliceSource{jobs: testJobs(t, 48)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Reg.Snapshot()
+	if got := s.Counters["fleet.dispatched"]; got != int64(rep2.Jobs) {
+		t.Fatalf("fleet.dispatched = %d, report says %d jobs", got, rep2.Jobs)
+	}
+	if got := s.Counters["jobs.completed"]; got != int64(rep2.Completed) {
+		t.Fatalf("jobs.completed = %d, report says %d", got, rep2.Completed)
+	}
+	if got := s.Counters["jobs.deferred"]; got != int64(rep2.Deferred) {
+		t.Fatalf("jobs.deferred = %d, report says %d", got, rep2.Deferred)
+	}
+	if got := s.Histograms["jobs.response_cycles"].Count; got != rep2.Completed {
+		t.Fatalf("response histogram count = %d, report says %d completed", got, rep2.Completed)
+	}
+	if s.Counters["machine.slices"] <= 0 || s.Counters["policy.place_calls"] <= 0 {
+		t.Fatalf("lifecycle counters empty: %v", s.Counters)
+	}
+	if rep.Jobs != rep2.Jobs {
+		t.Fatalf("scenario drifted between runs: %d vs %d jobs", rep.Jobs, rep2.Jobs)
+	}
+}
+
+// TestObsDisabledIdentical pins the zero-cost claim's correctness half: a
+// run with a nil observer produces a bit-identical report to an observed
+// run — observation never perturbs the simulation.
+func TestObsDisabledIdentical(t *testing.T) {
+	repObs, _, _ := runObservedFleet(t, DispatchInterference, 1)
+	repOff, _ := runFleet(t, DispatchInterference, 1, 5)
+	// runFleet registers an OnJobDone callback; the report fields are what
+	// must match.
+	if repObs.Cycles != repOff.Cycles || repObs.Slices != repOff.Slices ||
+		repObs.Completed != repOff.Completed || repObs.MeanResponseCycles != repOff.MeanResponseCycles ||
+		repObs.P95ResponseCycles != repOff.P95ResponseCycles || repObs.STP != repOff.STP {
+		t.Fatalf("observation perturbed the run:\nwith obs %+v\nwithout  %+v", repObs, repOff)
+	}
+}

@@ -118,6 +118,7 @@ func runFixture(t *testing.T, a *Analyzer, path string) {
 
 func TestMapOrderFixture(t *testing.T)    { runFixture(t, MapOrder, "maporder") }
 func TestNonDetFixture(t *testing.T)      { runFixture(t, NonDet, "machine") }
+func TestNonDetObsFixture(t *testing.T)   { runFixture(t, NonDet, "obs") }
 func TestSharedMutFixture(t *testing.T)   { runFixture(t, SharedMut, "sharedmut") }
 func TestFloatReduceFixture(t *testing.T) { runFixture(t, FloatReduce, "floatreduce") }
 

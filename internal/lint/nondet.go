@@ -26,6 +26,10 @@ var corePackages = map[string]bool{
 	"stats":     true,
 	"workload":  true,
 	"xrand":     true,
+	// obs produces the trace/metrics streams whose byte-identity across
+	// worker counts the differential tests pin: simulated-time stamps
+	// only, so it is held to the full core rule set.
+	"obs": true,
 }
 
 // NonDet forbids host-dependent inputs inside the simulation core:

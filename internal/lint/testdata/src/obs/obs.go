@@ -1,0 +1,56 @@
+// Package obs is the nondet fixture for the observability package
+// pattern: event emission stamped with simulated time is clean, a
+// wall-clock stamp on an event is a finding, and an exporter annotating
+// out-of-band file metadata may read the wall clock only under a
+// justified allow.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// event mirrors the real package's shape: simulated cycles only.
+type event struct {
+	T  uint64
+	Op string
+}
+
+// trace accumulates events.
+type trace struct {
+	events []event
+}
+
+// emit stamps the event with simulated time threaded in by the engine —
+// the clean pattern: no host input anywhere near the event stream.
+func (t *trace) emit(cycles uint64, op string) {
+	t.events = append(t.events, event{T: cycles, Op: op})
+}
+
+// emitStamped is the violation the rule exists for: a wall-clock stamp
+// makes the trace host-dependent and breaks byte-identity.
+func (t *trace) emitStamped(op string) {
+	t.events = append(t.events, event{
+		T:  uint64(time.Now().UnixNano()), // want `nondet: time.Now in the simulation core`
+		Op: op,
+	})
+}
+
+// export writes the trace. The generation timestamp is out-of-band file
+// metadata — it never feeds simulated state or the compared byte
+// streams (the differential tests strip it) — so the wall-clock read
+// carries a justified allow.
+func (t *trace) export(w io.Writer) error {
+	//synpa:lint-allow nondet export metadata is out-of-band; never feeds simulated state
+	generated := time.Now().UTC().Format(time.RFC3339)
+	if _, err := fmt.Fprintf(w, "# generated %s\n", generated); err != nil {
+		return err
+	}
+	for _, ev := range t.events {
+		if _, err := fmt.Fprintf(w, "%d %s\n", ev.T, ev.Op); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 
 	"synpa/internal/admission"
 	"synpa/internal/apps"
+	"synpa/internal/obs"
 )
 
 // DynamicApp is one application of an open-system run.
@@ -54,6 +55,9 @@ type DynamicOptions struct {
 	// hardware threads. Nil selects admission.FIFO — bit-identical to the
 	// runner's historical inline queue.
 	Admission admission.Policy
+	// Obs, when non-nil, receives the run's event trace and metrics (the
+	// single machine is machine 0). Tracing never perturbs the simulation.
+	Obs *obs.Observer
 }
 
 // DynamicAppResult is one application's outcome in an open-system run.
@@ -160,7 +164,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		}
 	}
 
-	ropt := DynRunnerOptions{Seed: opt.Seed, Admission: opt.Admission}
+	ropt := DynRunnerOptions{Seed: opt.Seed, Admission: opt.Admission, Obs: opt.Obs.Machine(0)}
 	if opt.RecordPlacements {
 		ropt.OnPlace = func(ids []int, place Placement) {
 			global := make(Placement, len(work))
@@ -227,6 +231,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		}
 		r.StepPlanned()
 		outs = r.FinishSlice(outs[:0])
+		r.FlushObs() // slice barrier: drain the trace shard in order
 		for i := range outs {
 			o := &outs[i]
 			a := &res.Apps[o.ID]
@@ -239,6 +244,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 		}
 	}
 
+	r.FlushObs()
 	res.Cycles = r.Now()
 	res.Slices = r.Slices()
 	res.MeanLiveApps = r.MeanLive()

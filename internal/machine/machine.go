@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"synpa/internal/apps"
+	"synpa/internal/obs"
 	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
 	"synpa/internal/pool"
@@ -336,6 +337,9 @@ type RunnerOptions struct {
 	// RecordTrace keeps per-quantum per-app samples in the Result
 	// (needed by the Fig. 6/7 and Table V analyses).
 	RecordTrace bool
+	// Obs, when non-nil, receives the run's event trace and metrics (the
+	// single machine is machine 0). Tracing never perturbs the simulation.
+	Obs *obs.Observer
 }
 
 // DefaultMaxQuanta caps runaway executions.
@@ -426,6 +430,19 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 	stopPool := m.startPool()
 	defer stopPool()
 
+	// Observability: the closed system is machine 0; per-quantum engine
+	// deltas are observed only when tracing or metrics are live.
+	view := opt.Obs.Machine(0)
+	mt := view.Trace()
+	rc := view.Counters()
+	var prevEngine []smtcore.EngineStats
+	if mt != nil || rc.Enabled() {
+		prevEngine = make([]smtcore.EngineStats, len(m.cores))
+		for c := range m.cores {
+			prevEngine[c] = m.cores[c].EngineStats()
+		}
+	}
+
 	// Placement clones are carved from chunked backing arrays instead of
 	// one small allocation per quantum.
 	var cloneArena []int
@@ -447,7 +464,12 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 		if err := place.Validate(len(m.cores), level); err != nil {
 			return nil, fmt.Errorf("machine: policy %s: %w", policy.Name(), err)
 		}
-		m.applyPlacement(states, place, prev)
+		rebinds := m.applyPlacement(states, place, prev)
+		rc.PlaceCalls.Add(1)
+		rc.Rebinds.Add(int64(rebinds))
+		if mt != nil {
+			mt.Emit(obs.Event{T: uint64(q) * m.cfg.QuantumCycles, Op: obs.OpPlace, Core: -1, App: -1, A: int64(q), B: int64(rebinds)})
+		}
 		if len(cloneArena) < len(place) {
 			cloneArena = make([]int, 256*len(place))
 		}
@@ -486,6 +508,41 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 				}
 			}
 		}
+		rc.Slices.Add(1)
+		if prevEngine != nil {
+			var dStep, dSpan, dFF int64
+			for c := range m.cores {
+				es := m.cores[c].EngineStats()
+				pe := prevEngine[c]
+				prevEngine[c] = es
+				dStep += int64(es.StepCycles - pe.StepCycles)
+				dSpan += int64(es.SpanCycles - pe.SpanCycles)
+				ff := int64(es.FFCycles - pe.FFCycles)
+				dFF += ff
+				if mt == nil {
+					continue
+				}
+				// Exec spans, one per occupied hardware thread: occupants
+				// of core c in app order, mirroring applyPlacement's slot
+				// assignment.
+				slot := 0
+				for app, pc := range place {
+					if pc != c || slot >= level {
+						continue
+					}
+					mt.Emit(obs.Event{
+						T: nowCycle - m.cfg.QuantumCycles, Dur: m.cfg.QuantumCycles, Op: obs.OpExec,
+						Core: int32(c*level + slot), App: int64(app), Name: models[app].Name,
+						A: int64(newSamples[app][pmu.InstRetired]), B: ff,
+					})
+					slot++
+				}
+			}
+			rc.StepCycles.Add(dStep)
+			rc.SpanCycles.Add(dSpan)
+			rc.FFCycles.Add(dFF)
+			mt.Flush() // quantum barrier: drain the shard in order
+		}
 		spare = samples
 		samples = newSamples
 		havePrev = true
@@ -519,10 +576,12 @@ func (m *Machine) Run(models []*apps.Model, targets []uint64, policy Policy, opt
 
 // applyPlacement rebinds only the cores whose application set changed,
 // preserving pipeline state on unchanged cores (migrations flush state, a
-// stable pairing does not).
-func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
+// stable pairing does not). It returns the number of threads that received
+// an application — the placement's rebind cost.
+func (m *Machine) applyPlacement(states []*appState, place, prev Placement) int {
 	level := m.cfg.Core.Level()
 	cur := make([]int, level)
+	rebinds := 0
 	for core := 0; core < len(m.cores); core++ {
 		if prev != nil && sameSet(core, place, prev) {
 			continue
@@ -537,11 +596,13 @@ func (m *Machine) applyPlacement(states []*appState, place, prev Placement) {
 		for slot := 0; slot < level; slot++ {
 			if slot < n {
 				m.cores[core].Bind(slot, states[cur[slot]].inst, states[cur[slot]].bank)
+				rebinds++
 			} else {
 				m.cores[core].Bind(slot, nil, nil)
 			}
 		}
 	}
+	return rebinds
 }
 
 // sameSet reports whether core hosts exactly the same apps in both

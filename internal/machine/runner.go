@@ -38,8 +38,11 @@ import (
 
 	"synpa/internal/admission"
 	"synpa/internal/apps"
+	"synpa/internal/obs"
 	"synpa/internal/perfstat"
 	"synpa/internal/pmu"
+	"synpa/internal/predcache"
+	"synpa/internal/smtcore"
 )
 
 // DynRunnerOptions configure a DynRunner.
@@ -53,6 +56,10 @@ type DynRunnerOptions struct {
 	// live jobs' IDs and place their cores, both valid only during the
 	// call.
 	OnPlace func(ids []int, place Placement)
+	// Obs is the machine's observability handle (obs.Observer.Machine).
+	// The zero value disables tracing and metrics entirely; a disabled
+	// site costs one nil check.
+	Obs obs.MachineView
 }
 
 // JobOutcome is one job's terminal (or, for Unfinished, current) state.
@@ -131,6 +138,18 @@ type DynRunner struct {
 
 	planned bool
 	planEnd uint64
+
+	// Observability (see internal/obs). mt is nil when tracing is off; rc
+	// is never nil but may be the disabled no-op set. cacheStats is the
+	// policy's predcache introspection hook when it has one, and the prev*
+	// fields hold the last-observed cumulative values so each decision and
+	// slice reports deltas.
+	mt         *obs.MachineTrace
+	rc         *obs.RunCounters
+	cacheStats func() (invert, pair predcache.Stats)
+	prevInv    predcache.Stats
+	prevPair   predcache.Stats
+	prevEngine []smtcore.EngineStats
 }
 
 // NewDynRunner builds a runner over the machine. The machine must not be
@@ -160,6 +179,22 @@ func NewDynRunner(m *Machine, policy Policy, opt DynRunnerOptions) (*DynRunner, 
 		r.bound[c] = make([]int, level)
 		for s := range r.bound[c] {
 			r.bound[c][s] = -1
+		}
+	}
+	r.mt = opt.Obs.Trace()
+	r.rc = opt.Obs.Counters()
+	if r.mt != nil || r.rc.Enabled() {
+		// Baseline the cumulative sources (policy predcache, core engine
+		// tiers) so reused policies/machines report only this run's deltas.
+		if cs, ok := policy.(interface {
+			CacheStats() (invert, pair predcache.Stats)
+		}); ok {
+			r.cacheStats = cs.CacheStats
+			r.prevInv, r.prevPair = cs.CacheStats()
+		}
+		r.prevEngine = make([]smtcore.EngineStats, len(m.cores))
+		for c := range m.cores {
+			r.prevEngine[c] = m.cores[c].EngineStats()
 		}
 	}
 	return r, nil
@@ -240,6 +275,16 @@ func (r *DynRunner) Arrive(app DynamicApp, id int) {
 	}
 	r.slots[si] = runnerSlot{used: true, id: id, app: app, coreOf: Unplaced}
 	r.waiting = append(r.waiting, si)
+	r.rc.JobsArrived.Add(1)
+	if r.mt != nil {
+		// A mid-plan dispatch can target a machine whose clock trails the
+		// arrival; stamp the later of the two so shard time stays monotone.
+		t := r.now
+		if app.ArriveAt > t {
+			t = app.ArriveAt
+		}
+		r.mt.Emit(obs.Event{T: t, Op: obs.OpArrive, Core: -1, App: int64(id), A: int64(app.ArriveAt)})
+	}
 }
 
 // jobOf builds the admission view of one slot.
@@ -264,6 +309,11 @@ func (r *DynRunner) admit(si int) {
 	s.admittedAt = r.now
 	if r.now > s.app.ArriveAt {
 		r.deferred++
+		r.rc.JobsDeferred.Add(1)
+	}
+	r.rc.JobsAdmitted.Add(1)
+	if r.mt != nil {
+		r.mt.Emit(obs.Event{T: r.now, Op: obs.OpAdmit, Core: -1, App: int64(s.id), A: int64(r.now - s.app.ArriveAt)})
 	}
 	r.live = append(r.live, si)
 	if len(r.live) > r.peakLive {
@@ -324,6 +374,10 @@ func (r *DynRunner) BeginSlice(maxCycles uint64) error {
 			r.waiting = keep
 		}
 	}
+	r.rc.QueueDepth.Observe(float64(len(r.waiting)))
+	if r.mt != nil {
+		r.mt.Emit(obs.Event{T: r.now, Op: obs.OpQueue, Core: -1, App: -1, A: int64(len(r.waiting)), B: int64(len(r.live))})
+	}
 	if len(r.live) == 0 || r.now >= maxCycles {
 		return nil
 	}
@@ -369,7 +423,10 @@ func (r *DynRunner) BeginSlice(maxCycles uint64) error {
 	for i, si := range r.live {
 		r.slots[si].coreOf = place[i]
 	}
-	r.bindLive(place)
+	rebinds := r.bindLive(place)
+	if r.mt != nil || r.rc.Enabled() {
+		r.observePlace(rebinds)
+	}
 	if r.onPl != nil {
 		r.onPl(r.ids, place)
 	}
@@ -413,6 +470,7 @@ func (r *DynRunner) FinishSlice(out []JobOutcome) []JobOutcome {
 	if !r.planned {
 		panic("machine: FinishSlice without a planned slice")
 	}
+	start := r.now
 	slice := r.planEnd - r.now
 	r.slices++
 	r.now = r.planEnd
@@ -427,6 +485,10 @@ func (r *DynRunner) FinishSlice(out []JobOutcome) []JobOutcome {
 		s.prevSnap = snap
 	}
 	r.ranAny = true
+	r.rc.Slices.Add(1)
+	if r.prevEngine != nil {
+		r.observeSlice(start, slice)
+	}
 
 	// Departures. The thread is unbound immediately so the freed slot
 	// index can be recycled without colliding with its stale binding
@@ -457,6 +519,11 @@ func (r *DynRunner) FinishSlice(out []JobOutcome) []JobOutcome {
 			o.IPC = float64(s.app.Target) / float64(o.ResponseCycles)
 		}
 		out = append(out, o)
+		r.rc.JobsCompleted.Add(1)
+		r.rc.ResponseCycles.Observe(float64(o.ResponseCycles))
+		if r.mt != nil {
+			r.mt.Emit(obs.Event{T: r.now, Op: obs.OpDepart, Core: -1, App: int64(s.id), Name: s.app.Model.Name, A: int64(o.ResponseCycles)})
+		}
 		if c := s.coreOf; c >= 0 {
 			for k, bsi := range r.bound[c] {
 				if bsi == si {
@@ -507,8 +574,11 @@ func (r *DynRunner) Unfinished(out []JobOutcome) []JobOutcome {
 
 // bindLive rebinds hardware threads to match the live placement, touching
 // only slots whose occupant changes: a job keeps its thread (and its
-// pipeline state) whenever it stays on the same core.
-func (r *DynRunner) bindLive(place Placement) {
+// pipeline state) whenever it stays on the same core. It returns the
+// number of threads that received a new occupant — the placement's rebind
+// cost (pipeline state lost to migration).
+func (r *DynRunner) bindLive(place Placement) int {
+	rebinds := 0
 	want := make([]int, r.level)
 	used := make([]bool, r.level)
 	for c := range r.bound {
@@ -551,9 +621,79 @@ func (r *DynRunner) bindLive(place Placement) {
 				if r.bound[c][s] < 0 {
 					r.m.cores[c].Bind(s, r.slots[want[k]].inst, r.slots[want[k]].bank)
 					r.bound[c][s] = want[k]
+					rebinds++
 					break
 				}
 			}
 		}
 	}
+	return rebinds
 }
+
+// observePlace records one placement decision: place-call and rebind
+// counters plus the predcache hit/miss deltas attributable to the decision
+// (when the policy exposes CacheStats). Called only when observability is
+// on.
+func (r *DynRunner) observePlace(rebinds int) {
+	r.rc.PlaceCalls.Add(1)
+	r.rc.Rebinds.Add(int64(rebinds))
+	var vals []float64
+	if r.cacheStats != nil {
+		inv, pair := r.cacheStats()
+		dInvH := int64(inv.Hits - r.prevInv.Hits)
+		dInvM := int64(inv.Misses - r.prevInv.Misses)
+		dPairH := int64(pair.Hits - r.prevPair.Hits)
+		dPairM := int64(pair.Misses - r.prevPair.Misses)
+		r.prevInv, r.prevPair = inv, pair
+		r.rc.InvertHits.Add(dInvH)
+		r.rc.InvertMisses.Add(dInvM)
+		r.rc.PairHits.Add(dPairH)
+		r.rc.PairMisses.Add(dPairM)
+		if r.mt != nil {
+			vals = []float64{float64(dInvH), float64(dInvM), float64(dPairH), float64(dPairM)}
+		}
+	}
+	if r.mt != nil {
+		r.mt.Emit(obs.Event{T: r.now, Op: obs.OpPlace, Core: -1, App: -1, A: int64(r.slices), B: int64(rebinds), Vals: vals})
+	}
+}
+
+// observeSlice attributes one finished slice to the core-engine tier
+// counters and, when tracing, emits one exec span per occupied hardware
+// thread in (core, slot) order — the shard-internal order the (t, machine,
+// core) trace merge relies on. Called before departures unbind threads.
+func (r *DynRunner) observeSlice(start, slice uint64) {
+	var dStep, dSpan, dFF int64
+	for c := range r.m.cores {
+		es := r.m.cores[c].EngineStats()
+		prev := r.prevEngine[c]
+		r.prevEngine[c] = es
+		dStep += int64(es.StepCycles - prev.StepCycles)
+		dSpan += int64(es.SpanCycles - prev.SpanCycles)
+		ff := int64(es.FFCycles - prev.FFCycles)
+		dFF += ff
+		if r.mt == nil {
+			continue
+		}
+		for k := 0; k < r.level; k++ {
+			si := r.bound[c][k]
+			if si < 0 {
+				continue
+			}
+			s := &r.slots[si]
+			r.mt.Emit(obs.Event{
+				T: start, Dur: slice, Op: obs.OpExec,
+				Core: int32(c*r.level + k), App: int64(s.id), Name: s.app.Model.Name,
+				A: int64(s.lastDelta[pmu.InstRetired]), B: ff,
+			})
+		}
+	}
+	r.rc.StepCycles.Add(dStep)
+	r.rc.SpanCycles.Add(dSpan)
+	r.rc.FFCycles.Add(dFF)
+}
+
+// FlushObs drains this machine's trace shard into the run-global trace.
+// Coordinator-serial only: callers invoke it at the quantum/slice barriers
+// in ascending machine order (the parallel-merge invariant). Nil-safe.
+func (r *DynRunner) FlushObs() { r.mt.Flush() }

@@ -1,0 +1,114 @@
+// Chrome trace-event exporter: renders a Trace as the JSON array format
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly. The
+// mapping is machines → processes and hardware threads → threads, so a
+// fleet run opens as one lane per hardware thread with exec spans, and the
+// dispatch/queue instants ride above them.
+//
+// Timestamps are simulated microseconds: cycles / CyclesPerMicrosecond,
+// a fixed nominal conversion (the simulator has no wall clock — see the
+// package doc). The output is a deterministic function of the trace.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CyclesPerMicrosecond is the nominal simulated-cycles→µs conversion the
+// Chrome exporter uses (a 1 GHz convention: 1000 cycles render as 1 µs).
+// It only scales the view; relative span lengths are exact.
+const CyclesPerMicrosecond = 1000
+
+// dispatchPID is the synthetic Chrome process that hosts fleet-level
+// dispatch instants (machine -1 events).
+const dispatchPID = 1_000_000
+
+func chromePID(machine int32) int {
+	if machine < 0 {
+		return dispatchPID
+	}
+	return int(machine)
+}
+
+func simTS(cycles uint64) float64 { return float64(cycles) / CyclesPerMicrosecond }
+
+// WriteChromeTrace renders the trace as a Chrome trace-event JSON array.
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: name every process (machine) and thread (hardware
+	// thread) that appears, in sorted order so the byte stream is
+	// deterministic.
+	type lane struct{ pid, tid int }
+	pids := map[int]bool{}
+	lanes := map[lane]bool{}
+	for _, ev := range t.Events() {
+		pid := chromePID(ev.Machine)
+		pids[pid] = true
+		if ev.Core >= 0 {
+			lanes[lane{pid, int(ev.Core)}] = true
+		}
+	}
+	sortedPIDs := make([]int, 0, len(pids))
+	for pid := range pids {
+		sortedPIDs = append(sortedPIDs, pid)
+	}
+	sort.Ints(sortedPIDs)
+	for _, pid := range sortedPIDs {
+		name := fmt.Sprintf("machine %d", pid)
+		if pid == dispatchPID {
+			name = "fleet dispatch"
+		}
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%q}}`, pid, name)
+	}
+	sortedLanes := make([]lane, 0, len(lanes))
+	for l := range lanes {
+		sortedLanes = append(sortedLanes, l)
+	}
+	sort.Slice(sortedLanes, func(a, b int) bool {
+		if sortedLanes[a].pid != sortedLanes[b].pid {
+			return sortedLanes[a].pid < sortedLanes[b].pid
+		}
+		return sortedLanes[a].tid < sortedLanes[b].tid
+	})
+	for _, l := range sortedLanes {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"hw thread %d"}}`,
+			l.pid, l.tid, l.tid)
+	}
+
+	for _, ev := range t.Events() {
+		pid := chromePID(ev.Machine)
+		tid := int(ev.Core)
+		if tid < 0 {
+			tid = 0
+		}
+		name := ev.Name
+		if name == "" {
+			name = ev.Op.String()
+		}
+		switch ev.Op {
+		case OpExec:
+			emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%q,"cat":"exec","args":{"job":%d,"inst":%d,"ff_cycles":%d}}`,
+				pid, tid, simTS(ev.T), simTS(ev.Dur), name, ev.App, ev.A, ev.B)
+		case OpQueue:
+			emit(`{"ph":"C","pid":%d,"ts":%.3f,"name":"admission queue","args":{"queued":%d,"live":%d}}`,
+				pid, simTS(ev.T), ev.A, ev.B)
+		default:
+			emit(`{"ph":"i","s":"p","pid":%d,"tid":%d,"ts":%.3f,"name":%q,"cat":%q,"args":{"job":%d,"a":%d,"b":%d}}`,
+				pid, tid, simTS(ev.T), name, ev.Op.String(), ev.App, ev.A, ev.B)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,109 @@
+// Compact JSONL exporter plus the -trace-out destination parsing both
+// CLIs share: one JSON object per event, machine-sortable, greppable, and
+// byte-deterministic for the differential tests.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Trace output formats.
+const (
+	FormatChrome = "chrome"
+	FormatJSONL  = "jsonl"
+)
+
+// TraceFormats lists the valid -trace-out formats, sorted.
+func TraceFormats() []string { return []string{FormatChrome, FormatJSONL} }
+
+// jsonlEvent is the wire shape of one event.
+type jsonlEvent struct {
+	T       uint64    `json:"t"`
+	Op      string    `json:"op"`
+	Machine int32     `json:"m"`
+	Core    int32     `json:"c"`
+	App     int64     `json:"app"`
+	Name    string    `json:"name,omitempty"`
+	Dur     uint64    `json:"dur,omitempty"`
+	A       int64     `json:"a,omitempty"`
+	B       int64     `json:"b,omitempty"`
+	Vals    []float64 `json:"vals,omitempty"`
+}
+
+// WriteJSONL renders the trace as one JSON object per line, ending with a
+// summary line carrying the event and dropped counts.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		je := jsonlEvent{
+			T: ev.T, Op: ev.Op.String(), Machine: ev.Machine, Core: ev.Core,
+			App: ev.App, Name: ev.Name, Dur: ev.Dur, A: ev.A, B: ev.B, Vals: ev.Vals,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(bw, `{"summary":true,"events":%d,"dropped":%d}`+"\n", len(t.Events()), t.Dropped())
+	return bw.Flush()
+}
+
+// ParseTraceDest resolves a -trace-out argument of the form
+// "[format:]path". An explicit unknown format errors listing the valid
+// set; without a prefix, a .jsonl/.ndjson extension selects JSONL and
+// anything else the Chrome format.
+func ParseTraceDest(arg string) (format, path string, err error) {
+	if f, p, ok := strings.Cut(arg, ":"); ok && !strings.Contains(f, "/") && !strings.Contains(f, "\\") {
+		switch f {
+		case FormatChrome, FormatJSONL:
+			return f, p, nil
+		default:
+			return "", "", fmt.Errorf("unknown trace format %q; valid formats: %s",
+				f, strings.Join(TraceFormats(), ", "))
+		}
+	}
+	if strings.HasSuffix(arg, ".jsonl") || strings.HasSuffix(arg, ".ndjson") {
+		return FormatJSONL, arg, nil
+	}
+	return FormatChrome, arg, nil
+}
+
+// WriteTraceFile writes the trace to path in the given format (a
+// ParseTraceDest result).
+func WriteTraceFile(path, format string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case FormatJSONL:
+		err = WriteJSONL(f, t)
+	case FormatChrome:
+		err = WriteChromeTrace(f, t)
+	default:
+		err = fmt.Errorf("unknown trace format %q; valid formats: %s",
+			format, strings.Join(TraceFormats(), ", "))
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteMetricsFile writes the registry snapshot to path as indented JSON.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.Snapshot().WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

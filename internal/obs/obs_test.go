@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety pins the disabled-path contract: every handle in the
+// package is a no-op through a nil receiver, so instrumented engine code
+// never branches beyond one nil check.
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	v := o.Machine(3)
+	if v.Trace() != nil {
+		t.Fatal("nil observer returned a live machine trace")
+	}
+	v.Counters().JobsArrived.Add(1)
+	v.Counters().QueueDepth.Observe(2)
+	if v.Counters().Enabled() {
+		t.Fatal("nil observer's counters claim to be enabled")
+	}
+	o.Counters().Slices.Add(1)
+
+	var tr *Trace
+	tr.Emit(Event{})
+	tr.Machine(0).Emit(Event{})
+	tr.Machine(0).Flush()
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil trace reported events")
+	}
+
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil registry counter value = %d", got)
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Histograms != nil {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+	if r.RunCounters().Enabled() {
+		t.Fatal("nil registry's run counters claim to be enabled")
+	}
+
+	// The zero MachineView is a valid disabled view.
+	var zero MachineView
+	zero.Counters().Rebinds.Add(1)
+	if zero.Trace() != nil || zero.Counters().Enabled() {
+		t.Fatal("zero MachineView is not disabled")
+	}
+}
+
+// TestTraceBound pins the memory bound: events past max are dropped
+// newest-first and counted, through both the direct and the shard path.
+func TestTraceBound(t *testing.T) {
+	tr := NewTrace(3)
+	mt := tr.Machine(0)
+	for i := 0; i < 2; i++ {
+		mt.Emit(Event{T: uint64(i), Op: OpArrive})
+	}
+	mt.Flush()
+	for i := 2; i < 5; i++ {
+		tr.Emit(Event{T: uint64(i), Op: OpDispatch})
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Fatalf("kept %d events, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped %d events, want 2", got)
+	}
+	// The retained prefix is the oldest events, in emission order.
+	for i, ev := range tr.Events() {
+		if ev.T != uint64(i) {
+			t.Fatalf("event %d has T=%d, want %d", i, ev.T, i)
+		}
+	}
+}
+
+// TestShardMerge pins the barrier-drain model: shard events are stamped
+// with their machine and land in the global stream in flush order, so a
+// coordinator draining shards in ascending machine order realises the
+// (t, machine) merge order at every barrier.
+func TestShardMerge(t *testing.T) {
+	tr := NewTrace(0)
+	m1, m0 := tr.Machine(1), tr.Machine(0)
+	m1.Emit(Event{T: 10, Op: OpAdmit})
+	m0.Emit(Event{T: 10, Op: OpAdmit})
+	m0.Emit(Event{T: 20, Op: OpDepart})
+	// Barrier: drain ascending.
+	m0.Flush()
+	m1.Flush()
+	m1.Flush() // idempotent on an empty shard
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("merged %d events, want 3", len(evs))
+	}
+	wantMachines := []int32{0, 0, 1}
+	for i, w := range wantMachines {
+		if evs[i].Machine != w {
+			t.Fatalf("event %d on machine %d, want %d", i, evs[i].Machine, w)
+		}
+	}
+	if same := tr.Machine(1); same != m1 {
+		t.Fatal("Machine(1) did not memoise the shard")
+	}
+}
+
+// TestRegistrySnapshotBytes pins metrics determinism: two registries fed
+// the same operations serialise to identical bytes (encoding/json sorts
+// map keys).
+func TestRegistrySnapshotBytes(t *testing.T) {
+	feed := func(r *Registry, order []string) {
+		for _, name := range order {
+			r.Counter(name).Add(7)
+		}
+		r.Gauge("g").Set(3)
+		for i := 0; i < 100; i++ {
+			r.Histogram("h").Observe(float64(i % 13))
+		}
+	}
+	a, b := NewRegistry(), NewRegistry()
+	feed(a, []string{"x", "y", "z"})
+	feed(b, []string{"z", "x", "y"}) // registration order must not matter
+
+	var ba, bb bytes.Buffer
+	if err := a.Snapshot().WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("snapshots diverged:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	var s Snapshot
+	if err := json.Unmarshal(ba.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["x"] != 7 || s.Histograms["h"].Count != 100 {
+		t.Fatalf("snapshot round-trip lost values: %+v", s)
+	}
+}
+
+// TestRunCounters pins the engine counter set: resolved once per registry,
+// named under the documented prefixes, live only on a real registry.
+func TestRunCounters(t *testing.T) {
+	r := NewRegistry()
+	rc := r.RunCounters()
+	if !rc.Enabled() {
+		t.Fatal("registry counters not enabled")
+	}
+	if r.RunCounters() != rc {
+		t.Fatal("RunCounters not memoised")
+	}
+	rc.Slices.Add(2)
+	rc.ResponseCycles.Observe(5000)
+	s := r.Snapshot()
+	if s.Counters["machine.slices"] != 2 {
+		t.Fatalf("machine.slices = %d, want 2", s.Counters["machine.slices"])
+	}
+	if s.Histograms["jobs.response_cycles"].Count != 1 {
+		t.Fatal("jobs.response_cycles histogram missed the observation")
+	}
+	if (&disabledCounters).Enabled() {
+		t.Fatal("disabled counter set claims enabled")
+	}
+}
+
+// TestParseTraceDest pins the CLI destination grammar: explicit format
+// prefixes, extension-based defaults, and the unknown-format error that
+// lists the valid set.
+func TestParseTraceDest(t *testing.T) {
+	cases := []struct {
+		arg, format, path string
+	}{
+		{"chrome:out.json", FormatChrome, "out.json"},
+		{"jsonl:out.dat", FormatJSONL, "out.dat"},
+		{"out.jsonl", FormatJSONL, "out.jsonl"},
+		{"out.ndjson", FormatJSONL, "out.ndjson"},
+		{"out.json", FormatChrome, "out.json"},
+		{"trace", FormatChrome, "trace"},
+		// A colon inside a path component is not a format prefix.
+		{"some/dir:name/out.jsonl", FormatJSONL, "some/dir:name/out.jsonl"},
+	}
+	for _, c := range cases {
+		format, path, err := ParseTraceDest(c.arg)
+		if err != nil {
+			t.Fatalf("ParseTraceDest(%q): %v", c.arg, err)
+		}
+		if format != c.format || path != c.path {
+			t.Fatalf("ParseTraceDest(%q) = (%q, %q), want (%q, %q)",
+				c.arg, format, path, c.format, c.path)
+		}
+	}
+	_, _, err := ParseTraceDest("protobuf:out.trace")
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	for _, f := range TraceFormats() {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("error %q does not list valid format %q", err, f)
+		}
+	}
+}
+
+// sampleTrace builds a small mixed trace through the shard path.
+func sampleTrace() *Trace {
+	tr := NewTrace(0)
+	mt := tr.Machine(0)
+	mt.Emit(Event{T: 0, Op: OpArrive, App: 0, A: 0, Core: -1})
+	mt.Emit(Event{T: 0, Op: OpQueue, A: 1, B: 0, Core: -1})
+	mt.Emit(Event{T: 0, Op: OpExec, Dur: 8000, Core: 2, App: 0, Name: "mcf", A: 1234, B: 500})
+	mt.Emit(Event{T: 8000, Op: OpDepart, App: 0, Name: "mcf", A: 8000, Core: -1})
+	mt.Flush()
+	tr.Emit(Event{T: 0, Op: OpDispatch, Machine: -1, Core: -1, App: 0, A: 1, Vals: []float64{0.5, 1.5}})
+	return tr
+}
+
+// TestWriteJSONL pins the JSONL wire shape: one object per line, a summary
+// trailer, byte-deterministic across identical traces.
+func TestWriteJSONL(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical traces serialised to different JSONL bytes")
+	}
+	lines := strings.Split(strings.TrimSuffix(a.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 5 events + summary", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+	}
+	var sum struct {
+		Summary bool `json:"summary"`
+		Events  int  `json:"events"`
+		Dropped int  `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Summary || sum.Events != 5 || sum.Dropped != 0 {
+		t.Fatalf("summary line = %+v", sum)
+	}
+	var first struct {
+		Op string `json:"op"`
+		T  uint64 `json:"t"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Op != "arrive" {
+		t.Fatalf("first op = %q, want arrive", first.Op)
+	}
+}
+
+// TestWriteChromeTrace pins the Perfetto mapping: valid JSON, machines as
+// processes with sorted metadata, exec spans as "X", queue depth as "C",
+// dispatch under the synthetic fleet process.
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	byPhase := map[string]int{}
+	var execDur float64
+	var sawDispatchProc bool
+	for _, ev := range doc.TraceEvents {
+		byPhase[ev.Ph]++
+		if ev.Ph == "X" {
+			execDur = ev.Dur
+			if ev.Name != "mcf" || ev.TID != 2 {
+				t.Fatalf("exec span mislabelled: %+v", ev)
+			}
+		}
+		if ev.PID == 1_000_000 && ev.Ph == "M" {
+			sawDispatchProc = true
+		}
+	}
+	// machine 0 process + its thread lane + fleet dispatch process = 3 "M".
+	if byPhase["M"] != 3 || byPhase["X"] != 1 || byPhase["C"] != 1 || byPhase["i"] != 3 {
+		t.Fatalf("phase counts = %v", byPhase)
+	}
+	if !sawDispatchProc {
+		t.Fatal("fleet dispatch process metadata missing")
+	}
+	// 8000 cycles at 1000 cycles/µs renders as an 8 µs span.
+	if execDur != 8 {
+		t.Fatalf("exec dur = %v µs, want 8", execDur)
+	}
+}

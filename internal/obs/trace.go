@@ -1,0 +1,109 @@
+package obs
+
+// DefaultMaxEvents bounds a trace's memory by default: a run emitting more
+// events than this drops the excess (newest first) and counts them, so a
+// million-job fleet run cannot turn tracing into an O(jobs) heap.
+const DefaultMaxEvents = 1 << 20
+
+// Trace is the run-global event sink. It is deliberately lock-free: every
+// append happens on the coordinator goroutine — either directly
+// (coordinator-serial dispatch events) or through a MachineTrace shard
+// drained at a barrier — so a lock would only hide an ordering bug the
+// nondet/sharedmut lint rules and the differential tests exist to catch.
+type Trace struct {
+	max     int
+	events  []Event
+	dropped uint64
+	shards  map[int]*MachineTrace
+}
+
+// NewTrace builds a trace bounded at maxEvents (0 selects
+// DefaultMaxEvents).
+func NewTrace(maxEvents int) *Trace {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Trace{max: maxEvents, shards: map[int]*MachineTrace{}}
+}
+
+// Events returns the merged event stream in emission order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns the number of events discarded at the MaxEvents bound.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// append adds one event, dropping (and counting) past the bound.
+func (t *Trace) append(ev Event) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Emit appends one coordinator-emitted event directly (fleet dispatch
+// decisions). Nil-safe.
+func (t *Trace) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.append(ev)
+}
+
+// Machine returns machine i's shard buffer, creating it on first use.
+// Returns nil on a nil trace, so engines can guard emission with one nil
+// check. Shards are created from coordinator-serial code only (runner
+// construction), matching the trace's locking model.
+func (t *Trace) Machine(i int) *MachineTrace {
+	if t == nil {
+		return nil
+	}
+	mt := t.shards[i]
+	if mt == nil {
+		mt = &MachineTrace{t: t, machine: int32(i)}
+		t.shards[i] = mt
+	}
+	return mt
+}
+
+// MachineTrace is one machine's shard buffer: events accumulate locally —
+// race-free because each machine's lifecycle steps are serial — and the
+// coordinator drains them into the global trace at the quantum/slice
+// barriers, in ascending machine order. That drain order is what realises
+// the (t, machine, core) merge order the package doc promises.
+type MachineTrace struct {
+	t       *Trace
+	machine int32
+	buf     []Event
+}
+
+// Emit buffers one event, stamping the shard's machine index. Nil-safe.
+func (mt *MachineTrace) Emit(ev Event) {
+	if mt == nil {
+		return
+	}
+	ev.Machine = mt.machine
+	mt.buf = append(mt.buf, ev)
+}
+
+// Flush drains the shard into the global trace in buffered order.
+// Nil-safe; called by the coordinator only, at barriers.
+func (mt *MachineTrace) Flush() {
+	if mt == nil || len(mt.buf) == 0 {
+		return
+	}
+	for _, ev := range mt.buf {
+		mt.t.append(ev)
+	}
+	mt.buf = mt.buf[:0]
+}

@@ -13,6 +13,8 @@ import (
 	"regexp"
 	"runtime"
 	"time"
+
+	"synpa/internal/obs"
 )
 
 // Record captures one measured region.
@@ -41,6 +43,10 @@ type Report struct {
 	// policy bucket, and phases measure only instrumented code, so they
 	// neither sum to nor bound TotalWallSeconds.
 	Phases map[string]float64 `json:"phases,omitempty"`
+	// Metrics is the global obs registry snapshot at report time — the
+	// same accumulators Phases is a view over, plus whatever counters
+	// the measured runs bumped.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 	// Records holds the per-region measurements in execution order.
 	Records []Record `json:"records"`
 	// TotalWallSeconds sums the records' wall times.
@@ -76,11 +82,13 @@ func (c *Collector) Records() []Record { return c.records }
 
 // Report assembles the collected records into a serialisable report.
 func (c *Collector) Report(meta map[string]string) *Report {
+	snap := obs.Global().Snapshot()
 	r := &Report{
 		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Meta:       meta,
 		Phases:     PhaseSeconds(),
+		Metrics:    &snap,
 		Records:    c.records,
 	}
 	for _, rec := range c.records {
@@ -125,7 +133,9 @@ func NextBenchPath(dir string) (string, error) {
 			continue
 		}
 		var n int
-		fmt.Sscanf(m[1], "%d", &n)
+		if _, err := fmt.Sscanf(m[1], "%d", &n); err != nil {
+			continue // defensive: the \d{4} pattern should preclude this
+		}
 		if n >= next {
 			next = n + 1
 		}

@@ -4,11 +4,20 @@
 // time, and matching/grouping solver time. Collection is off by default
 // and enabled by the bench harness (synpa-bench -perfstat); when disabled,
 // an instrumentation site costs one atomic load.
+//
+// The accumulators live in the global obs.Registry ("phase.<name>.nanos"
+// counters) — the single source of truth the metrics snapshots in
+// BENCH_*.json and -metrics-out read — and PhaseSeconds is a view over
+// them, so the BENCH phases map and the registry can never drift. The
+// wall-clock reads stay in this package (perfstat is outside the nondet
+// lint core by design); obs itself only ever sees the accumulated nanos.
 package perfstat
 
 import (
 	"sync/atomic"
 	"time"
+
+	"synpa/internal/obs"
 )
 
 // Phase identifies one instrumented layer.
@@ -36,9 +45,17 @@ const (
 var phaseNames = [numPhases]string{"policy", "simulation", "matching", "dispatch"}
 
 var (
-	phasesOn   atomic.Bool
-	phaseNanos [numPhases]atomic.Int64
+	phasesOn atomic.Bool
+	// phaseNanos are the registry-owned accumulators, resolved once: the
+	// counter named "phase.<name>.nanos" in obs.Global().
+	phaseNanos [numPhases]*obs.Counter
 )
+
+func init() {
+	for i := Phase(0); i < numPhases; i++ {
+		phaseNanos[i] = obs.Global().Counter("phase." + phaseNames[i] + ".nanos")
+	}
+}
 
 // EnablePhases switches phase collection on or off and resets the
 // accumulators when switching on.
@@ -52,7 +69,7 @@ func EnablePhases(on bool) {
 // ResetPhases zeroes the accumulators.
 func ResetPhases() {
 	for i := range phaseNanos {
-		phaseNanos[i].Store(0)
+		phaseNanos[i].Reset()
 	}
 }
 
@@ -76,11 +93,12 @@ func PhaseAdd(p Phase, start time.Time) {
 }
 
 // PhaseSeconds returns the per-phase accumulated wall seconds, keyed by
-// phase name, or nil when no phase has accrued time.
+// phase name, or nil when no phase has accrued time. It is a pure view
+// over the registry counters.
 func PhaseSeconds() map[string]float64 {
 	var out map[string]float64
 	for i := Phase(0); i < numPhases; i++ {
-		if ns := phaseNanos[i].Load(); ns > 0 {
+		if ns := phaseNanos[i].Value(); ns > 0 {
 			if out == nil {
 				out = make(map[string]float64, int(numPhases))
 			}

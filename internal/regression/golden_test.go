@@ -29,6 +29,7 @@ import (
 	"testing"
 
 	"synpa/internal/experiments"
+	"synpa/internal/obs"
 )
 
 var update = flag.Bool("update", false, "regenerate testdata/golden.json from the current implementation")
@@ -160,5 +161,45 @@ func TestGoldenDigests(t *testing.T) {
 				t.Logf("rendered tables and digests written to %s", gotPath)
 			}
 		}
+	}
+}
+
+// TestGoldenDigestsUnchangedWithTracing pins the observability layer's
+// zero-perturbation claim at the digest level: running a golden experiment
+// with a live observer attached must reproduce the committed digest bit
+// for bit, while actually collecting events. The dynamic table exercises
+// the instrumented DynRunner lifecycle end to end; tracing forces a serial
+// suite (the event trace is not parallel-safe — see experiments.Config.Obs).
+func TestGoldenDigestsUnchangedWithTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the dynamic golden experiment; skipped in -short")
+	}
+	buf, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("reading committed golden digests: %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := goldenConfig()
+	cfg.Parallel = false
+	cfg.Obs = obs.NewObserver(0)
+	s := experiments.NewSuite(cfg)
+	tab, err := s.DynamicTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(tab.String()))
+	if got := hex.EncodeToString(sum[:]); got != want.Digests["dynamic"] {
+		t.Fatalf("tracing perturbed the dynamic digest\n  committed: %s\n  got:       %s\n%s",
+			want.Digests["dynamic"], got, tab.String())
+	}
+	if len(cfg.Obs.Trace.Events()) == 0 {
+		t.Fatal("observer attached but no events collected — the pin is vacuous")
+	}
+	if cfg.Obs.Reg.Snapshot().Counters["jobs.completed"] == 0 {
+		t.Fatal("observer attached but no counters accrued")
 	}
 }

@@ -216,7 +216,28 @@ type Core struct {
 	// the full queue bookkeeping that the analysis would elide, proving
 	// the elision observationally neutral.
 	forceLiveQueues bool
+
+	// engine counts where this core's simulated cycles were spent across
+	// the three execution tiers. Updated once per tier segment (never per
+	// cycle), purely as a function of simulated progress, so it is as
+	// deterministic as the cycle count itself.
+	engine EngineStats
 }
+
+// EngineStats splits a core's simulated cycles across the execution tiers:
+// exact reference steps, the scalarised span engine, and bulk fast-forward
+// skips. The three sum to the cycles the core has run.
+type EngineStats struct {
+	// StepCycles were simulated by the per-cycle reference step.
+	StepCycles uint64
+	// SpanCycles were simulated by the tier-2 lean span engine.
+	SpanCycles uint64
+	// FFCycles were bulk-skipped by the tier-1 dormancy fast-forward.
+	FFCycles uint64
+}
+
+// EngineStats returns the core's cumulative tier split.
+func (c *Core) EngineStats() EngineStats { return c.engine }
 
 // New creates a core with the given configuration. It panics on an invalid
 // configuration, which is a programming error.
@@ -507,6 +528,7 @@ func (c *Core) Run(cycles uint64) {
 		for n := uint64(0); n < cycles; n++ {
 			c.step()
 		}
+		c.engine.StepCycles += cycles
 		return
 	}
 	remaining := cycles
@@ -514,12 +536,14 @@ func (c *Core) Run(cycles uint64) {
 		// Tier 1: skip fully dormant windows outright.
 		if skipped := c.fastForward(remaining); skipped > 0 {
 			remaining -= skipped
+			c.engine.FFCycles += skipped
 			continue
 		}
 		// Tier 2: execute an event-free span through the scalarised lean
 		// engine.
 		if ran := c.runSpanLite(remaining); ran > 0 {
 			remaining -= ran
+			c.engine.SpanCycles += ran
 			continue
 		}
 		// Event boundary (stall event, miss expiry, phase crossing) or a
@@ -532,6 +556,7 @@ func (c *Core) Run(cycles uint64) {
 			burst = remaining
 		}
 		remaining -= burst
+		c.engine.StepCycles += burst
 		for ; burst > 0; burst-- {
 			c.step()
 		}

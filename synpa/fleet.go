@@ -111,5 +111,6 @@ func (s *System) RunFleet(cfg FleetConfig, stream TraceStream) (*FleetReport, er
 		MaxCycles:   cfg.MaxCycles,
 		Workers:     s.cfg.Workers,
 		SketchAlpha: cfg.SketchAlpha,
+		Obs:         s.cfg.Obs,
 	}, src)
 }

@@ -1,0 +1,50 @@
+// Observability: the public surface of internal/obs. An Observer attached
+// to Config records a deterministic event trace (every quantum, placement,
+// admission and dispatch decision, stamped with simulated time) and a
+// metrics registry (counters and streaming histograms) without perturbing
+// the simulation — trace and metrics output is a pure function of Config +
+// seed, byte-identical at every worker count.
+package synpa
+
+import (
+	"io"
+
+	"synpa/internal/obs"
+)
+
+// Observer is the run-scoped tracing and metrics handle. Attach one via
+// Config.Obs, run, then export with WriteChromeTrace / WriteTraceJSONL /
+// WriteMetricsJSON. A nil Observer disables observability at the cost of
+// one nil check per instrumented site.
+type Observer = obs.Observer
+
+// TraceFormats lists the supported trace export formats ("chrome",
+// "jsonl").
+func TraceFormats() []string { return obs.TraceFormats() }
+
+// NewObserver builds an observer whose trace is bounded at maxEvents
+// (0 selects the obs default of ~1M events; excess events are dropped and
+// counted).
+func NewObserver(maxEvents int) *Observer { return obs.NewObserver(maxEvents) }
+
+// WriteChromeTrace exports the observer's trace in Chrome trace-event JSON
+// — load it in ui.perfetto.dev or chrome://tracing. Machines render as
+// processes, hardware threads as threads, and timestamps are simulated
+// microseconds.
+func WriteChromeTrace(w io.Writer, o *Observer) error {
+	return obs.WriteChromeTrace(w, o.Trace)
+}
+
+// WriteTraceJSONL exports the observer's trace as compact JSONL: one event
+// object per line plus a trailing summary line.
+func WriteTraceJSONL(w io.Writer, o *Observer) error {
+	return obs.WriteJSONL(w, o.Trace)
+}
+
+// WriteMetricsJSON exports the observer's metrics registry snapshot
+// (counters, gauges, histogram summaries) as indented JSON with sorted
+// keys.
+func WriteMetricsJSON(w io.Writer, o *Observer) error {
+	snap := o.Reg.Snapshot()
+	return snap.WriteJSON(w)
+}

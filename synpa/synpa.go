@@ -116,6 +116,11 @@ type Config struct {
 	// (EASY-style head-protected shortest-first). Closed-system Run is
 	// unaffected. See internal/admission for the discipline semantics.
 	Admission string
+	// Obs, when non-nil, records every run's event trace and metrics (see
+	// NewObserver and the exporters in obs.go). Observability never
+	// perturbs simulation results; a nil Obs costs one nil check per
+	// instrumented site.
+	Obs *Observer
 }
 
 // AdmissionPolicies lists the valid Config.Admission values.
@@ -290,7 +295,7 @@ func (s *System) Run(appNames []string, policy Policy) (*RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := mach.Run(models, targets, policy, machine.RunnerOptions{Seed: s.cfg.Seed})
+	res, err := mach.Run(models, targets, policy, machine.RunnerOptions{Seed: s.cfg.Seed, Obs: s.cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +465,7 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := mach.RunDynamic(work, policy, machine.DynamicOptions{Seed: s.cfg.Seed, Admission: s.adm})
+	res, err := mach.RunDynamic(work, policy, machine.DynamicOptions{Seed: s.cfg.Seed, Admission: s.adm, Obs: s.cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
