@@ -46,6 +46,7 @@ func main() {
 		quantum    = flag.Uint64("quantum", 20_000, "scheduling quantum in cycles")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "worker goroutines stepping cores within each quantum (0 = GOMAXPROCS, 1 = serial; results are bit-identical at any count; SYNPA_WORKERS overrides)")
+		sharedCch  = flag.Bool("shared-cache", false, "fleet runs: one fleet-wide concurrent prediction cache instead of per-machine private caches (bit-identical by construction; combine with -fleet)")
 		traceOut   = flag.String("trace-out", "", "write the run's event trace to this '[format:]path' (formats: chrome = Perfetto trace-event JSON, jsonl; default by extension). Needs a single policy, not -policy both")
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics registry snapshot (counters/histograms, JSON) to this path")
 	)
@@ -97,12 +98,12 @@ func main() {
 	}
 
 	if *fleetName != "" {
-		runFleet(sys, *fleetName, *dispatch, *policy, *machines, *quantum, *seed)
+		runFleet(sys, *fleetName, *dispatch, *policy, *machines, *quantum, *seed, *sharedCch)
 		exportObs()
 		return
 	}
-	if *dispatch != "" || *machines != 0 {
-		fatal(fmt.Errorf("-dispatch and -machines apply to fleet runs only; combine them with -fleet"))
+	if *dispatch != "" || *machines != 0 || *sharedCch {
+		fatal(fmt.Errorf("-dispatch, -machines and -shared-cache apply to fleet runs only; combine them with -fleet"))
 	}
 	if *trace != "" {
 		runDynamic(sys, *trace, *policy, *quantum, *seed)
@@ -179,7 +180,7 @@ func main() {
 
 // runFleet streams a built-in cluster scenario through the two-level
 // scheduler (cluster dispatch over per-machine placement).
-func runFleet(sys *synpa.System, scenario, dispatch, policy string, machines int, quantum, seed uint64) {
+func runFleet(sys *synpa.System, scenario, dispatch, policy string, machines int, quantum, seed uint64, sharedCache bool) {
 	scenarios := experiments.FleetScenarios(seed, quantum)
 	valid := make([]string, len(scenarios))
 	var sc *experiments.FleetScenario
@@ -215,12 +216,18 @@ func runFleet(sys *synpa.System, scenario, dispatch, policy string, machines int
 	}
 
 	run := func(newPolicy func(int) synpa.Policy) {
-		rep, err := sys.RunFleet(synpa.FleetConfig{
+		fc := synpa.FleetConfig{
 			Machines:  machines,
 			Dispatch:  dispatch,
 			Model:     model,
 			NewPolicy: newPolicy,
-		}, sc.Stream())
+		}
+		if sharedCache {
+			// A fresh cache per run keeps the Linux/SYNPA comparison fair:
+			// neither run starts warm from the other's traffic.
+			fc.SharedCache = synpa.NewSharedPredCache(synpa.PredCacheOptions{}, 0)
+		}
+		rep, err := sys.RunFleet(fc, sc.Stream())
 		if err != nil {
 			fatal(err)
 		}
@@ -249,6 +256,15 @@ func printFleetReport(r *synpa.FleetReport) {
 		r.MeanResponseCycles, r.P95ResponseCycles, r.ANTT, r.STP, r.MeanLive)
 	fmt.Printf("machine job share: min=%d max=%d (imbalance %.3f)\n",
 		r.MinMachineJobs, r.MaxMachineJobs, r.Imbalance)
+	if pc := r.PredCache; pc.InvertHits+pc.InvertMisses > 0 {
+		scope := "per-machine"
+		if pc.Shared {
+			scope = "fleet-shared"
+		}
+		fmt.Printf("predcache (%s): invert %d/%d hits  pair %d/%d hits  resident %d+%d\n",
+			scope, pc.InvertHits, pc.InvertHits+pc.InvertMisses,
+			pc.PairHits, pc.PairHits+pc.PairMisses, pc.InvertEntries, pc.PairEntries)
+	}
 	for _, c := range r.PerClass {
 		fmt.Printf("  class %d (weight %.1f): %d/%d done  ANTT=%.3f  mean resp=%.0f  p95=%.0f\n",
 			c.Priority, c.Weight, c.Completed, c.Jobs, c.ANTT,

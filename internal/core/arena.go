@@ -1,0 +1,193 @@
+package core
+
+// The reentrant policy path. A trained Policy is read-mostly after
+// construction: the model, the resolved options and the memo closures never
+// change. Everything that *does* mutate during a placement decision — the
+// estimate double buffer, the weight matrix, the smoothing history, the
+// grouping scratch and the cache handles — lives in an Arena, so one policy
+// can serve many concurrent PlaceR calls share-nothing: each request (or
+// serving goroutine) carries its own Arena, while the model and an optional
+// predcache.Shared are shared read-mostly underneath.
+//
+// The classic machine.Policy surface is unchanged: Place delegates to
+// PlaceR on a default arena owned by the policy, so single-threaded
+// callers (every simulator engine) see bit-identical behaviour and the
+// same CacheStats they always had.
+
+import (
+	"synpa/internal/matching"
+	"synpa/internal/predcache"
+)
+
+// invertMemo is the inversion-cache surface the placement path needs; both
+// the private predcache.InvertCache and a shared-cache InvertView satisfy
+// it. Interface dispatch selects the storage, never the values: with
+// Quantum 0 both are exact-key memos of the same pure function.
+type invertMemo interface {
+	Get(a, b []float64, fn predcache.InvertFn) ([]float64, []float64, bool)
+	Stats() predcache.Stats
+	Entries() int
+}
+
+// pairMemo is the pair-degradation analogue of invertMemo.
+type pairMemo interface {
+	Get(a, b []float64, fn predcache.PairFn) float64
+	Stats() predcache.Stats
+	Entries() int
+}
+
+// Arena is the per-request mutable state of one placement stream: scratch
+// matrices, the cross-quantum smoothing history, and this stream's cache
+// handles. An Arena is NOT safe for concurrent use — the concurrency model
+// is one arena per goroutine, many arenas per policy. Build one with
+// Policy.NewArena.
+//
+// The smoothing/hysteresis history (lastST, lastIDs, mates) is per-arena
+// on purpose: each serving stream tracks the machine it is deciding for,
+// so interleaved streams never blend each other's estimates.
+type Arena struct {
+	// lastST caches the most recent ST estimates per application for
+	// smoothing, introspection and tests.
+	lastST [][]float64
+	// lastIDs holds the stable app identities behind lastST's rows (see
+	// Policy docs: dynamic runs hand identities in AppIDs).
+	lastIDs []int
+	// mates is the reusable pairing view of the previous placement.
+	mates []int
+
+	// The estimate matrices double-buffer across quanta: the fresh
+	// estimates are built in the buffer lastST does not occupy, smoothed
+	// against lastST, and then become lastST themselves — no per-quantum
+	// matrix allocation in steady state.
+	estRows [2][][]float64
+	estBack [2][]float64
+	estCur  int
+	// wRows/wBack back the reusable pair-cost matrix. Only off-diagonal
+	// entries are ever written or read, and the backing array is zeroed at
+	// allocation, so the diagonal stays zero across reuses.
+	wRows [][]float64
+	wBack []float64
+	// meanBuf is the grouped path's reusable co-runner mean vector,
+	// filled its reusable row-completion scratch, and frac its reusable
+	// per-app fraction-row header slice.
+	meanBuf []float64
+	filled  []bool
+	frac    [][]float64
+
+	// mws is the Blossom matcher's reusable working memory: the solver's
+	// O(n²) edge matrix is the dominant per-decision allocation, and
+	// recycling it is bit-identical (matching.Workspace).
+	mws matching.Workspace
+
+	// The interference-prediction memo handles: private caches, or views
+	// onto the policy's shared cache.
+	inv  invertMemo
+	pair pairMemo
+	// mch memoizes whole Blossom matchings by the weight matrix's bit
+	// pattern. Always private (see predcache.MatchCache), and disabled
+	// together with the other memos.
+	mch *predcache.MatchCache
+}
+
+// NewArena builds a fresh request arena: private caches when the policy
+// has no shared cache installed, per-request views onto the shared cache
+// otherwise.
+func (p *Policy) NewArena() *Arena {
+	a := &Arena{}
+	p.initArena(a)
+	return a
+}
+
+func (p *Policy) initArena(a *Arena) {
+	a.mch = predcache.NewMatch(p.opt.Cache)
+	if p.shared != nil {
+		a.inv = p.shared.InvertView()
+		a.pair = p.shared.PairView()
+		return
+	}
+	a.inv = predcache.NewInvert(p.opt.Cache)
+	a.pair = predcache.NewPair(p.opt.Cache)
+}
+
+// CacheStats returns the arena's own memo traffic (its view-local counts
+// when backed by a shared cache).
+func (a *Arena) CacheStats() (invert, pair predcache.Stats) {
+	return a.inv.Stats(), a.pair.Stats()
+}
+
+// MatchStats returns the arena's matching-memo traffic.
+func (a *Arena) MatchStats() predcache.Stats { return a.mch.Stats() }
+
+// SetSharedCache installs a shared concurrent memo behind every arena the
+// policy builds from now on, including the default arena behind Place.
+// Install before serving traffic: the switch rewires cache handles only,
+// and any entries already in the old private caches are dropped (a speed
+// change, never a result change — the memo layer is bit-identical by
+// construction either way). A nil cache reverts to private per-arena
+// caches.
+func (p *Policy) SetSharedCache(c *predcache.Shared) {
+	p.shared = c
+	p.initArena(&p.def)
+}
+
+// SharedCache returns the installed shared cache, or nil when every arena
+// owns private caches. Engines use this to tell whether per-decision cache
+// deltas are schedule-independent (private) or not (shared).
+func (p *Policy) SharedCache() *predcache.Shared { return p.shared }
+
+// CacheEntries returns the resident entry counts of the default arena's
+// caches (the whole shared cache's when one is installed — entries are
+// global there by design).
+func (p *Policy) CacheEntries() (invert, pair int) {
+	if p.shared != nil {
+		return p.shared.Entries()
+	}
+	return p.def.inv.Entries(), p.def.pair.Entries()
+}
+
+// newEstMatrix returns an n×k estimate matrix backed by the double buffer
+// lastST does not currently occupy; smoothAndRemember flips the buffers
+// when the matrix becomes lastST.
+func (a *Arena) newEstMatrix(n, k int) [][]float64 {
+	idx := 1 - a.estCur
+	if cap(a.estBack[idx]) < n*k || cap(a.estRows[idx]) < n {
+		a.estBack[idx] = make([]float64, n*k)
+		a.estRows[idx] = make([][]float64, n)
+	}
+	back := a.estBack[idx][:n*k]
+	rows := a.estRows[idx][:n]
+	for i := range rows {
+		rows[i] = back[i*k : (i+1)*k : (i+1)*k]
+	}
+	a.estRows[idx] = rows
+	return rows
+}
+
+// wMatrix returns the arena's reusable total×total pair-cost matrix with a
+// zeroed diagonal; callers overwrite every off-diagonal entry.
+func (a *Arena) wMatrix(total int) [][]float64 {
+	if cap(a.wBack) < total*total || cap(a.wRows) < total {
+		a.wBack = make([]float64, total*total)
+		a.wRows = make([][]float64, total)
+	}
+	back := a.wBack[:total*total]
+	rows := a.wRows[:total]
+	for i := 0; i < total; i++ {
+		rows[i] = back[i*total : (i+1)*total : (i+1)*total]
+		rows[i][i] = 0
+	}
+	return rows
+}
+
+// prevEstimate finds the previous quantum's ST estimate for a stable app
+// identity, or nil if the app was not estimated then. lastIDs is always
+// populated alongside lastST, so the scan covers closed-system runs too
+// (identity permutation); O(n) per app is immaterial at SMT2 machine sizes.
+func (a *Arena) prevEstimate(id int) []float64 {
+	for j, pid := range a.lastIDs {
+		if pid == id && j < len(a.lastST) {
+			return a.lastST[j]
+		}
+	}
+	return nil
+}

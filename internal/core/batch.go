@@ -1,0 +1,49 @@
+package core
+
+// Batched model inversion: the serving-path entry point that amortises
+// per-call setup across a whole batch of ST-estimation requests. One call
+// allocates a single backing array for every result vector and resolves
+// each request through the arena's inversion memo, so duplicate ST vectors
+// inside the batch (and across batches, and across concurrent callers with
+// a shared cache) evaluate the expensive Newton inversion exactly once and
+// the cache warms coherently — every stored entry is keyed by the exact
+// bit pattern the placement path would key it with.
+
+// InvertRequest is one batched inversion: the measured SMT category
+// fractions of an application (FI) and of its co-runner aggregate (FJ) —
+// the same two vectors Policy hands Model.Invert per pair.
+type InvertRequest struct {
+	FI, FJ []float64
+}
+
+// InvertResult is one batched inversion's outcome. CI and CJ are the
+// estimated ST category vectors; they are slices of a per-batch backing
+// array owned by the caller (safe to mutate, unlike the cache-owned slices
+// InvertCache.Get returns).
+type InvertResult struct {
+	CI, CJ    []float64
+	Converged bool
+}
+
+// InvertBatch inverts a batch of ST requests in one call through the
+// arena's inversion memo. Results land in one backing allocation; repeated
+// requests hit the memo. Like PlaceR, it is safe to call concurrently as
+// long as each goroutine holds its own Arena.
+func (p *Policy) InvertBatch(a *Arena, reqs []InvertRequest) []InvertResult {
+	if len(reqs) == 0 {
+		return nil
+	}
+	k := p.model.K()
+	res := make([]InvertResult, len(reqs))
+	back := make([]float64, 2*k*len(reqs))
+	for idx := range reqs {
+		ci, cj, conv := a.inv.Get(reqs[idx].FI, reqs[idx].FJ, p.invertFn)
+		dst := back[2*k*idx : 2*k*(idx+1)]
+		res[idx].CI = dst[:k:k]
+		res[idx].CJ = dst[k : 2*k : 2*k]
+		copy(res[idx].CI, ci)
+		copy(res[idx].CJ, cj)
+		res[idx].Converged = conv
+	}
+	return res
+}

@@ -19,9 +19,10 @@ import (
 	"synpa/internal/perfstat"
 )
 
-// placeGrouped is Place for machines running level (> 2, or 2 under
-// ForceGrouping) hardware threads per core.
-func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Placement {
+// placeGrouped is PlaceR for machines running level (> 2, or 2 under
+// ForceGrouping) hardware threads per core; all scratch comes from the
+// caller's arena.
+func (p *Policy) placeGrouped(a *Arena, st *machine.QuantumState, level int) machine.Placement {
 	if st.Samples == nil || st.Prev == nil {
 		return arrivalOrderPlacement(st.NumApps, st.NumCores)
 	}
@@ -35,15 +36,18 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 	// double-buffered and inversions are memoized, exactly as in the
 	// pairwise path.
 	groups := st.Prev.PairsOf(st.NumCores)
-	frac := make([][]float64, n)
+	if cap(a.frac) < n {
+		a.frac = make([][]float64, n)
+	}
+	frac := a.frac[:n]
 	for i := 0; i < n; i++ {
 		frac[i] = p.opt.Extract(st.Samples[i], st.DispatchWidth)
 	}
-	est := p.newEstMatrix(n, p.model.K())
-	if cap(p.filled) < n {
-		p.filled = make([]bool, n)
+	est := a.newEstMatrix(n, p.model.K())
+	if cap(a.filled) < n {
+		a.filled = make([]bool, n)
 	}
-	filled := p.filled[:n]
+	filled := a.filled[:n]
 	for i := range filled {
 		filled[i] = false
 	}
@@ -57,10 +61,10 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 						continue
 					}
 					if mean == nil {
-						if cap(p.meanBuf) < len(frac[j]) {
-							p.meanBuf = make([]float64, len(frac[j]))
+						if cap(a.meanBuf) < len(frac[j]) {
+							a.meanBuf = make([]float64, len(frac[j]))
 						}
-						mean = p.meanBuf[:len(frac[j])]
+						mean = a.meanBuf[:len(frac[j])]
 						for k := range mean {
 							mean[k] = 0
 						}
@@ -78,7 +82,7 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 						mean[k] /= float64(others)
 					}
 				}
-				ci, _, _ := p.invCache.Get(frac[i], mean, p.invertFn)
+				ci, _, _ := a.inv.Get(frac[i], mean, p.invertFn)
 				copy(est[i], ci)
 				filled[i] = true
 			}
@@ -92,14 +96,14 @@ func (p *Policy) placeGrouped(st *machine.QuantumState, level int) machine.Place
 			normalize(est[i])
 		}
 	}
-	p.smoothAndRemember(st, est)
+	p.smoothAndRemember(a, st, est)
 
 	// Step 2: the pairwise degradation matrix over the live applications,
 	// reused across quanta with memoized predictions.
-	w := p.wMatrix(n)
+	w := a.wMatrix(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			cost := p.pairCache.Get(est[i], est[j], p.pairFn)
+			cost := a.pair.Get(est[i], est[j], p.pairFn)
 			if math.IsNaN(cost) || math.IsInf(cost, 0) {
 				cost = 1e6
 			}

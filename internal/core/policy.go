@@ -95,44 +95,24 @@ type PolicyOptions struct {
 // interference model on the previous quantum's PMU samples, predicts the
 // degradation of every candidate pair with the forward model, and solves a
 // minimum-weight perfect matching to pick the most synergistic pairing.
+//
+// A Policy is read-mostly after construction; every mutable decision-time
+// structure lives in an Arena (see arena.go). Place serves the classic
+// single-threaded machine.Policy surface through the policy's default
+// arena; concurrent callers hold their own arenas and call PlaceR.
 type Policy struct {
 	model *Model
 	opt   PolicyOptions
 
-	// lastST caches the most recent ST estimates per application for
-	// smoothing, introspection and tests.
-	lastST [][]float64
-	// lastIDs holds the stable app identities behind lastST's rows. In
-	// closed-system runs it is the identity permutation; in dynamic runs
-	// it lets smoothing follow an application across live-set compactions
-	// instead of blending estimates of unrelated apps that inherited its
-	// index.
-	lastIDs []int
-	// mates is the reusable pairing view of the previous placement.
-	mates []int
+	// The memoized model evaluations (read-only closures over model+opt).
+	invertFn predcache.InvertFn
+	pairFn   predcache.PairFn
 
-	// The estimate matrices double-buffer across quanta: the fresh
-	// estimates are built in the buffer lastST does not occupy, smoothed
-	// against lastST, and then become lastST themselves — no per-quantum
-	// matrix allocation in steady state.
-	estRows [2][][]float64
-	estBack [2][]float64
-	estCur  int
-	// wRows/wBack back the reusable pair-cost matrix. Only off-diagonal
-	// entries are ever written or read, and the backing array is zeroed at
-	// allocation, so the diagonal stays zero across reuses.
-	wRows [][]float64
-	wBack []float64
-	// meanBuf is the grouped path's reusable co-runner mean vector, and
-	// filled its reusable row-completion scratch.
-	meanBuf []float64
-	filled  []bool
-
-	// The interference-prediction memo layer (internal/predcache).
-	invCache  *predcache.InvertCache
-	pairCache *predcache.PairCache
-	invertFn  predcache.InvertFn
-	pairFn    predcache.PairFn
+	// shared is the optional concurrent memo behind every arena; nil
+	// means each arena owns private caches (the classic configuration).
+	shared *predcache.Shared
+	// def is the default arena behind the non-reentrant Place surface.
+	def Arena
 }
 
 var _ machine.Policy = (*Policy)(nil)
@@ -179,12 +159,11 @@ func NewPolicy(m *Model, opt PolicyOptions) (*Policy, error) {
 		opt.Cache.Disabled = true
 	}
 	p := &Policy{model: m, opt: opt}
-	p.invCache = predcache.NewInvert(opt.Cache)
-	p.pairCache = predcache.NewPair(opt.Cache)
 	p.invertFn = func(a, b []float64) ([]float64, []float64, bool) {
 		return p.model.Invert(a, b, p.opt.Inversion)
 	}
 	p.pairFn = p.model.PairDegradation
+	p.initArena(&p.def)
 	return p, nil
 }
 
@@ -210,62 +189,38 @@ func (p *Policy) Name() string {
 func (p *Policy) Model() *Model { return p.model }
 
 // LastSTEstimates returns the ST category estimates computed for the most
-// recent placement decision (per application), or nil before any. The rows
-// are backed by a double buffer the policy reuses: they stay valid until
-// the next Place call; copy them to retain longer.
-func (p *Policy) LastSTEstimates() [][]float64 { return p.lastST }
+// recent placement decision (per application) through the default arena,
+// or nil before any. The rows are backed by a double buffer the arena
+// reuses: they stay valid until the next Place call; copy them to retain
+// longer.
+func (p *Policy) LastSTEstimates() [][]float64 { return p.def.lastST }
 
 // CacheStats returns the interference-prediction memo layer's traffic
-// counters for the inversion and pair-degradation caches.
+// counters for the default arena's inversion and pair-degradation caches
+// (its view-local counts when a shared cache is installed).
 func (p *Policy) CacheStats() (invert, pair predcache.Stats) {
-	return p.invCache.Stats(), p.pairCache.Stats()
+	return p.def.CacheStats()
 }
 
-// newEstMatrix returns an n×k estimate matrix backed by the double buffer
-// lastST does not currently occupy; smoothAndRemember flips the buffers
-// when the matrix becomes lastST.
-func (p *Policy) newEstMatrix(n, k int) [][]float64 {
-	idx := 1 - p.estCur
-	if cap(p.estBack[idx]) < n*k || cap(p.estRows[idx]) < n {
-		p.estBack[idx] = make([]float64, n*k)
-		p.estRows[idx] = make([][]float64, n)
-	}
-	back := p.estBack[idx][:n*k]
-	rows := p.estRows[idx][:n]
-	for i := range rows {
-		rows[i] = back[i*k : (i+1)*k : (i+1)*k]
-	}
-	p.estRows[idx] = rows
-	return rows
-}
-
-// wMatrix returns the policy's reusable total×total pair-cost matrix with a
-// zeroed diagonal; callers overwrite every off-diagonal entry.
-func (p *Policy) wMatrix(total int) [][]float64 {
-	if cap(p.wBack) < total*total || cap(p.wRows) < total {
-		p.wBack = make([]float64, total*total)
-		p.wRows = make([][]float64, total)
-	}
-	back := p.wBack[:total*total]
-	rows := p.wRows[:total]
-	for i := 0; i < total; i++ {
-		rows[i] = back[i*total : (i+1)*total : (i+1)*total]
-		rows[i][i] = 0
-	}
-	return rows
-}
-
-// Place implements machine.Policy. At SMT2 it runs the paper's pipeline —
-// pairwise inversion, pair-degradation prediction, blossom matching; above
-// SMT2 (or under ForceGrouping) Step 3 becomes the weighted set-partition of
-// the follow-up policies, solved by internal/grouping over the same pairwise
-// degradation matrix.
+// Place implements machine.Policy: PlaceR through the policy's default
+// arena — the single-threaded surface every simulator engine uses.
 func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
+	return p.PlaceR(&p.def, st)
+}
+
+// PlaceR is the reentrant placement decision: all mutable state lives in
+// the caller's arena, so any number of goroutines may call PlaceR on one
+// policy concurrently as long as each holds its own Arena. At SMT2 it runs
+// the paper's pipeline — pairwise inversion, pair-degradation prediction,
+// blossom matching; above SMT2 (or under ForceGrouping) Step 3 becomes the
+// weighted set-partition of the follow-up policies, solved by
+// internal/grouping over the same pairwise degradation matrix.
+func (p *Policy) PlaceR(a *Arena, st *machine.QuantumState) machine.Placement {
 	// Any level other than 2 routes through grouping: above 2 it solves
 	// the set partition, and at 1 it degenerates to forced singletons
 	// (the pairwise matcher could illegally co-locate two apps there).
 	if level := st.ThreadsPerCore(); level != 2 || p.opt.ForceGrouping {
-		return p.placeGrouped(st, level)
+		return p.placeGrouped(a, st, level)
 	}
 	if st.Samples == nil || st.Prev == nil {
 		return arrivalOrderPlacement(st.NumApps, st.NumCores)
@@ -278,12 +233,12 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	// quanta, and inversions are memoized (internal/predcache): a cache
 	// hit implies bit-identical inputs, so the copied result is
 	// bit-identical to a fresh inversion.
-	p.mates = st.Prev.CoMates(p.mates)
-	est := p.newEstMatrix(n, p.model.K())
+	a.mates = st.Prev.CoMates(a.mates)
+	est := a.newEstMatrix(n, p.model.K())
 	for i := 0; i < n; i++ {
 		mate := -1
-		if i < len(p.mates) {
-			mate = p.mates[i]
+		if i < len(a.mates) {
+			mate = a.mates[i]
 		}
 		if !p.opt.DisableInversion && mate >= 0 && mate < i {
 			continue // filled as the co-runner of an earlier index
@@ -297,24 +252,24 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 			continue
 		}
 		fj := p.opt.Extract(st.Samples[mate], st.DispatchWidth)
-		ci, cj, _ := p.invCache.Get(fi, fj, p.invertFn)
+		ci, cj, _ := a.inv.Get(fi, fj, p.invertFn)
 		copy(est[i], ci)
 		copy(est[mate], cj)
 	}
-	p.smoothAndRemember(st, est)
+	p.smoothAndRemember(a, st, est)
 
 	// Step 2: predict the degradation of every candidate pair; pad with
 	// virtual idle applications so the matching is always perfect. A real
 	// application paired with an idle slot runs at ST speed (cost 1). The
 	// matrix is reused across quanta and predictions are memoized.
 	total := st.NumCores * 2
-	w := p.wMatrix(total)
+	w := a.wMatrix(total)
 	for i := 0; i < total; i++ {
 		for j := i + 1; j < total; j++ {
 			var cost float64
 			switch {
 			case i < n && j < n:
-				cost = p.pairCache.Get(est[i], est[j], p.pairFn)
+				cost = a.pair.Get(est[i], est[j], p.pairFn)
 			case i < n || j < n:
 				cost = 1 // real app running alone
 			default:
@@ -328,7 +283,7 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 	}
 
 	// Step 3: select the most synergistic pairing.
-	mate, err := p.match(w)
+	mate, err := p.match(a, w)
 	if err != nil {
 		// Matching cannot fail on a finite complete graph; if it somehow
 		// does, keep the previous placement rather than crash the
@@ -342,7 +297,7 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 
 	// Hysteresis: only migrate when the predicted gain is material.
 	if p.opt.Hysteresis > 0 && fullyPlaced(st.Prev, st.NumCores) {
-		prevCost, ok := pairingCost(w, p.mates, n)
+		prevCost, ok := pairingCost(w, a.mates, n)
 		if ok {
 			newCost := 0.0
 			for i, m := range mate {
@@ -360,12 +315,12 @@ func (p *Policy) Place(st *machine.QuantumState) machine.Placement {
 }
 
 // smoothAndRemember applies the identity-aware exponential smoothing to the
-// fresh ST estimates and records them (with their stable identities) for the
-// next quantum. Shared by the pairwise and grouped paths.
-func (p *Policy) smoothAndRemember(st *machine.QuantumState, est [][]float64) {
-	if s := p.opt.Smoothing; s > 0 && p.lastST != nil {
+// fresh ST estimates and records them (with their stable identities) in the
+// arena for the next quantum. Shared by the pairwise and grouped paths.
+func (p *Policy) smoothAndRemember(a *Arena, st *machine.QuantumState, est [][]float64) {
+	if s := p.opt.Smoothing; s > 0 && a.lastST != nil {
 		for i := range est {
-			prev := p.prevEstimate(appID(st, i))
+			prev := a.prevEstimate(appID(st, i))
 			if prev == nil || len(prev) != len(est[i]) {
 				continue
 			}
@@ -374,11 +329,11 @@ func (p *Policy) smoothAndRemember(st *machine.QuantumState, est [][]float64) {
 			}
 		}
 	}
-	p.lastST = est
-	p.estCur = 1 - p.estCur // est came from the other half of the double buffer
-	p.lastIDs = p.lastIDs[:0]
+	a.lastST = est
+	a.estCur = 1 - a.estCur // est came from the other half of the double buffer
+	a.lastIDs = a.lastIDs[:0]
 	for i := range est {
-		p.lastIDs = append(p.lastIDs, appID(st, i))
+		a.lastIDs = append(a.lastIDs, appID(st, i))
 	}
 }
 
@@ -389,19 +344,6 @@ func appID(st *machine.QuantumState, i int) int {
 		return st.AppIDs[i]
 	}
 	return i
-}
-
-// prevEstimate finds the previous quantum's ST estimate for a stable app
-// identity, or nil if the app was not estimated then. lastIDs is always
-// populated alongside lastST, so the scan covers closed-system runs too
-// (identity permutation); O(n) per app is immaterial at SMT2 machine sizes.
-func (p *Policy) prevEstimate(id int) []float64 {
-	for j, pid := range p.lastIDs {
-		if pid == id && j < len(p.lastST) {
-			return p.lastST[j]
-		}
-	}
-	return nil
 }
 
 // fullyPlaced reports whether every application in p has a real core — i.e.
@@ -437,8 +379,10 @@ func pairingCost(w [][]float64, mates []int, n int) (float64, bool) {
 }
 
 // match dispatches to the configured matcher, accruing the solver time to
-// the perfstat matching phase when collection is on.
-func (p *Policy) match(w [][]float64) ([]int, error) {
+// the perfstat matching phase when collection is on. The Blossom solver
+// runs through the arena's reusable workspace — identical matchings,
+// amortised solver memory.
+func (p *Policy) match(a *Arena, w [][]float64) ([]int, error) {
 	t0 := perfstat.PhaseClock()
 	defer perfstat.PhaseAdd(perfstat.PhaseMatching, t0)
 	switch p.opt.Matcher {
@@ -454,8 +398,14 @@ func (p *Policy) match(w [][]float64) ([]int, error) {
 		// and one app can pair with an idle slot to run solo.
 		// MinWeightMatching additionally tolerates odd matrices (zero-
 		// weight phantom vertex) for callers that skip the padding.
-		mate, _, err := matching.MinWeightMatching(w)
-		return mate, err
+		// The whole matching is memoized by the matrix's bit pattern:
+		// hysteresis holds co-runner sets (and with them the pair-memoized
+		// weight matrices) stable for long stretches, so steady state
+		// answers the O(n³) solve with a hash lookup.
+		return a.mch.Get(w, func(w [][]float64) ([]int, error) {
+			mate, _, err := a.mws.MinWeightMatching(w)
+			return mate, err
+		})
 	}
 }
 

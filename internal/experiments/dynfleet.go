@@ -15,6 +15,7 @@ import (
 	"synpa/internal/fleet"
 	"synpa/internal/machine"
 	"synpa/internal/pool"
+	"synpa/internal/predcache"
 	"synpa/internal/workload"
 )
 
@@ -105,7 +106,7 @@ func (s *Suite) fleetWorkers() int {
 // placement factory.
 func (s *Suite) runFleet(sc FleetScenario, dispatch string, factory PolicyFactory, model *core.Model) (*fleet.Report, error) {
 	src := fleet.NewTraceSource(s.targets, sc.Stream(), s.cfg.Machine.Core.DispatchWidth)
-	return fleet.Run(fleet.Config{
+	cfg := fleet.Config{
 		Machines:  sc.Machines,
 		Machine:   s.cfg.Machine,
 		NewPolicy: func(int) machine.Policy { return factory.New() },
@@ -116,7 +117,11 @@ func (s *Suite) runFleet(sc FleetScenario, dispatch string, factory PolicyFactor
 		MaxCycles: uint64(s.cfg.MaxQuanta) * s.cfg.Machine.QuantumCycles,
 		Workers:   s.fleetWorkers(),
 		Obs:       s.cfg.Obs,
-	}, src)
+	}
+	if s.cfg.FleetSharedCache {
+		cfg.SharedCache = predcache.NewShared(predcache.Options{}, 0)
+	}
+	return fleet.Run(cfg, src)
 }
 
 // warmFleetApps measures the stream pool's reference targets up front so

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/predcache"
+)
+
+// qpsSuite is the scaled configuration the placement-qps tests run at
+// (the golden-harness scale, so the recording run stays fast).
+func qpsSuite() *Suite {
+	cfg := DefaultConfig()
+	cfg.Machine.QuantumCycles = 8000
+	cfg.RefQuanta = 30
+	cfg.Reps = 1
+	return NewSuite(cfg)
+}
+
+// TestRecordQueriesShape checks the recorded query log: model-driven
+// decisions only (samples present, two or more live apps), deep-copied
+// out of the runner's reused slices, and evenly downsampled under a cap.
+func TestRecordQueriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a dynamic run; skipped in -short")
+	}
+	s := qpsSuite()
+	model, _, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.recordQueries(model, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range all {
+		if q.Samples == nil || q.NumApps < 2 {
+			t.Fatalf("query %d is not model-driven: NumApps=%d Samples=%v", i, q.NumApps, q.Samples != nil)
+		}
+		if len(q.Samples) != q.NumApps || len(q.AppIDs) != q.NumApps {
+			t.Fatalf("query %d slices not parallel to live set", i)
+		}
+	}
+	if len(all) < 8 {
+		t.Fatalf("only %d model-driven queries recorded from dyn2", len(all))
+	}
+	capped, err := s.recordQueries(model, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 8 {
+		t.Fatalf("cap of 8 returned %d queries", len(capped))
+	}
+	if !reflect.DeepEqual(capped[0], all[0]) {
+		t.Fatal("downsample does not start at the first query")
+	}
+}
+
+// TestReplayBitIdenticalAcrossCacheModes is the serving-path differential:
+// replaying the recorded query log through PlaceR must produce the same
+// placement sequence whether the cache is disabled, private or shared,
+// serial or eight goroutines racing one shared cache. Run under -race in
+// CI this doubles as the race gate for the replay engine itself.
+func TestReplayBitIdenticalAcrossCacheModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a dynamic run; skipped in -short")
+	}
+	s := qpsSuite()
+	model, _, err := s.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := s.recordQueries(model, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial := func(opt core.PolicyOptions, shared bool) []machine.Placement {
+		p := core.MustPolicy(model, opt)
+		if shared {
+			p.SetSharedCache(predcache.NewShared(predcache.Options{}, 4))
+		}
+		a := p.NewArena()
+		out := make([]machine.Placement, len(queries))
+		for i := range queries {
+			st := queries[i]
+			out[i] = p.PlaceR(a, &st)
+		}
+		return out
+	}
+	want := serial(core.PolicyOptions{}, false)
+
+	disabled := core.PolicyOptions{}
+	disabled.Cache.Disabled = true
+	for name, got := range map[string][]machine.Placement{
+		"nocache": serial(disabled, false),
+		"shared":  serial(core.PolicyOptions{}, true),
+	} {
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s replay diverged from private-cache replay", name)
+		}
+	}
+
+	// Concurrent: 8 goroutines, one shared cache, per-goroutine arenas;
+	// every goroutine replays the full log and must reproduce `want`.
+	p := core.MustPolicy(model, core.PolicyOptions{})
+	p.SetSharedCache(predcache.NewShared(predcache.Options{}, 4))
+	var wg sync.WaitGroup
+	results := make([][]machine.Placement, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := p.NewArena()
+			out := make([]machine.Placement, len(queries))
+			for i := range queries {
+				st := queries[i]
+				out[i] = p.PlaceR(a, &st)
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("goroutine %d diverged from the serial replay", g)
+		}
+	}
+}
+
+// TestPlacementQPSSmoke runs the bench end to end at a tiny size and
+// checks the table shape: one row per (mode, goroutine count) cell with
+// parseable throughput figures.
+func TestPlacementQPSSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the bench; skipped in -short")
+	}
+	s := qpsSuite()
+	tab, err := s.PlacementQPSOpt(PlacementQPSOptions{MaxGoroutines: 2, Passes: 2, MaxQueries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3*2 {
+		t.Fatalf("%d rows, want 6 (3 modes x 2 goroutine counts)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row %v", row)
+		}
+		qps, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || qps <= 0 {
+			t.Fatalf("bad QPS cell %q in %v", row[3], row)
+		}
+	}
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// callers enabling tracing must run the suite serially (Parallel
 	// false) — synpa-bench enforces this for -trace-out.
 	Obs *obs.Observer
+	// FleetSharedCache routes every fleet experiment through one shared
+	// concurrent prediction cache per run instead of per-machine private
+	// caches. Bit-identical by construction (internal/predcache): the
+	// golden-digest harness re-verifies the dynfleet digest with this on.
+	FleetSharedCache bool
 }
 
 // DefaultConfig returns the configuration used by the published benches.

@@ -152,6 +152,10 @@ type interference struct {
 	// unfinished jobs; cats memoises each application's vector (O(apps)).
 	catSums [][]float64
 	cats    map[string][]float64
+	// meanBuf is score's reusable mean-profile scratch: one buffer per
+	// dispatcher instead of one allocation per candidate machine per
+	// arrival. The model reads it synchronously and never retains it.
+	meanBuf []float64
 }
 
 func (d *interference) name() string { return DispatchInterference }
@@ -170,7 +174,10 @@ func (d *interference) score(j *Job, m int) float64 {
 	if d.loads[m] == 0 || d.catSums[m] == nil {
 		return 0
 	}
-	mean := make([]float64, len(d.catSums[m]))
+	if cap(d.meanBuf) < len(d.catSums[m]) {
+		d.meanBuf = make([]float64, len(d.catSums[m]))
+	}
+	mean := d.meanBuf[:len(d.catSums[m])]
 	inv := 1 / float64(d.loads[m])
 	for k, v := range d.catSums[m] {
 		mean[k] = v * inv

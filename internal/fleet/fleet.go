@@ -37,6 +37,7 @@ import (
 	"synpa/internal/obs"
 	"synpa/internal/perfstat"
 	"synpa/internal/pool"
+	"synpa/internal/predcache"
 	"synpa/internal/stats"
 )
 
@@ -74,6 +75,15 @@ type Config struct {
 	// SketchAlpha is the quantile sketches' relative accuracy; zero
 	// selects the stats package default.
 	SketchAlpha float64
+	// SharedCache, when non-nil, is a concurrent interference-prediction
+	// memo (predcache.Shared) installed into every policy that supports
+	// it (core.Policy via SetSharedCache): the whole fleet shares one
+	// warm cache instead of every machine warming its own cold copy.
+	// Sharing is bit-identical by construction — a hit implies
+	// bit-identical inputs to a pure function — so reports cannot depend
+	// on it; only the hit/miss split in Report.PredCache becomes
+	// schedule-dependent.
+	SharedCache *predcache.Shared
 	// OnJobDone, when set, observes every completed job in the exact
 	// deterministic completion order (machine index ascending within an
 	// event time). For tests and custom aggregation.
@@ -149,6 +159,25 @@ type Report struct {
 	// PerClass breaks response metrics out by priority class, most urgent
 	// first; empty when every job is class 0 with default weight.
 	PerClass []ClassReport
+	// PredCache aggregates the fleet's interference-prediction memo
+	// traffic (zero when no policy exposes cache stats). With private
+	// per-machine caches the counts are deterministic; with a shared
+	// cache (Shared true) the hit/miss split is schedule-dependent even
+	// though every other report field stays bit-identical — differential
+	// tests zero this field before comparing.
+	PredCache PredCacheReport
+}
+
+// PredCacheReport is the fleet-wide predcache accounting.
+type PredCacheReport struct {
+	// Shared reports whether one concurrent cache served the whole fleet.
+	Shared bool
+	// Invert*/Pair* sum the hit/miss counters of the inversion and
+	// pair-degradation memos across the fleet.
+	InvertHits, InvertMisses uint64
+	PairHits, PairMisses     uint64
+	// *Entries count resident entries at run end.
+	InvertEntries, PairEntries int
 }
 
 // planEvent is a machine's planned slice end on the global event heap.
@@ -307,6 +336,7 @@ func Run(cfg Config, src Source) (*Report, error) {
 
 	// Build the machines and their runners.
 	runners := make([]*machine.DynRunner, cfg.Machines)
+	policies := make([]machine.Policy, cfg.Machines)
 	var policyName string
 	for i := range runners {
 		m, err := machine.New(mcfg)
@@ -317,6 +347,16 @@ func Run(cfg Config, src Source) (*Report, error) {
 		if p == nil {
 			return nil, fmt.Errorf("fleet: policy factory returned nil for machine %d", i)
 		}
+		if cfg.SharedCache != nil {
+			// Install the fleet-wide cache before the policy serves its
+			// first decision (the setter rewires cache handles only).
+			if sc, ok := p.(interface {
+				SetSharedCache(*predcache.Shared)
+			}); ok {
+				sc.SetSharedCache(cfg.SharedCache)
+			}
+		}
+		policies[i] = p
 		if i == 0 {
 			policyName = p.Name()
 		}
@@ -590,6 +630,52 @@ func Run(cfg Config, src Source) (*Report, error) {
 		}
 		rep.Imbalance = float64(rep.MaxMachineJobs) * float64(cfg.Machines) / float64(rep.Jobs)
 	}
+	// Predcache accounting: the shared cache's global totals when one
+	// serves the fleet, else the per-machine sums (deterministic there —
+	// every machine's decision sequence is schedule-independent).
+	if cfg.SharedCache != nil {
+		rep.PredCache.Shared = true
+		inv, pair := cfg.SharedCache.Stats()
+		rep.PredCache.InvertHits, rep.PredCache.InvertMisses = inv.Hits, inv.Misses
+		rep.PredCache.PairHits, rep.PredCache.PairMisses = pair.Hits, pair.Misses
+		rep.PredCache.InvertEntries, rep.PredCache.PairEntries = cfg.SharedCache.Entries()
+	} else {
+		for _, p := range policies {
+			if cs, ok := p.(interface {
+				CacheStats() (invert, pair predcache.Stats)
+			}); ok {
+				inv, pair := cs.CacheStats()
+				rep.PredCache.InvertHits += inv.Hits
+				rep.PredCache.InvertMisses += inv.Misses
+				rep.PredCache.PairHits += pair.Hits
+				rep.PredCache.PairMisses += pair.Misses
+			}
+			if ce, ok := p.(interface {
+				CacheEntries() (invert, pair int)
+			}); ok {
+				ei, ep := ce.CacheEntries()
+				rep.PredCache.InvertEntries += ei
+				rep.PredCache.PairEntries += ep
+			}
+		}
+	}
+	// Mirror the totals into the metrics registry, but only when there was
+	// traffic: runs whose policies expose no cache stats must leave the
+	// snapshot untouched (the worker-count-invariance pin compares
+	// snapshots byte for byte).
+	if cfg.Obs != nil && cfg.Obs.Reg != nil {
+		pc := &rep.PredCache
+		if pc.InvertHits+pc.InvertMisses+pc.PairHits+pc.PairMisses > 0 {
+			reg := cfg.Obs.Reg
+			reg.Counter("fleet.predcache.invert.hits").Add(int64(pc.InvertHits))
+			reg.Counter("fleet.predcache.invert.misses").Add(int64(pc.InvertMisses))
+			reg.Counter("fleet.predcache.pair.hits").Add(int64(pc.PairHits))
+			reg.Counter("fleet.predcache.pair.misses").Add(int64(pc.PairMisses))
+			reg.Gauge("fleet.predcache.invert.entries").Set(int64(pc.InvertEntries))
+			reg.Gauge("fleet.predcache.pair.entries").Set(int64(pc.PairEntries))
+		}
+	}
+
 	if !agg.uniform {
 		// Sorted-key iteration (most urgent class first): PerClass must
 		// never observe map order — the maporder lint invariant for

@@ -116,11 +116,17 @@ func runFixture(t *testing.T, a *Analyzer, path string) {
 	}
 }
 
-func TestMapOrderFixture(t *testing.T)    { runFixture(t, MapOrder, "maporder") }
-func TestNonDetFixture(t *testing.T)      { runFixture(t, NonDet, "machine") }
-func TestNonDetObsFixture(t *testing.T)   { runFixture(t, NonDet, "obs") }
-func TestSharedMutFixture(t *testing.T)   { runFixture(t, SharedMut, "sharedmut") }
-func TestFloatReduceFixture(t *testing.T) { runFixture(t, FloatReduce, "floatreduce") }
+func TestMapOrderFixture(t *testing.T)  { runFixture(t, MapOrder, "maporder") }
+func TestNonDetFixture(t *testing.T)    { runFixture(t, NonDet, "machine") }
+func TestNonDetObsFixture(t *testing.T) { runFixture(t, NonDet, "obs") }
+func TestSharedMutFixture(t *testing.T) { runFixture(t, SharedMut, "sharedmut") }
+
+// The serving-path fixtures added with the placement-throughput engine:
+// the prediction-memo nondet rules and the shared-cache stats-merge
+// discipline.
+func TestNonDetPredcacheFixture(t *testing.T)      { runFixture(t, NonDet, "predcache") }
+func TestSharedMutSharedCacheFixture(t *testing.T) { runFixture(t, SharedMut, "sharedcache") }
+func TestFloatReduceFixture(t *testing.T)          { runFixture(t, FloatReduce, "floatreduce") }
 
 // TestSuppressionFixture proves same-line and line-above allows silence
 // a finding while wrong-rule and far-away allows do not.

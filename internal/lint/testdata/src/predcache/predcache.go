@@ -1,0 +1,77 @@
+// Package predcache is the nondet fixture for the prediction-memo
+// pattern: a cache in the simulation core may key only on the bit
+// patterns of its inputs. Wall-clock TTLs, probabilistic admission and
+// processor-count sizing all smuggle host state into what the memo
+// returns (or when it forgets), which breaks the cached ≡ uncached
+// bit-identity argument.
+package predcache
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// memo is the clean shape: value lifetime is a pure function of entry
+// count, so a cached run differs from an uncached run only in speed.
+type memo struct {
+	m   map[string]float64
+	max int
+}
+
+// get memoizes fn with a deterministic full clear on overflow.
+func (c *memo) get(key string, fn func() float64) float64 {
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	if len(c.m) >= c.max {
+		c.m = make(map[string]float64)
+	}
+	v := fn()
+	c.m[key] = v
+	return v
+}
+
+// ttlEntry pairs a value with its wall-clock insertion time.
+type ttlEntry struct {
+	v    float64
+	when time.Time
+}
+
+// getTTL expires entries by wall-clock age: whether a lookup hits now
+// depends on how fast the host ran, so two runs of the same workload can
+// recompute different subsets. Both reads are findings.
+func getTTL(m map[string]ttlEntry, key string, fn func() float64) float64 {
+	if e, ok := m[key]; ok && time.Since(e.when) < time.Second { // want `nondet: time.Since in the simulation core`
+		return e.v
+	}
+	v := fn()
+	m[key] = ttlEntry{v: v, when: time.Now()} // want `nondet: time.Now in the simulation core`
+	return v
+}
+
+// admitSampled admits entries probabilistically from the process-global
+// RNG: resident sets (and therefore recomputation order) diverge across
+// runs and couple to every other rand user in the process.
+func admitSampled(m map[string]float64, key string, v float64) {
+	if rand.Float64() < 0.5 { // want `nondet: rand.Float64 uses process-global RNG state`
+		m[key] = v
+	}
+}
+
+// sizeByHost shards the cache by processor count. Shard *count* here
+// feeds MaxEntries-per-shard, so eviction timing — and with it which
+// values are recomputed — varies across machines: a finding, not an
+// allow candidate.
+func sizeByHost(maxEntries int) int {
+	return maxEntries / runtime.NumCPU() // want `nondet: runtime.NumCPU in the simulation core`
+}
+
+// widthFromConfig is the clean counterpart: capacity arrives through
+// configuration, so the memo's forget schedule is reproducible.
+func widthFromConfig(maxEntries, shards int) int {
+	if shards <= 0 {
+		shards = 8
+	}
+	return maxEntries / shards
+}

@@ -1,0 +1,77 @@
+// Package sharedcache is the sharedmut fixture for the concurrent
+// shared-cache pattern: serving goroutines fan out over a pool, each
+// with its own per-request view, and statistics flow back either through
+// task-indexed slots merged after the barrier (clean) or through
+// captured accumulators written inside the tasks (findings).
+package sharedcache
+
+import "pool"
+
+// view mirrors a per-request cache view: local hit/miss counters over a
+// shared store.
+type view struct {
+	hits, misses uint64
+}
+
+func (v *view) lookup(key string) bool {
+	if len(key)%2 == 0 {
+		v.hits++
+		return true
+	}
+	v.misses++
+	return false
+}
+
+// serveIndexed is the documented pattern: one view per task index,
+// stats merged serially after the barrier.
+func serveIndexed(p *pool.ShardPool, keys []string, workers int) (hits uint64) {
+	views := make([]view, workers)
+	p.Run(workers, func(i int) {
+		for k := i; k < len(keys); k += workers {
+			views[i].lookup(keys[k])
+		}
+	})
+	for i := range views {
+		hits += views[i].hits
+	}
+	return hits
+}
+
+// serveCapturedStats folds every worker's counters into captured
+// accumulators inside the tasks: a stats race that also makes the
+// reported totals depend on interleaving.
+func serveCapturedStats(p *pool.ShardPool, keys []string, workers int) (hits, misses uint64) {
+	p.Run(workers, func(i int) {
+		v := view{}
+		for k := i; k < len(keys); k += workers {
+			v.lookup(keys[k])
+		}
+		hits += v.hits     // want `sharedmut: write to captured hits`
+		misses += v.misses // want `sharedmut: write to captured misses`
+	})
+	return hits, misses
+}
+
+// serveCapturedResident tracks the shared store's resident count in a
+// captured scalar from every worker.
+func serveCapturedResident(p *pool.ShardPool, inserts []string, workers int) int {
+	resident := 0
+	p.Run(workers, func(i int) {
+		for k := i; k < len(inserts); k += workers {
+			resident++ // want `sharedmut: write to captured resident`
+		}
+	})
+	return resident
+}
+
+// warmShards populates disjoint shard slots by task index — writes land
+// only in the slot the index owns, the shard-ownership shape the
+// analyzer must keep allowing.
+func warmShards(p *pool.ShardPool, shards []map[string]float64, keys []string) {
+	p.Run(len(shards), func(i int) {
+		shards[i] = make(map[string]float64)
+		for _, k := range keys {
+			shards[i][k] = float64(len(k))
+		}
+	})
+}

@@ -186,9 +186,20 @@ func NewDynRunner(m *Machine, policy Policy, opt DynRunnerOptions) (*DynRunner, 
 	if r.mt != nil || r.rc.Enabled() {
 		// Baseline the cumulative sources (policy predcache, core engine
 		// tiers) so reused policies/machines report only this run's deltas.
+		// Policies backed by a *shared* concurrent cache are excluded:
+		// which of their calls hit is schedule-dependent (racing cold
+		// misses), so per-decision deltas would perturb the worker-count-
+		// invariant trace. Their traffic is aggregated once at run end
+		// instead (fleet.Report.PredCache).
+		sharedCache := false
+		if sc, ok := policy.(interface {
+			SharedCache() *predcache.Shared
+		}); ok && sc.SharedCache() != nil {
+			sharedCache = true
+		}
 		if cs, ok := policy.(interface {
 			CacheStats() (invert, pair predcache.Stats)
-		}); ok {
+		}); ok && !sharedCache {
 			r.cacheStats = cs.CacheStats
 			r.prevInv, r.prevPair = cs.CacheStats()
 		}

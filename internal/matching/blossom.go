@@ -61,6 +61,7 @@ type edge struct {
 // Vertices are 1-indexed; ids above n denote contracted blossoms.
 type blossomSolver struct {
 	n, nx int // original vertex count; current max node id (incl. blossoms)
+	capN  int // vertex capacity the arrays were allocated for (capN >= n)
 
 	g          [][]edge // g[u][v]: best edge between (super)nodes u and v
 	lab        []int64  // dual variables
@@ -78,11 +79,12 @@ type blossomSolver struct {
 
 const infWeight = int64(math.MaxInt64 / 4)
 
-func newBlossomSolver(n int, w [][]int64) *blossomSolver {
-	size := 2*n + 8
+// newSolverAlloc allocates a solver sized for up to capN vertices without
+// initialising the per-run state; init must run before every matching.
+func newSolverAlloc(capN int) *blossomSolver {
+	size := 2*capN + 8
 	b := &blossomSolver{
-		n:          n,
-		nx:         n,
+		capN:       capN,
 		g:          make([][]edge, size),
 		lab:        make([]int64, size),
 		match:      make([]int, size),
@@ -96,9 +98,36 @@ func newBlossomSolver(n int, w [][]int64) *blossomSolver {
 	}
 	for i := range b.g {
 		b.g[i] = make([]edge, size)
-		b.flowerFrom[i] = make([]int, n+1)
-		for j := range b.g[i] {
-			b.g[i][j] = edge{u: i, v: j, w: 0}
+		b.flowerFrom[i] = make([]int, capN+1)
+	}
+	return b
+}
+
+// init resets the solver to the exact state a freshly allocated one has
+// for an n-vertex run — bit-identical reuse: only the logical 2n+8 region
+// the algorithm can touch is (re)initialised, so a recycled solver is
+// indistinguishable from a new one.
+func (b *blossomSolver) init(n int, w [][]int64) {
+	b.n, b.nx = n, n
+	b.visTime = 0
+	b.queue = b.queue[:0]
+	size := 2*n + 8
+	for i := 0; i < size; i++ {
+		b.lab[i] = 0
+		b.match[i] = 0
+		b.slack[i] = 0
+		b.st[i] = 0
+		b.pa[i] = 0
+		b.s[i] = 0
+		b.vis[i] = 0
+		b.flower[i] = b.flower[i][:0]
+		g := b.g[i][:size]
+		for j := range g {
+			g[j] = edge{u: i, v: j, w: 0}
+		}
+		ff := b.flowerFrom[i][:n+1]
+		for j := range ff {
+			ff[j] = 0
 		}
 	}
 	var wMax int64
@@ -118,6 +147,11 @@ func newBlossomSolver(n int, w [][]int64) *blossomSolver {
 	for u := 1; u <= n; u++ {
 		b.lab[u] = wMax
 	}
+}
+
+func newBlossomSolver(n int, w [][]int64) *blossomSolver {
+	b := newSolverAlloc(n)
+	b.init(n, w)
 	return b
 }
 
@@ -238,7 +272,10 @@ func (b *blossomSolver) addBlossom(u, lca, v int) {
 	if bl > b.nx {
 		b.nx++
 	}
-	if b.nx >= len(b.st) {
+	// Bound on the logical 2n+8 region, not the allocation: a solver
+	// recycled from a larger run has longer arrays, but the id space the
+	// algorithm is allowed to use must not depend on allocation history.
+	if b.nx >= 2*b.n+8 {
 		panic(fmt.Sprintf("matching: blossom id overflow (n=%d)", b.n))
 	}
 	b.lab[bl] = 0
@@ -441,11 +478,96 @@ func (b *blossomSolver) matchingRound() bool {
 	}
 }
 
+// Workspace holds the solver's working memory for reuse across calls.
+// The zero value is ready to use; a nil *Workspace allocates fresh memory
+// per call (the behaviour of the package-level functions). A Workspace is
+// not safe for concurrent use — give each goroutine its own.
+//
+// Reuse is bit-identical: the solver's init resets every cell the
+// algorithm can touch, so the matching computed through a recycled
+// workspace is exactly the matching a fresh allocation computes. Only the
+// allocation count changes — the solver's O(n²) edge matrix is the
+// dominant per-call allocation of a placement decision, which is why the
+// serving path (core.Arena) carries one of these per request context.
+type Workspace struct {
+	b      *blossomSolver
+	iw     [][]int64   // integer-weight scratch for the complement transform
+	iwBack []int64     // backing array of iw
+	padded [][]float64 // odd-count phantom-vertex padding scratch
+	padBck []float64   // backing array of padded
+}
+
+// solver returns an initialised solver for an n-vertex run, recycling the
+// workspace's solver when it is large enough.
+func (ws *Workspace) solver(n int, w [][]int64) *blossomSolver {
+	if ws == nil {
+		return newBlossomSolver(n, w)
+	}
+	if ws.b == nil || ws.b.capN < n {
+		ws.b = newSolverAlloc(n)
+	}
+	ws.b.init(n, w)
+	return ws.b
+}
+
+// intMatrix returns an n×n int64 scratch matrix (contents unspecified; the
+// caller overwrites every off-diagonal cell, and the diagonal is never
+// read by the solver).
+func (ws *Workspace) intMatrix(n int) [][]int64 {
+	if ws == nil {
+		iw := make([][]int64, n)
+		back := make([]int64, n*n)
+		for i := range iw {
+			iw[i] = back[i*n : (i+1)*n : (i+1)*n]
+		}
+		return iw
+	}
+	if cap(ws.iwBack) < n*n {
+		ws.iwBack = make([]int64, n*n)
+		ws.iw = nil
+	}
+	if cap(ws.iw) < n {
+		ws.iw = make([][]int64, n)
+	}
+	iw := ws.iw[:n]
+	back := ws.iwBack[:n*n]
+	for i := range iw {
+		iw[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	return iw
+}
+
+// floatMatrix returns an n×n float64 scratch matrix for the phantom-vertex
+// padding (contents unspecified; the caller overwrites every cell).
+func (ws *Workspace) floatMatrix(n int) [][]float64 {
+	if ws == nil {
+		m := make([][]float64, n)
+		back := make([]float64, n*n)
+		for i := range m {
+			m[i] = back[i*n : (i+1)*n : (i+1)*n]
+		}
+		return m
+	}
+	if cap(ws.padBck) < n*n {
+		ws.padBck = make([]float64, n*n)
+		ws.padded = nil
+	}
+	if cap(ws.padded) < n {
+		ws.padded = make([][]float64, n)
+	}
+	m := ws.padded[:n]
+	back := ws.padBck[:n*n]
+	for i := range m {
+		m[i] = back[i*n : (i+1)*n : (i+1)*n]
+	}
+	return m
+}
+
 // maxWeightMatching computes a maximum-weight matching of the complete graph
 // with positive integer weights w (0-indexed, symmetric). It returns the
 // 0-indexed mate array with -1 for unmatched vertices.
-func maxWeightMatching(n int, w [][]int64) []int {
-	b := newBlossomSolver(n, w)
+func maxWeightMatching(ws *Workspace, n int, w [][]int64) []int {
+	b := ws.solver(n, w)
 	for b.matchingRound() {
 	}
 	mate := make([]int, n)
@@ -467,6 +589,13 @@ func maxWeightMatching(n int, w [][]int64) []int {
 // This is the exact optimisation SYNPA performs every quantum over the
 // pairwise predicted-degradation matrix.
 func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err error) {
+	return (*Workspace)(nil).MinWeightPerfectMatching(w)
+}
+
+// MinWeightPerfectMatching is the workspace-reusing form of the
+// package-level function: identical matchings, no per-call solver
+// allocation once the workspace has warmed to the largest vertex count.
+func (ws *Workspace) MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err error) {
 	n := len(w)
 	if n == 0 {
 		return nil, 0, nil
@@ -501,9 +630,8 @@ func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err err
 
 	// Complement transform to strictly positive integer weights:
 	// w' = round((wMax - w)·scale) + 1  ≥ 1.
-	iw := make([][]int64, n)
+	iw := ws.intMatrix(n)
 	for i := range iw {
-		iw[i] = make([]int64, n)
 		for j := range iw[i] {
 			if i == j {
 				continue
@@ -512,7 +640,7 @@ func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err err
 		}
 	}
 
-	mate = maxWeightMatching(n, iw)
+	mate = maxWeightMatching(ws, n, iw)
 	for i, m := range mate {
 		if m < 0 || mate[m] != i {
 			return nil, 0, fmt.Errorf("matching: internal error, vertex %d left unmatched", i)
@@ -533,21 +661,29 @@ func MinWeightPerfectMatching(w [][]float64) (mate []int, total float64, err err
 // number of live applications, one of them must run solo on its core, and
 // the phantom pairing selects which one optimally.
 func MinWeightMatching(w [][]float64) (mate []int, total float64, err error) {
+	return (*Workspace)(nil).MinWeightMatching(w)
+}
+
+// MinWeightMatching is the workspace-reusing form of the package-level
+// function (see Workspace).
+func (ws *Workspace) MinWeightMatching(w [][]float64) (mate []int, total float64, err error) {
 	n := len(w)
 	if n%2 == 0 {
-		return MinWeightPerfectMatching(w)
+		return ws.MinWeightPerfectMatching(w)
 	}
-	padded := make([][]float64, n+1)
+	padded := ws.floatMatrix(n + 1)
 	for i := 0; i < n; i++ {
 		if len(w[i]) != n {
 			return nil, 0, ErrNotSquare
 		}
-		padded[i] = make([]float64, n+1)
 		copy(padded[i], w[i])
-		// padded[i][n] stays 0: pairing with the phantom is free.
+		// The phantom column stays 0: pairing with the phantom is free.
+		padded[i][n] = 0
 	}
-	padded[n] = make([]float64, n+1)
-	mate, total, err = MinWeightPerfectMatching(padded)
+	for j := range padded[n] {
+		padded[n][j] = 0
+	}
+	mate, total, err = ws.MinWeightPerfectMatching(padded)
 	if err != nil {
 		return nil, 0, err
 	}

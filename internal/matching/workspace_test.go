@@ -1,0 +1,69 @@
+package matching
+
+import (
+	"reflect"
+	"testing"
+
+	"synpa/internal/xrand"
+)
+
+// randMatrix builds a symmetric weight matrix with deterministic contents.
+func randMatrix(rng *xrand.RNG, n int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() * 10
+			w[i][j], w[j][i] = v, v
+		}
+	}
+	return w
+}
+
+// TestWorkspaceReuseBitIdentical drives one workspace through a size-varying
+// sequence of matchings (grow, shrink, regrow) and checks every result
+// against a fresh per-call solve: solver recycling must never change a
+// matching, only the allocation count.
+func TestWorkspaceReuseBitIdentical(t *testing.T) {
+	rng := xrand.New(7)
+	var ws Workspace
+	for round := 0; round < 40; round++ {
+		n := []int{2, 8, 5, 12, 3, 8, 16, 7}[round%8]
+		w := randMatrix(rng, n)
+		gotMate, gotTotal, gotErr := ws.MinWeightMatching(w)
+		wantMate, wantTotal, wantErr := MinWeightMatching(w)
+		if gotErr != nil || wantErr != nil {
+			t.Fatalf("round %d (n=%d): errs %v / %v", round, n, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(gotMate, wantMate) || gotTotal != wantTotal {
+			t.Fatalf("round %d (n=%d): workspace diverged\n got %v (%v)\nwant %v (%v)",
+				round, n, gotMate, gotTotal, wantMate, wantTotal)
+		}
+	}
+}
+
+// TestWorkspacePerfectReuse covers the even-count entry point directly,
+// including the error paths leaving the workspace reusable.
+func TestWorkspacePerfectReuse(t *testing.T) {
+	var ws Workspace
+	if _, _, err := ws.MinWeightPerfectMatching(randMatrix(xrand.New(1), 5)); err != ErrOddVertices {
+		t.Fatalf("odd count: err = %v, want ErrOddVertices", err)
+	}
+	rng := xrand.New(9)
+	for _, n := range []int{6, 10, 4, 10} {
+		w := randMatrix(rng, n)
+		got, gt, err := ws.MinWeightPerfectMatching(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wt, err := MinWeightPerfectMatching(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) || gt != wt {
+			t.Fatalf("n=%d: workspace perfect matching diverged", n)
+		}
+	}
+}

@@ -148,6 +148,9 @@ func (c *PairCache) Get(a, b []float64, fn PairFn) float64 {
 // Stats returns the traffic counters.
 func (c *PairCache) Stats() Stats { return c.stats }
 
+// Entries returns the resident entry count.
+func (c *PairCache) Entries() int { return len(c.m) }
+
 // InvertFn evaluates the inversion being memoized.
 type InvertFn func(a, b []float64) (ca, cb []float64, converged bool)
 
@@ -199,3 +202,80 @@ func (c *InvertCache) Get(a, b []float64, fn InvertFn) ([]float64, []float64, bo
 
 // Stats returns the traffic counters.
 func (c *InvertCache) Stats() Stats { return c.stats }
+
+// Entries returns the resident entry count.
+func (c *InvertCache) Entries() int { return len(c.m) }
+
+// MatchFn evaluates the matching being memoized.
+type MatchFn func(w [][]float64) ([]int, error)
+
+// matchKey builds the key for a symmetric weight matrix: the vertex count
+// followed by the bit signature of the strict upper triangle (the matcher
+// reads nothing else — the diagonal is ignored and the lower triangle
+// mirrors the upper).
+func matchKey(dst []byte, w [][]float64, quantum float64) []byte {
+	dst = dst[:0]
+	dst = append(dst, byte(len(w)))
+	for i := range w {
+		dst = appendKey(dst, w[i][i+1:], quantum)
+	}
+	return dst
+}
+
+// MatchCache memoizes a pairing function of a symmetric weight matrix —
+// the policy's Blossom matchings. The matcher is a pure deterministic
+// function of the matrix, so the exact-bit-key argument of the package
+// comment applies unchanged: a hit implies a bit-identical matrix, and the
+// memoized mate array is bit-identical to a fresh solve. Returned slices
+// are fresh copies owned by the caller. Not safe for concurrent use; the
+// policy keeps one per request arena (matchings are machine-local
+// decisions keyed by full matrices, so cross-machine sharing would buy
+// little and cost shard-lock traffic — unlike the inversion/pair memos,
+// this cache has no shared variant).
+type MatchCache struct {
+	opt   Options
+	m     map[string][]int
+	key   []byte
+	stats Stats
+}
+
+// NewMatch builds a MatchCache.
+func NewMatch(opt Options) *MatchCache {
+	c := &MatchCache{opt: opt}
+	if !opt.Disabled {
+		c.m = make(map[string][]int)
+		c.key = make([]byte, 0, 256)
+	}
+	return c
+}
+
+// Get returns fn(w), memoized. The returned slice is a fresh copy owned by
+// the caller. Errors are passed through uncached (the policy's weight
+// matrices are sanitized and can never produce one).
+func (c *MatchCache) Get(w [][]float64, fn MatchFn) ([]int, error) {
+	if c.opt.Disabled {
+		return fn(w)
+	}
+	c.key = matchKey(c.key, w, c.opt.Quantum)
+	if mate, ok := c.m[string(c.key)]; ok {
+		c.stats.Hits++
+		return append([]int(nil), mate...), nil
+	}
+	c.stats.Misses++
+	mate, err := fn(w)
+	if err != nil {
+		return mate, err
+	}
+	if len(c.m) >= c.opt.maxEntries() {
+		c.m = make(map[string][]int)
+		c.stats.Resets++
+	}
+	c.m[string(c.key)] = append([]int(nil), mate...)
+	return mate, nil
+}
+
+// Stats returns the traffic counters.
+func (c *MatchCache) Stats() Stats { return c.stats }
+
+// Entries returns the resident entry count.
+func (c *MatchCache) Entries() int { return len(c.m) }

@@ -1,0 +1,158 @@
+package predcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSharedMatchesPrivateSemantics(t *testing.T) {
+	s := NewShared(Options{}, 4)
+	iv := s.InvertView()
+	pv := s.PairView()
+	invCalls, pairCalls := 0, 0
+	invFn := func(a, b []float64) ([]float64, []float64, bool) {
+		invCalls++
+		return []float64{a[0] * 2}, []float64{b[0] * 2}, true
+	}
+	pairFn := func(a, b []float64) float64 { pairCalls++; return a[0] + b[0] }
+
+	a, b := []float64{1.5}, []float64{2.5}
+	ca1, cb1, _ := iv.Get(a, b, invFn)
+	ca2, cb2, _ := iv.Get(a, b, invFn)
+	if invCalls != 1 {
+		t.Fatalf("invert fn called %d times for two identical lookups", invCalls)
+	}
+	if &ca1[0] != &ca2[0] || &cb1[0] != &cb2[0] {
+		t.Fatal("hit did not return the shared cached slices")
+	}
+	if v1, v2 := pv.Get(a, b, pairFn), pv.Get(a, b, pairFn); v1 != v2 || pairCalls != 1 {
+		t.Fatalf("pair memo broken: %v %v calls=%d", v1, v2, pairCalls)
+	}
+
+	// A second view hits entries the first view stored — the point of
+	// sharing — while keeping its own local stats.
+	iv2 := s.InvertView()
+	iv2.Get(a, b, invFn)
+	if invCalls != 1 {
+		t.Fatal("second view missed an entry the first view stored")
+	}
+	if st := iv2.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("view-local stats %+v, want 1 hit 0 misses", st)
+	}
+	inv, pair := s.Stats()
+	if inv.Hits != 2 || inv.Misses != 1 || pair.Hits != 1 || pair.Misses != 1 {
+		t.Fatalf("shared stats invert=%+v pair=%+v", inv, pair)
+	}
+	if ei, ep := s.Entries(); ei != 1 || ep != 1 {
+		t.Fatalf("entries invert=%d pair=%d, want 1 1", ei, ep)
+	}
+}
+
+func TestSharedDisabledPassThrough(t *testing.T) {
+	s := NewShared(Options{Disabled: true}, 0)
+	iv := s.InvertView()
+	calls := 0
+	fn := func(a, b []float64) ([]float64, []float64, bool) {
+		calls++
+		return a, b, true
+	}
+	iv.Get([]float64{1}, []float64{2}, fn)
+	iv.Get([]float64{1}, []float64{2}, fn)
+	if calls != 2 {
+		t.Fatalf("disabled shared cache memoized (calls=%d)", calls)
+	}
+	inv, pair := s.Stats()
+	if inv != (Stats{}) || pair != (Stats{}) {
+		t.Fatalf("disabled cache counted traffic: %+v %+v", inv, pair)
+	}
+}
+
+func TestSharedShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32},
+	} {
+		if got := NewShared(Options{}, tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewShared(shards=%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSharedPerShardReset(t *testing.T) {
+	// MaxEntries 8 over 4 shards = 2 per shard: inserting many distinct
+	// keys must trigger per-shard resets without losing correctness.
+	s := NewShared(Options{MaxEntries: 8}, 4)
+	pv := s.PairView()
+	fn := func(a, b []float64) float64 { return a[0] + b[0] }
+	for i := 0; i < 64; i++ {
+		a := []float64{float64(i)}
+		if v := pv.Get(a, []float64{1}, fn); v != float64(i)+1 {
+			t.Fatalf("wrong value %v for key %d", v, i)
+		}
+	}
+	_, pair := s.Stats()
+	if pair.Resets == 0 {
+		t.Fatalf("no shard reset after 64 inserts into an 8-entry cache: %+v", pair)
+	}
+	if _, ep := s.Entries(); ep > 8+s.NumShards() {
+		t.Fatalf("entries %d exceed the per-shard bound", ep)
+	}
+	// Values stay correct across resets.
+	if v := pv.Get([]float64{3}, []float64{1}, fn); v != 4 {
+		t.Fatalf("post-reset value %v", v)
+	}
+}
+
+// TestSharedShardStress hammers one shared cache from many goroutines over
+// an overlapping key set — the -race gate for the concurrent path — and
+// checks every returned value is the pure function's value and the summed
+// stats account for every Get.
+func TestSharedShardStress(t *testing.T) {
+	s := NewShared(Options{MaxEntries: 256}, 8)
+	const goroutines = 8
+	const perG = 2000
+	const keys = 97 // overlapping working set, coprime with goroutines
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			iv := s.InvertView()
+			pv := s.PairView()
+			invFn := func(a, b []float64) ([]float64, []float64, bool) {
+				return []float64{a[0] * 2}, []float64{b[0] * 3}, true
+			}
+			pairFn := func(a, b []float64) float64 { return a[0]*10 + b[0] }
+			for i := 0; i < perG; i++ {
+				k := float64((g*perG + i) % keys)
+				a, b := []float64{k}, []float64{k + 1}
+				ca, cb, conv := iv.Get(a, b, invFn)
+				if !conv || ca[0] != k*2 || cb[0] != (k+1)*3 {
+					errc <- &testError{k: k}
+					return
+				}
+				if v := pv.Get(a, b, pairFn); v != k*10+k+1 {
+					errc <- &testError{k: k}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	inv, pair := s.Stats()
+	total := uint64(goroutines * perG)
+	if inv.Hits+inv.Misses != total || pair.Hits+pair.Misses != total {
+		t.Fatalf("stats do not account for all traffic: invert=%+v pair=%+v want %d each", inv, pair, total)
+	}
+	if inv.Hits == 0 || pair.Hits == 0 {
+		t.Fatal("overlapping key set produced no hits")
+	}
+}
+
+type testError struct{ k float64 }
+
+func (e *testError) Error() string { return "wrong cached value under concurrency" }

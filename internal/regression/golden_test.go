@@ -164,6 +164,39 @@ func TestGoldenDigests(t *testing.T) {
 	}
 }
 
+// TestGoldenDigestsUnchangedWithSharedCache pins the shared concurrent
+// prediction cache's bit-identity claim at the digest level: the fleet
+// grid rendered with one shared cache per run (fleet.Config.SharedCache,
+// many machines hitting one memo) must reproduce the committed dynfleet
+// digest bit for bit — concurrent sharing may change which calls hit, but
+// never an output (internal/predcache package docs).
+func TestGoldenDigestsUnchangedWithSharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the dynfleet golden experiment; skipped in -short")
+	}
+	buf, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("reading committed golden digests: %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := goldenConfig()
+	cfg.FleetSharedCache = true
+	s := experiments.NewSuite(cfg)
+	tab, err := s.DynFleetTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(tab.String()))
+	if got := hex.EncodeToString(sum[:]); got != want.Digests["dynfleet"] {
+		t.Fatalf("shared cache perturbed the dynfleet digest\n  committed: %s\n  got:       %s\n%s",
+			want.Digests["dynfleet"], got, tab.String())
+	}
+}
+
 // TestGoldenDigestsUnchangedWithTracing pins the observability layer's
 // zero-perturbation claim at the digest level: running a golden experiment
 // with a live observer attached must reproduce the committed digest bit

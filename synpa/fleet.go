@@ -69,6 +69,11 @@ type FleetConfig struct {
 	// MaxCycles bounds the run (0 = the machine default). Arrivals at or
 	// beyond the bound are never dispatched (FleetReport.Truncated).
 	MaxCycles uint64
+	// SharedCache, when non-nil, is installed into every policy that
+	// supports it (the SYNPA policy does): one concurrent prediction memo
+	// warms across the whole fleet instead of per machine. Bit-identical
+	// by construction; see NewSharedPredCache.
+	SharedCache *SharedPredCache
 	// SketchAlpha is the relative accuracy of the streaming quantile
 	// sketches (0 = the stats package default, 0.5%).
 	SketchAlpha float64
@@ -109,6 +114,7 @@ func (s *System) RunFleet(cfg FleetConfig, stream TraceStream) (*FleetReport, er
 		Admission:   s.cfg.Admission,
 		Seed:        s.cfg.Seed,
 		MaxCycles:   cfg.MaxCycles,
+		SharedCache: cfg.SharedCache,
 		Workers:     s.cfg.Workers,
 		SketchAlpha: cfg.SketchAlpha,
 		Obs:         s.cfg.Obs,

@@ -58,6 +58,14 @@ type (
 	// the SYNPA policy (PolicyOptions.Cache): exact-key memoization is on
 	// by default and bit-identical by construction; Disabled turns it off.
 	PredCacheOptions = predcache.Options
+	// SharedPredCache is a sharded concurrent prediction memo one whole
+	// fleet (or any number of concurrent PlaceR callers) shares; build
+	// with NewSharedPredCache and hand to FleetConfig.SharedCache.
+	SharedPredCache = predcache.Shared
+	// PlacementArena is the per-request state of the reentrant policy
+	// path: SYNPAPolicy.NewArena/PlaceR serve concurrent placement
+	// queries share-nothing on one trained policy.
+	PlacementArena = core.Arena
 	// TrainOptions tune the §IV-C training pipeline.
 	TrainOptions = train.Options
 	// TrainReport summarises a training run.
@@ -225,6 +233,17 @@ func (s *System) SYNPAPolicy(m *Model) Policy {
 // disabled inversion, different extractor) for ablation studies.
 func (s *System) SYNPAPolicyWithOptions(m *Model, opt PolicyOptions) (Policy, error) {
 	return core.NewPolicy(m, opt)
+}
+
+// NewSharedPredCache builds a sharded concurrent prediction memo (shards
+// 0 selects the predcache default). Hand it to FleetConfig.SharedCache so
+// every machine shares one warm cache, or install it on a SYNPA policy
+// (core.Policy.SetSharedCache) to serve concurrent PlaceR callers.
+// Sharing is bit-identical by construction: a hit implies bit-identical
+// inputs to a pure function, so no output can depend on who warmed an
+// entry first.
+func NewSharedPredCache(opt PredCacheOptions, shards int) *SharedPredCache {
+	return predcache.NewShared(opt, shards)
 }
 
 // LinuxPolicy returns the arrival-order baseline the paper compares
