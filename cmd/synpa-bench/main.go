@@ -69,9 +69,9 @@ func main() {
 		perfOut    = flag.String("perfstat", "", "write per-experiment wall-time/alloc JSON to this path ('auto' picks the next BENCH_NNNN.json)")
 		fleetM     = flag.Int("fleet-machines", 0, "dynfleet-scale cluster size (0 = 500)")
 		fleetJ     = flag.Int("fleet-jobs", 0, "dynfleet-scale stream length (0 = 1,000,000)")
-		qpsG       = flag.Int("qps-goroutines", 0, "placement-qps max concurrent goroutines (0 = 4)")
-		qpsP       = flag.Int("qps-passes", 0, "placement-qps replay passes over the recorded query log (0 = 16)")
-		qpsQ       = flag.Int("qps-queries", 0, "placement-qps recorded-query cap (0 = 256)")
+		qpsG       = flag.Int("qps-goroutines", 0, "placement-qps/synpad-qps max concurrent goroutines (0 = 4)")
+		qpsP       = flag.Int("qps-passes", 0, "placement-qps/synpad-qps replay passes over the recorded query log (0 = 32 in-process, 8 served)")
+		qpsQ       = flag.Int("qps-queries", 0, "placement-qps/synpad-qps recorded-query cap (0 = 256)")
 		traceOut   = flag.String("trace-out", "", "write the run's event trace to this '[format:]path' (formats: chrome = Perfetto trace-event JSON, jsonl; default by extension). Needs a single -experiment and forces -parallel=false so the trace stays deterministic")
 		metricsOut = flag.String("metrics-out", "", "write the metrics registry snapshot (counters/histograms, JSON) to this path; byte-stable across runs when -parallel=false")
 	)
@@ -174,6 +174,11 @@ func main() {
 		}},
 		{"placement-qps", func() (*experiments.Table, error) {
 			return s.PlacementQPSOpt(experiments.PlacementQPSOptions{
+				MaxGoroutines: *qpsG, Passes: *qpsP, MaxQueries: *qpsQ,
+			})
+		}},
+		{"synpad-qps", func() (*experiments.Table, error) {
+			return s.SynpadQPSOpt(experiments.PlacementQPSOptions{
 				MaxGoroutines: *qpsG, Passes: *qpsP, MaxQueries: *qpsQ,
 			})
 		}},

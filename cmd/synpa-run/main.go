@@ -319,19 +319,36 @@ func runDynamic(sys *synpa.System, traceArg, policy string, quantum, seed uint64
 }
 
 // loadTrace resolves -trace: a built-in dynamic scenario name (dyn0–dyn4 or
-// the mixed-priority prio-lo/mid/hi set) or a file.
+// the mixed-priority prio-lo/mid/hi set) or a trace file. A file wins over a
+// same-named scenario when the argument points at the filesystem — it
+// contains a path separator or exists on disk — so a local file named "dyn0"
+// stays reachable (say it as ./dyn0 or create it; scenario names resolve
+// first only when neither holds).
 func loadTrace(arg string, quantum, seed uint64) (synpa.Trace, error) {
 	scenarios := experiments.DynamicScenarios(seed, quantum)
 	scenarios = append(scenarios, experiments.DynPrioScenarios(seed, quantum)...)
 	valid := make([]string, len(scenarios))
+	scenarioIdx := -1
 	for i, tr := range scenarios {
 		valid[i] = tr.Name
 		if tr.Name == arg {
-			return tr, nil
+			scenarioIdx = i
 		}
+	}
+	pathLike := strings.ContainsRune(arg, os.PathSeparator) || strings.ContainsRune(arg, '/')
+	if !pathLike {
+		if _, err := os.Stat(arg); err == nil {
+			pathLike = true
+		}
+	}
+	if scenarioIdx >= 0 && !pathLike {
+		return scenarios[scenarioIdx], nil
 	}
 	f, err := os.Open(arg)
 	if err != nil {
+		if scenarioIdx >= 0 {
+			return scenarios[scenarioIdx], nil
+		}
 		return synpa.Trace{}, fmt.Errorf("trace %q is neither a built-in scenario nor a readable file (%v); valid scenarios: %s",
 			arg, err, strings.Join(valid, ", "))
 	}
@@ -355,13 +372,7 @@ func printDynamicReport(r *synpa.DynamicReport) {
 		fmt.Printf("  weighted STP=%.3f\n", r.WeightedSTP)
 	}
 	for i, a := range r.Apps {
-		status := fmt.Sprintf("resp=%-10d norm=%.3f IPC=%.3f", a.ResponseCycles, a.NormalizedResponse, a.IPC)
-		switch {
-		case !a.Admitted:
-			status = "never admitted (queued to the end)"
-		case a.FinishAt == 0:
-			status = "did not finish"
-		}
+		status := appStatus(a)
 		prio := ""
 		if a.Priority != 0 {
 			prio = fmt.Sprintf(" p%d", a.Priority)
@@ -369,6 +380,19 @@ func printDynamicReport(r *synpa.DynamicReport) {
 		fmt.Printf("  %02d %-13s%s arrive=%-10d %s\n", i, a.Name, prio, a.ArriveAt, status)
 	}
 	fmt.Println()
+}
+
+// appStatus renders one dynamic app's line-item status. Completion is the
+// report's explicit Finished flag, not a zero FinishAt — cycle 0 is a
+// legitimate finish stamp, not a sentinel.
+func appStatus(a synpa.DynamicAppReport) string {
+	switch {
+	case !a.Admitted:
+		return "never admitted (queued to the end)"
+	case !a.Finished:
+		return "did not finish"
+	}
+	return fmt.Sprintf("resp=%-10d norm=%.3f IPC=%.3f", a.ResponseCycles, a.NormalizedResponse, a.IPC)
 }
 
 func printReport(r *synpa.RunReport) {

@@ -1,0 +1,123 @@
+package main
+
+// Regression tests for the CLI's reporting and trace-resolution paths: the
+// Finished-flag status line (cycle 0 is a legitimate finish stamp) and the
+// file-vs-scenario precedence of loadTrace.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"synpa/synpa"
+)
+
+func TestAppStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		app  synpa.DynamicAppReport
+		want string
+	}{
+		{
+			name: "never admitted",
+			app:  synpa.DynamicAppReport{},
+			want: "never admitted",
+		},
+		{
+			name: "admitted but unfinished",
+			app:  synpa.DynamicAppReport{Admitted: true},
+			want: "did not finish",
+		},
+		{
+			name: "finished",
+			app: synpa.DynamicAppReport{
+				Admitted: true, Finished: true,
+				ResponseCycles: 1234, NormalizedResponse: 1.5, IPC: 2,
+			},
+			want: "resp=1234",
+		},
+		{
+			// The bug this pins: zero-length work finishing at cycle 0 used
+			// to read as "did not finish" under the FinishAt == 0 sentinel.
+			name: "finished at cycle zero",
+			app: synpa.DynamicAppReport{
+				Admitted: true, Finished: true, FinishAt: 0,
+			},
+			want: "resp=",
+		},
+		{
+			// An unfinished app with a garbage nonzero FinishAt must not
+			// read as finished either.
+			name: "unfinished with nonzero stamp",
+			app:  synpa.DynamicAppReport{Admitted: true, FinishAt: 99},
+			want: "did not finish",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := appStatus(tc.app); !strings.Contains(got, tc.want) {
+				t.Fatalf("appStatus(%+v) = %q, want it to contain %q", tc.app, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadTracePrecedence(t *testing.T) {
+	t.Chdir(t.TempDir())
+	const quantum, seed = 100_000, 1
+
+	// A scenario name with no file of that name resolves to the built-in.
+	tr, err := loadTrace("dyn0", quantum, seed)
+	if err != nil {
+		t.Fatalf("scenario dyn0: %v", err)
+	}
+	if tr.Name != "dyn0" || len(tr.Entries) < 2 {
+		t.Fatalf("scenario dyn0 resolved to %q with %d entries", tr.Name, len(tr.Entries))
+	}
+	builtinEntries := len(tr.Entries)
+
+	// The bug this pins: a trace *file* named like a scenario was
+	// unreachable — the scenario always shadowed it. A file on disk now
+	// wins over the built-in of the same name.
+	if err := os.WriteFile("dyn0", []byte("0 mcf\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = loadTrace("dyn0", quantum, seed)
+	if err != nil {
+		t.Fatalf("file dyn0: %v", err)
+	}
+	if len(tr.Entries) != 1 || tr.Entries[0].App != "mcf" {
+		t.Fatalf("file dyn0 shadowed by scenario: got %d entries", len(tr.Entries))
+	}
+
+	// An explicit path form always means a file.
+	tr, err = loadTrace("./dyn0", quantum, seed)
+	if err != nil {
+		t.Fatalf("./dyn0: %v", err)
+	}
+	if len(tr.Entries) != 1 {
+		t.Fatalf("./dyn0 resolved to %d entries, want the 1-entry file", len(tr.Entries))
+	}
+
+	// An explicit path form that doesn't exist is an error — "./dyn0" asks
+	// for a file, not the scenario — while the bare name goes back to
+	// resolving the built-in once the file is gone.
+	if err := os.Remove("dyn0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace("./dyn0", quantum, seed); err == nil {
+		t.Fatal("missing ./dyn0 resolved instead of failing")
+	}
+	tr, err = loadTrace("dyn0", quantum, seed)
+	if err != nil {
+		t.Fatalf("dyn0 after file removal: %v", err)
+	}
+	if len(tr.Entries) != builtinEntries {
+		t.Fatalf("bare dyn0 resolved to %d entries after file removal, want the %d-entry scenario", len(tr.Entries), builtinEntries)
+	}
+
+	// Neither scenario nor file: the error names the valid scenarios.
+	if _, err := loadTrace("no-such-trace", quantum, seed); err == nil || !strings.Contains(err.Error(), "dyn0") {
+		t.Fatalf("unknown trace: err = %v, want a scenario listing", err)
+	}
+}

@@ -7,6 +7,12 @@
 //	synpa-train                      # train on the 22-app training set
 //	synpa-train -apps mcf,lbm_r,...  # train on an explicit set
 //	synpa-train -categories 10       # the discarded 10-category model
+//	synpa-train -out model.json      # save the model for synpad / /v1/model
+//
+// -out writes the fitted model in the JSON wire format core.ReadModelJSON
+// (and synpad's -model flag and POST /v1/model endpoint) accepts; float64
+// coefficients round-trip exactly through JSON, so the reloaded model
+// places bit-identically to the freshly trained one.
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 		categories = flag.Int("categories", 3, "3 (paper final) or 10 (discarded preliminary)")
 		quanta     = flag.Int("pairquanta", 0, "SMT quanta per pair (default from train options)")
 		seed       = flag.Uint64("seed", 0, "random seed")
+		out        = flag.String("out", "", "write the fitted model as JSON to this path (the synpad model format)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "synpa-train:", err)
 		os.Exit(1)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err == nil {
+			err = core.WriteModelJSON(f, model)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synpa-train: -out:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model written to %s\n", *out)
 	}
 
 	fmt.Printf("trained on %d applications, %d SMT pairs, %d aligned samples\n\n",

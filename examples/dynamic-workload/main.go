@@ -71,7 +71,7 @@ func show(r *synpa.DynamicReport) {
 	fmt.Printf("%s: %d/%d completed in %d cycles, ANTT=%.3f STP=%.3f occupancy=%.1f%%\n",
 		r.Policy, r.Completed, len(r.Apps), r.Cycles, r.ANTT, r.STP, r.Occupancy*100)
 	for _, a := range r.Apps {
-		if a.FinishAt == 0 {
+		if !a.Finished {
 			fmt.Printf("  %-13s arrived %7d, did not finish\n", a.Name, a.ArriveAt)
 			continue
 		}

@@ -115,6 +115,27 @@ func (a *Arena) CacheStats() (invert, pair predcache.Stats) {
 	return a.inv.Stats(), a.pair.Stats()
 }
 
+// LastSTEstimates returns the ST category estimates computed by this
+// arena's most recent PlaceR call (one row per application, in the call's
+// live-set order), or nil before any model-driven decision. The rows are
+// backed by the arena's double buffer: they stay valid until the next
+// PlaceR call on this arena; copy to retain longer.
+func (a *Arena) LastSTEstimates() [][]float64 { return a.lastST }
+
+// Reset clears the arena's cross-request decision history — the smoothing
+// estimates and their identities — so a pooled arena serves its next
+// request exactly like a freshly built one. Everything else survives on
+// purpose: the scratch matrices and the Blossom workspace are
+// size-recycled buffers whose contents are fully overwritten per decision,
+// and the prediction/matching memos are exact-bit-keyed caches of pure
+// functions, so keeping them warm changes speed, never a result bit (the
+// predcache package-comment argument). This is what makes serving-pool
+// reuse bit-identical to one-arena-per-request.
+func (a *Arena) Reset() {
+	a.lastST = nil
+	a.lastIDs = a.lastIDs[:0]
+}
+
 // MatchStats returns the arena's matching-memo traffic.
 func (a *Arena) MatchStats() predcache.Stats { return a.mch.Stats() }
 

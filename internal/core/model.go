@@ -25,12 +25,14 @@ import (
 	"math"
 )
 
-// Coefficients holds one category's Eq. 1 parameters.
+// Coefficients holds one category's Eq. 1 parameters. The json tags define
+// the model wire format (see modelio.go) used by model files and the
+// synpad /v1/model endpoint.
 type Coefficients struct {
-	Alpha float64 // independent term
-	Beta  float64 // weight of the application's own ST value
-	Gamma float64 // weight of the co-runner's ST value
-	Rho   float64 // weight of the product term
+	Alpha float64 `json:"alpha"` // independent term
+	Beta  float64 `json:"beta"`  // weight of the application's own ST value
+	Gamma float64 `json:"gamma"` // weight of the co-runner's ST value
+	Rho   float64 `json:"rho"`   // weight of the product term
 }
 
 // Predict evaluates Eq. 1 for one category.
@@ -41,12 +43,12 @@ func (c Coefficients) Predict(ci, cj float64) float64 {
 // Model is a K-category interference model: one Eq. 1 per category.
 type Model struct {
 	// Categories names each category, in vector order.
-	Categories []string
+	Categories []string `json:"categories"`
 	// Coef holds the per-category coefficients, parallel to Categories.
-	Coef []Coefficients
+	Coef []Coefficients `json:"coefficients"`
 	// MSE optionally records each category's training mean squared error
 	// (reported in §VI-A).
-	MSE []float64
+	MSE []float64 `json:"mse,omitempty"`
 }
 
 // ThreeCategories are the category names of the paper's final model, in

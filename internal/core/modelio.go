@@ -1,0 +1,45 @@
+// Model serialisation: the wire format trained models travel in — written
+// by synpa-train -out, loaded by the synpad daemon at startup and accepted
+// by its /v1/model hot-swap endpoint. The format is the Model struct's
+// json tags: float64 coefficients round-trip exactly through encoding/json
+// (shortest-representation encoding parses back to the identical bits), so
+// a model written and re-read places bit-identically to the original.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteModelJSON writes the model as indented JSON with a trailing newline.
+func WriteModelJSON(w io.Writer, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("core: nil model")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadModelJSON parses and validates a model from its JSON wire format.
+// Unknown fields are rejected so a malformed or mis-shaped payload fails
+// loudly instead of producing a zero model.
+func ReadModelJSON(r io.Reader) (*Model, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	m := &Model{}
+	if err := dec.Decode(m); err != nil {
+		return nil, fmt.Errorf("core: parsing model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.MSE) != 0 && len(m.MSE) != len(m.Coef) {
+		return nil, fmt.Errorf("core: %d MSE values for %d categories", len(m.MSE), len(m.Coef))
+	}
+	return m, nil
+}

@@ -1,0 +1,244 @@
+// Served-placement throughput bench (synpad-qps): the HTTP sibling of
+// placement-qps. It records the same saturating query log, then stands up a
+// real placement server (internal/serve) on a loopback listener and replays
+// the queries as POST /v1/place requests at 1..N client goroutines, per
+// cache mode. The spread between a placement-qps cell and its synpad-qps
+// counterpart is exactly the serving tax — JSON codec, HTTP framing, kernel
+// loopback — which is the number a deployment needs before deciding whether
+// to colocate the policy or call a daemon.
+//
+// Like placement-qps this reports wall-clock figures and is excluded from
+// the golden-digest set; the QPS/latency gauges land in the global metrics
+// registry so a -perfstat run embeds them in the committed BENCH_NNNN.json.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"synpa/internal/core"
+	"synpa/internal/obs"
+	"synpa/internal/serve"
+)
+
+// synpadDefaults sizes the HTTP bench: fewer passes than the in-process
+// bench because every query pays a kernel round trip.
+func synpadDefaults(opt PlacementQPSOptions) PlacementQPSOptions {
+	if opt.MaxGoroutines <= 0 {
+		opt.MaxGoroutines = 4
+	}
+	if opt.Passes <= 0 {
+		opt.Passes = 8
+	}
+	if opt.MaxQueries <= 0 {
+		opt.MaxQueries = 256
+	}
+	return opt
+}
+
+// SynpadQPS runs the served-placement bench with default sizing.
+func (s *Suite) SynpadQPS() (*Table, error) {
+	return s.SynpadQPSOpt(PlacementQPSOptions{})
+}
+
+// SynpadQPSOpt records the qps-sat query log once, then replays it through
+// a live loopback synpad server in both cache modes at every goroutine
+// count, best of qpsReps repetitions per cell.
+func (s *Suite) SynpadQPSOpt(opt PlacementQPSOptions) (*Table, error) {
+	opt = synpadDefaults(opt)
+	model, _, err := s.Model()
+	if err != nil {
+		return nil, err
+	}
+	queries, err := s.recordQueries(model, opt.MaxQueries)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, len(queries))
+	for i := range queries {
+		if bodies[i], err = json.Marshal(serve.RequestFromState(&queries[i])); err != nil {
+			return nil, err
+		}
+	}
+
+	var gcounts []int
+	for g := 1; g <= opt.MaxGoroutines; g *= 2 {
+		gcounts = append(gcounts, g)
+	}
+	if last := gcounts[len(gcounts)-1]; last != opt.MaxGoroutines {
+		gcounts = append(gcounts, opt.MaxGoroutines)
+	}
+
+	var ms []qpsMeasurement
+	for _, mode := range []string{"private", "shared"} {
+		cells, err := s.synpadMode(model, bodies, mode, gcounts, opt)
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, cells...)
+	}
+
+	var base float64
+	for _, m := range ms {
+		if m.mode == "private" && m.g == 1 {
+			base = m.qps
+		}
+	}
+
+	reg := obs.Global()
+	t := &Table{
+		Title:  "Served placement throughput: synpad over loopback HTTP (synpad-qps)",
+		Header: []string{"Mode", "Clients", "Requests", "QPS", "p50(us)", "p99(us)", "Speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d recorded qps-sat queries x %d timed passes per cell as POST /v1/place over 127.0.0.1; fresh server per mode, one untimed warm-up pass per client", len(queries), opt.Passes),
+			"wall-clock figures - not bit-stable; QPS/p50/p99 land in the metrics registry for BENCH embedding",
+			"Speedup is QPS over the private single-client cell; compare against placement-qps for the HTTP serving tax",
+		},
+	}
+	for _, m := range ms {
+		t.AddRow(m.mode, fmt.Sprint(m.g), fmt.Sprint(m.queries),
+			fmt.Sprintf("%.0f", m.qps),
+			fmt.Sprintf("%.1f", float64(m.p50.Nanoseconds())/1e3),
+			fmt.Sprintf("%.1f", float64(m.p99.Nanoseconds())/1e3),
+			f3(speedup(m.qps, base)))
+		prefix := fmt.Sprintf("synpadqps.%s.g%d", m.mode, m.g)
+		reg.Gauge(prefix + ".qps").Set(int64(m.qps))
+		reg.Gauge(prefix + ".p50_ns").Set(m.p50.Nanoseconds())
+		reg.Gauge(prefix + ".p99_ns").Set(m.p99.Nanoseconds())
+	}
+	return t, nil
+}
+
+// synpadMode measures every goroutine-count cell of one cache mode against
+// one live server. The server outlives all the mode's cells so its memos
+// warm exactly once, mirroring the per-cell warm pass of placement-qps.
+func (s *Suite) synpadMode(model *core.Model, bodies [][]byte, mode string, gcounts []int, opt PlacementQPSOptions) ([]qpsMeasurement, error) {
+	srv, err := serve.New(model, serve.Config{
+		SharedCache:   mode == "shared",
+		MaxConcurrent: 4 * opt.MaxGoroutines,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	url := "http://" + l.Addr().String() + "/v1/place"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * opt.MaxGoroutines,
+		MaxIdleConnsPerHost: 4 * opt.MaxGoroutines,
+	}}
+	defer client.CloseIdleConnections()
+
+	var out []qpsMeasurement
+	for _, g := range gcounts {
+		best := qpsMeasurement{mode: mode, g: g}
+		for rep := 0; rep < qpsReps; rep++ {
+			m, err := synpadReplayOnce(client, url, bodies, mode, g, opt.Passes)
+			if err != nil {
+				return nil, err
+			}
+			if m.qps > best.qps {
+				best = m
+			}
+		}
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// synpadReplayOnce is one timed repetition of a cell: g client goroutines,
+// each POSTing its round-robin share of the query bodies passes times, with
+// one untimed warm pass and a start gate (the replayOnce protocol, over
+// HTTP).
+func synpadReplayOnce(client *http.Client, url string, bodies [][]byte, mode string, g, passes int) (qpsMeasurement, error) {
+	lats := make([][]time.Duration, g)
+	errs := make([]error, g)
+
+	post := func(body []byte) error {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST /v1/place: %s", resp.Status)
+		}
+		return nil
+	}
+
+	var warmed, wg sync.WaitGroup
+	startGate := make(chan struct{})
+	for gi := 0; gi < g; gi++ {
+		warmed.Add(1)
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for qi := gi; qi < len(bodies); qi += g {
+				if errs[gi] = post(bodies[qi]); errs[gi] != nil {
+					warmed.Done()
+					return
+				}
+			}
+			warmed.Done()
+			<-startGate
+			lat := make([]time.Duration, 0, len(bodies)*passes/g+passes)
+			for pass := 0; pass < passes; pass++ {
+				for qi := gi; qi < len(bodies); qi += g {
+					t0 := time.Now()
+					if errs[gi] = post(bodies[qi]); errs[gi] != nil {
+						return
+					}
+					lat = append(lat, time.Since(t0))
+				}
+			}
+			lats[gi] = lat
+		}(gi)
+	}
+	warmed.Wait()
+	start := time.Now()
+	close(startGate)
+	wg.Wait()
+	wall := time.Since(start)
+
+	for _, err := range errs {
+		if err != nil {
+			return qpsMeasurement{}, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return qpsMeasurement{
+		mode:    mode,
+		g:       g,
+		qps:     float64(len(all)) / wall.Seconds(),
+		p50:     all[len(all)/2],
+		p99:     all[len(all)*99/100],
+		queries: len(all),
+	}, nil
+}

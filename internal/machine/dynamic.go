@@ -77,8 +77,12 @@ type DynamicAppResult struct {
 	AdmittedAt uint64
 	// Admitted reports whether the app ever got a hardware thread.
 	Admitted bool
-	// FinishAt is the cycle the app completed its target; 0 if it never
-	// did within the run bound.
+	// Finished reports whether the app completed its target within the
+	// run bound — the authoritative completion flag (FinishAt is a cycle
+	// stamp, not a sentinel).
+	Finished bool
+	// FinishAt is the cycle the app completed its target; meaningless
+	// when Finished is false.
 	FinishAt uint64
 	// ResponseCycles is FinishAt − ArriveAt (queueing + execution), the
 	// open-system response time; 0 if the app never finished.
@@ -237,6 +241,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 			a := &res.Apps[o.ID]
 			a.Admitted = true
 			a.AdmittedAt = o.AdmittedAt
+			a.Finished = true
 			a.FinishAt = o.FinishAt
 			a.ResponseCycles = o.ResponseCycles
 			a.Retired = o.Retired
@@ -258,7 +263,7 @@ func (m *Machine) RunDynamic(work []DynamicApp, policy Policy, opt DynamicOption
 	}
 	res.AllCompleted = true
 	for gi := range work {
-		if res.Apps[gi].FinishAt == 0 {
+		if !res.Apps[gi].Finished {
 			res.AllCompleted = false
 			// An arrival still waiting when the run ended queued without
 			// ever being admitted; the runner only counts the admitted

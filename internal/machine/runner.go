@@ -70,8 +70,7 @@ type JobOutcome struct {
 	Name string
 	// Target is the job's retired-instruction work.
 	Target uint64
-	// ArriveAt, AdmittedAt and FinishAt are the job's lifecycle cycles;
-	// FinishAt is zero for unfinished jobs.
+	// ArriveAt, AdmittedAt and FinishAt are the job's lifecycle cycles.
 	ArriveAt   uint64
 	AdmittedAt uint64
 	FinishAt   uint64
@@ -80,6 +79,10 @@ type JobOutcome struct {
 	Weight   float64
 	// Admitted reports whether the job ever held a hardware thread.
 	Admitted bool
+	// Finished reports whether the job completed its target — the
+	// authoritative completion flag (FinishAt is a cycle stamp, and cycle
+	// 0 is a legitimate stamp, not a sentinel).
+	Finished bool
 	// ResponseCycles is FinishAt − ArriveAt for finished jobs.
 	ResponseCycles uint64
 	// Retired is the instructions retired so far.
@@ -523,6 +526,7 @@ func (r *DynRunner) FinishSlice(out []JobOutcome) []JobOutcome {
 			Priority:       s.app.Priority,
 			Weight:         s.app.Weight,
 			Admitted:       true,
+			Finished:       true,
 			ResponseCycles: r.now - s.app.ArriveAt,
 			Retired:        s.inst.Retired,
 		}

@@ -54,18 +54,20 @@ func WriteJSONL(w io.Writer, t *Trace) error {
 }
 
 // ParseTraceDest resolves a -trace-out argument of the form
-// "[format:]path". An explicit unknown format errors listing the valid
-// set; without a prefix, a .jsonl/.ndjson extension selects JSONL and
-// anything else the Chrome format.
+// "[format:]path". A prefix is treated as a format only when it names a
+// known one; any other prefix is part of the path (colons are legal in
+// file names — "trace-12:30.json" is a Chrome destination, not a request
+// for a "trace-12" format). Without a format prefix, a .jsonl/.ndjson
+// extension selects JSONL and anything else the Chrome format. The error
+// return is always nil today and kept for future destination kinds.
 func ParseTraceDest(arg string) (format, path string, err error) {
-	if f, p, ok := strings.Cut(arg, ":"); ok && !strings.Contains(f, "/") && !strings.Contains(f, "\\") {
+	if f, p, ok := strings.Cut(arg, ":"); ok {
 		switch f {
 		case FormatChrome, FormatJSONL:
 			return f, p, nil
-		default:
-			return "", "", fmt.Errorf("unknown trace format %q; valid formats: %s",
-				f, strings.Join(TraceFormats(), ", "))
 		}
+		// Not a known format: the colon belongs to the path; fall through
+		// to extension sniffing on the whole argument.
 	}
 	if strings.HasSuffix(arg, ".jsonl") || strings.HasSuffix(arg, ".ndjson") {
 		return FormatJSONL, arg, nil

@@ -1,0 +1,502 @@
+package serve_test
+
+// The serving differential gate: every byte POST /v1/place returns must be
+// bit-identical to what the in-process PlaceOne produces on an independent
+// policy instance — under concurrency (run these with -race), in both cache
+// modes, through the batch endpoint, and across model hot-swaps.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"synpa/internal/core"
+	"synpa/internal/machine"
+	"synpa/internal/obs"
+	"synpa/internal/pmu"
+	"synpa/internal/predcache"
+	"synpa/internal/serve"
+)
+
+// synthQueries builds a deterministic stream of placement queries that
+// walks the serving path end to end: PMU samples from a seeded LCG, each
+// query's Prev evolving under the reference policy's own decisions, so
+// inversion, pair prediction, matching and hysteresis all fire.
+func synthQueries(t *testing.T, model *core.Model, n int) []*serve.PlaceRequest {
+	t.Helper()
+	p := core.MustPolicy(model, core.PolicyOptions{})
+	a := p.NewArena()
+
+	const cores, apps = 4, 8
+	lcg := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return lcg
+	}
+	prev := make([]int, apps)
+	for i := range prev {
+		prev[i] = i % cores
+	}
+
+	out := make([]*serve.PlaceRequest, 0, n)
+	for q := 0; q < n; q++ {
+		samples := make([][]uint64, apps)
+		for i := range samples {
+			row := make([]uint64, pmu.NumEvents)
+			cycles := 20_000 + next()%5_000
+			row[pmu.CPUCycles] = cycles
+			row[pmu.StallFrontend] = next() % (cycles / 2)
+			row[pmu.StallBackend] = next() % (cycles / 2)
+			row[pmu.InstSpec] = cycles + next()%cycles
+			row[pmu.InstRetired] = row[pmu.InstSpec] - next()%(row[pmu.InstSpec]/4)
+			out := row // remaining fine-grained events: small deterministic values
+			for e := range out {
+				if out[e] == 0 {
+					out[e] = next() % 1_000
+				}
+			}
+			samples[i] = row
+		}
+		req := &serve.PlaceRequest{
+			NumCores: cores,
+			NumApps:  apps,
+			Quantum:  q + 1,
+			Prev:     append([]int(nil), prev...),
+			Samples:  samples,
+		}
+		out2, err := serve.PlaceOne(p, a, req)
+		if err != nil {
+			t.Fatalf("synth query %d: %v", q, err)
+		}
+		prev = out2.Placement
+		out = append(out, req)
+	}
+	return out
+}
+
+// inProcessBytes renders the reference answer exactly as the HTTP handler
+// does: PlaceOne on an independent policy, then json.NewEncoder (one
+// trailing newline).
+func inProcessBytes(t *testing.T, p *core.Policy, a *core.Arena, q *serve.PlaceRequest) []byte {
+	t.Helper()
+	resp, err := serve.PlaceOne(p, a, q)
+	if err != nil {
+		t.Fatalf("in-process PlaceOne: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, raw
+}
+
+func newTestServer(t *testing.T, model *core.Model, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	srv, err := serve.New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(hts.Close)
+	return srv, hts
+}
+
+// TestPlaceDifferential is the acceptance gate: the HTTP response bytes of
+// /v1/place equal the in-process bytes for every query, in both cache
+// modes, with concurrent clients (run under -race).
+func TestPlaceDifferential(t *testing.T) {
+	model := core.PaperCoefficients()
+	queries := synthQueries(t, model, 48)
+	for _, shared := range []bool{false, true} {
+		name := map[bool]string{false: "private", true: "shared"}[shared]
+		t.Run(name, func(t *testing.T) {
+			_, hts := newTestServer(t, model, serve.Config{SharedCache: shared})
+
+			// Independent in-process reference: its own policy instance, its
+			// own cache; agreement is decided by the bits, not shared state.
+			ref := core.MustPolicy(model, core.PolicyOptions{})
+			if shared {
+				ref.SetSharedCache(predcache.NewShared(predcache.Options{}, 0))
+			}
+
+			const workers = 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					a := ref.NewArena()
+					for qi := w; qi < len(queries); qi += workers {
+						body, err := json.Marshal(queries[qi])
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", body)
+						if resp.StatusCode != http.StatusOK {
+							t.Errorf("query %d: status %s: %s", qi, resp.Status, raw)
+							return
+						}
+						want := inProcessBytes(t, ref, a, queries[qi])
+						if !bytes.Equal(raw, want) {
+							t.Errorf("query %d: HTTP response diverges from in-process\nhttp: %s\nref:  %s", qi, raw, want)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestBatchDifferential streams queries through /v1/place/batch and checks
+// the JSONL answers line-for-line against in-process decisions, including
+// a malformed line answered 1:1 in position by a structured error.
+func TestBatchDifferential(t *testing.T) {
+	model := core.PaperCoefficients()
+	queries := synthQueries(t, model, 12)
+	_, hts := newTestServer(t, model, serve.Config{BatchChunk: 5})
+
+	const badLine = 7
+	var in bytes.Buffer
+	for qi, q := range queries {
+		if qi == badLine {
+			in.WriteString("{\"num_cores\": \"oops\"}\n")
+			continue
+		}
+		b, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Write(b)
+		in.WriteByte('\n')
+	}
+
+	resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place/batch", in.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %s: %s", resp.Status, raw)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if len(lines) != len(queries) {
+		t.Fatalf("batch returned %d lines for %d queries", len(lines), len(queries))
+	}
+
+	ref := core.MustPolicy(model, core.PolicyOptions{})
+	a := ref.NewArena()
+	for qi, line := range lines {
+		if qi == badLine {
+			var e serve.ErrorResponse
+			if err := json.Unmarshal(line, &e); err != nil || e.Error == "" {
+				t.Fatalf("line %d: want structured error, got %s", qi, line)
+			}
+			continue
+		}
+		want := bytes.TrimSuffix(inProcessBytes(t, ref, a, queries[qi]), []byte("\n"))
+		if !bytes.Equal(line, want) {
+			t.Fatalf("batch line %d diverges from in-process\nhttp: %s\nref:  %s", qi, line, want)
+		}
+	}
+}
+
+// TestHotSwapUnderLoad hammers /v1/place from several goroutines while the
+// model is swapped repeatedly; every request must succeed (zero drops, no
+// torn policy) and the generation must advance once per swap.
+func TestHotSwapUnderLoad(t *testing.T) {
+	model := core.PaperCoefficients()
+	queries := synthQueries(t, model, 16)
+	srv, hts := newTestServer(t, model, serve.Config{})
+
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	// The swapped-in model: same shape, slightly different coefficients, so
+	// old- and new-generation answers are both valid placements.
+	model2 := core.PaperCoefficients()
+	model2.Coef[0].Alpha += 0.001
+	var modelBody bytes.Buffer
+	if err := core.WriteModelJSON(&modelBody, model2); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const clients = 4
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", bodies[(w+i)%len(bodies)])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("place during swap: status %s: %s", resp.Status, raw)
+					return
+				}
+				var pr serve.PlaceResponse
+				if err := json.Unmarshal(raw, &pr); err != nil || len(pr.Placement) == 0 {
+					t.Errorf("place during swap: bad body %s", raw)
+					return
+				}
+			}
+		}(w)
+	}
+
+	const swaps = 8
+	for i := 0; i < swaps; i++ {
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/model", modelBody.Bytes())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: status %s: %s", i, resp.Status, raw)
+		}
+		var sr serve.SwapResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(i + 2); sr.Generation != want {
+			t.Fatalf("swap %d: generation %d, want %d", i, sr.Generation, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if gen := srv.Generation(); gen != swaps+1 {
+		t.Fatalf("final generation %d, want %d", srv.Generation(), swaps+1)
+	}
+	resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", bodies[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap place: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Synpad-Generation"); got != fmt.Sprint(swaps+1) {
+		t.Fatalf("post-swap generation header %q, want %d (body %s)", got, swaps+1, raw)
+	}
+}
+
+// TestErrors pins the failure-mode contract: malformed JSON and infeasible
+// queries get 400 with a structured body, oversized payloads get 413, and
+// bad models are rejected without disturbing the serving generation.
+func TestErrors(t *testing.T) {
+	model := core.PaperCoefficients()
+	srv, hts := newTestServer(t, model, serve.Config{
+		MaxRequestBytes: 2 << 10,
+		MaxBatchBytes:   4 << 10,
+	})
+
+	assertError := func(t *testing.T, resp *http.Response, raw []byte, wantStatus int) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %s, want %d (body %s)", resp.Status, wantStatus, raw)
+		}
+		var e serve.ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Fatalf("want structured error body, got %s", raw)
+		}
+	}
+
+	t.Run("malformed-json", func(t *testing.T) {
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", []byte(`{"num_cores": `))
+		assertError(t, resp, raw, http.StatusBadRequest)
+	})
+	t.Run("unknown-field", func(t *testing.T) {
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", []byte(`{"num_cores": 4, "num_apps": 2, "bogus": 1}`))
+		assertError(t, resp, raw, http.StatusBadRequest)
+	})
+	t.Run("infeasible-query", func(t *testing.T) {
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", []byte(`{"num_cores": 2, "num_apps": 5}`))
+		assertError(t, resp, raw, http.StatusBadRequest)
+	})
+	t.Run("oversized-place", func(t *testing.T) {
+		big := fmt.Sprintf(`{"num_cores": 4, "num_apps": 2, "app_ids": [%s1]}`, strings.Repeat("1,", 4<<10))
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", []byte(big))
+		assertError(t, resp, raw, http.StatusRequestEntityTooLarge)
+	})
+	t.Run("oversized-batch", func(t *testing.T) {
+		body := bytes.Repeat([]byte(`{"num_cores": 4, "num_apps": 2}`+"\n"), 1<<10)
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place/batch", body)
+		assertError(t, resp, raw, http.StatusRequestEntityTooLarge)
+	})
+	t.Run("bad-model", func(t *testing.T) {
+		resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/model", []byte(`{"categories": ["a"], "coefficients": []}`))
+		assertError(t, resp, raw, http.StatusBadRequest)
+		if srv.Generation() != 1 {
+			t.Fatalf("failed swap advanced the generation to %d", srv.Generation())
+		}
+	})
+}
+
+// TestStatsAndHealth exercises /v1/stats and /healthz over both cache
+// modes.
+func TestStatsAndHealth(t *testing.T) {
+	model := core.PaperCoefficients()
+	queries := synthQueries(t, model, 4)
+	for _, sharedMode := range []bool{false, true} {
+		name := map[bool]string{false: "private", true: "shared"}[sharedMode]
+		t.Run(name, func(t *testing.T) {
+			_, hts := newTestServer(t, model, serve.Config{SharedCache: sharedMode})
+			for _, q := range queries {
+				b, _ := json.Marshal(q)
+				if resp, raw := postJSON(t, hts.Client(), hts.URL+"/v1/place", b); resp.StatusCode != http.StatusOK {
+					t.Fatalf("place: %s: %s", resp.Status, raw)
+				}
+			}
+
+			resp, err := hts.Client().Get(hts.URL + "/v1/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st serve.StatsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if st.Generation != 1 || st.Policy == "" {
+				t.Fatalf("stats: %+v", st)
+			}
+			if want := map[bool]string{false: "private", true: "shared"}[sharedMode]; st.CacheMode != want {
+				t.Fatalf("cache mode %q, want %q", st.CacheMode, want)
+			}
+			if sharedMode {
+				if st.InvertCache == nil || st.InvertCache.Hits+st.InvertCache.Misses == 0 {
+					t.Fatalf("shared mode reported no invert-cache traffic: %+v", st.InvertCache)
+				}
+			}
+			if got := st.Metrics.Counters["synpad.place.requests"]; got != int64(len(queries)) {
+				t.Fatalf("place.requests = %d, want %d", got, len(queries))
+			}
+			if h, ok := st.Metrics.Histograms["synpad.place.latency_ns"]; !ok || h.Count != uint64(len(queries)) {
+				t.Fatalf("latency histogram: %+v", st.Metrics.Histograms)
+			}
+
+			resp, err = hts.Client().Get(hts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hr serve.HealthResponse
+			if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if !hr.OK || hr.Generation != 1 {
+				t.Fatalf("healthz: %+v", hr)
+			}
+		})
+	}
+}
+
+// TestGracefulDrain starts a real listener, fires concurrent requests and
+// shuts down: every started request must complete, Serve must return
+// http.ErrServerClosed, and the port must stop accepting.
+func TestGracefulDrain(t *testing.T) {
+	model := core.PaperCoefficients()
+	queries := synthQueries(t, model, 4)
+	srv, err := serve.New(model, serve.Config{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	body, _ := json.Marshal(queries[0])
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, raw := postJSON(t, http.DefaultClient, url+"/v1/place", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("in-flight request failed during drain: %s: %s", resp.Status, raw)
+			}
+		}()
+	}
+	wg.Wait() // all in flight completed before Shutdown below can cut them off
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	if _, err := http.Post(url+"/v1/place", "application/json", bytes.NewReader(body)); err == nil {
+		t.Fatal("post-shutdown request succeeded; listener still accepting")
+	}
+}
+
+// TestRequestFromStateRoundTrip pins the wire inversion the bench and the
+// differential harness rely on: state -> request -> state reproduces every
+// field and bit.
+func TestRequestFromStateRoundTrip(t *testing.T) {
+	st := &machine.QuantumState{
+		Quantum:       3,
+		NumCores:      4,
+		NumApps:       5,
+		AppIDs:        []int{7, 3, 9, 1, 4},
+		Prev:          machine.Placement{0, 1, 2, machine.Unplaced, 3},
+		Priorities:    []int{0, 1, 0, 2, 0},
+		DispatchWidth: 4,
+		SMTLevel:      2,
+		Samples:       make([]pmu.Counters, 5),
+	}
+	for i := range st.Samples {
+		for e := range st.Samples[i] {
+			st.Samples[i][e] = uint64(i*100+e) * 0x0101010101010101 % (1 << 60)
+		}
+	}
+	req := serve.RequestFromState(st)
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back serve.PlaceRequest
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Samples {
+		for e := range st.Samples[i] {
+			if back.Samples[i][e] != st.Samples[i][e] {
+				t.Fatalf("sample[%d][%d]: %d != %d after round trip", i, e, back.Samples[i][e], st.Samples[i][e])
+			}
+		}
+	}
+}

@@ -203,7 +203,7 @@ func SummarizeDynamic(res *machine.DynamicResult, isoCycles []float64) DynamicSt
 		// Mean class weight over arrivals, accumulated incrementally.
 		cs.Weight += (w - cs.Weight) / float64(cs.Apps+1)
 		cs.Apps++
-		if a.FinishAt == 0 || a.ResponseCycles == 0 {
+		if !a.Finished {
 			continue
 		}
 		st.Completed++

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"synpa/internal/machine"
 )
 
 func TestParseTrace(t *testing.T) {
@@ -128,6 +130,36 @@ func TestPoissonTraceDegenerate(t *testing.T) {
 	} {
 		if err := tr.Validate(); err == nil {
 			t.Fatalf("%s: degenerate trace validated", tr.Name)
+		}
+	}
+}
+
+func TestSummarizeDynamicFinishedFlag(t *testing.T) {
+	// Completion is the explicit Finished flag, not FinishAt != 0: an app
+	// finishing at cycle 0 (zero-length work arriving at cycle 0) counts as
+	// completed, and an unfinished app is excluded whatever its stamp says.
+	res := &machine.DynamicResult{Apps: []machine.DynamicAppResult{
+		{Name: "zero", Admitted: true, Finished: true, FinishAt: 0, ResponseCycles: 0, Weight: 1},
+		{Name: "done", Admitted: true, Finished: true, FinishAt: 500, ResponseCycles: 400, IPC: 1, Weight: 1},
+		{Name: "hung", Admitted: true, Finished: false, FinishAt: 999, Priority: 1, Weight: 1},
+	}}
+	st := SummarizeDynamic(res, []float64{100, 200, 300})
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2 (cycle-0 finisher counted, unfinished excluded)", st.Completed)
+	}
+	if len(st.PerClass) != 2 {
+		t.Fatalf("PerClass = %+v, want two classes", st.PerClass)
+	}
+	for _, c := range st.PerClass {
+		switch c.Priority {
+		case 0:
+			if c.Completed != 2 || c.Apps != 2 {
+				t.Fatalf("class 0 = %+v, want 2/2 done", c)
+			}
+		case 1:
+			if c.Completed != 0 || c.Apps != 1 {
+				t.Fatalf("class 1 = %+v, want 0/1 done (nonzero FinishAt is not completion)", c)
+			}
 		}
 	}
 }

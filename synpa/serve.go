@@ -1,0 +1,49 @@
+package synpa
+
+// Placement-as-a-service: the public surface of internal/serve, so user
+// code can embed the synpad daemon's HTTP endpoints (or run one in-process)
+// importing only this package.
+//
+//	model, _, _ := sys.TrainDefaultModel()
+//	srv, _ := synpa.NewPlacementServer(model, synpa.ServerConfig{})
+//	l, _ := net.Listen("tcp", "127.0.0.1:0")
+//	go srv.Serve(l)
+//	// POST /v1/place, /v1/place/batch; hot-swap via POST /v1/model...
+//	srv.Shutdown(context.Background())
+
+import (
+	"io"
+
+	"synpa/internal/core"
+	"synpa/internal/serve"
+)
+
+type (
+	// PlacementServer is a long-lived placement daemon: a read-mostly
+	// trained policy answering placement queries over HTTP, with atomic
+	// model hot-swap and graceful drain. Build with NewPlacementServer.
+	PlacementServer = serve.Server
+	// ServerConfig tunes a PlacementServer (cache mode, size and
+	// concurrency limits, drain deadline).
+	ServerConfig = serve.Config
+	// PlaceQuery is the /v1/place request body: one placement query in
+	// wire form.
+	PlaceQuery = serve.PlaceRequest
+	// PlaceAnswer is the /v1/place response body: the placement plus
+	// predicted per-app degradations.
+	PlaceAnswer = serve.PlaceResponse
+)
+
+// NewPlacementServer builds a placement daemon around a trained model
+// (serving generation 1). Swap models at runtime via POST /v1/model.
+func NewPlacementServer(m *Model, cfg ServerConfig) (*PlacementServer, error) {
+	return serve.New(m, cfg)
+}
+
+// SaveModel writes a trained model in the JSON wire format synpad loads
+// (-model flag, POST /v1/model). Float64 coefficients round-trip exactly
+// through JSON, so a reloaded model places bit-identically.
+func SaveModel(w io.Writer, m *Model) error { return core.WriteModelJSON(w, m) }
+
+// LoadModel reads and validates a model from its JSON wire format.
+func LoadModel(r io.Reader) (*Model, error) { return core.ReadModelJSON(r) }

@@ -397,9 +397,13 @@ type DynamicAppReport struct {
 	// Weight its class weight in the weighted-STP summary (0 means 1).
 	Priority int
 	Weight   float64
-	// ArriveAt and FinishAt bracket the app's life (cycles); FinishAt is 0
-	// if the app did not complete within the run bound.
+	// ArriveAt and FinishAt bracket the app's life (cycles); FinishAt is
+	// meaningless unless Finished is true.
 	ArriveAt, FinishAt uint64
+	// Finished reports whether the app completed its work within the run
+	// bound. This — not a zero FinishAt — is the completion test: cycle 0
+	// is a legitimate finish stamp for zero-length work at cycle 0.
+	Finished bool
 	// Admitted reports whether the app ever got a hardware thread; in an
 	// overloaded bounded run an arrival can stay queued to the end.
 	Admitted bool
@@ -518,11 +522,12 @@ func (s *System) RunDynamic(trace Trace, policy Policy) (*DynamicReport, error) 
 			ArriveAt:       a.ArriveAt,
 			Admitted:       a.Admitted,
 			AdmittedAt:     a.AdmittedAt,
+			Finished:       a.Finished,
 			FinishAt:       a.FinishAt,
 			ResponseCycles: a.ResponseCycles,
 			IPC:            a.IPC,
 		}
-		if a.FinishAt > 0 && a.ResponseCycles > 0 {
+		if a.Finished && a.ResponseCycles > 0 {
 			ar.NormalizedResponse = float64(a.ResponseCycles) / isoCycles[i]
 		}
 		rep.Apps = append(rep.Apps, ar)
